@@ -1,0 +1,43 @@
+//! Criterion benches for the **Section 3.1 vs 3.2 ablation**: the simple
+//! `O(√n·D)` algorithm against the windowed `O(√(nD))` Theorem 1 algorithm
+//! on a high-diameter instance (where the window trick matters most).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use congest::Config;
+use diameter_quantum::exact::ExactParams;
+use diameter_quantum::{exact, exact_simple};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_window");
+    group.sample_size(10);
+    let (g, _) = {
+        let mut b = graphs::GraphBuilder::new(96);
+        for i in 1..96 {
+            b.edge(i - 1, i); // a path: D = n - 1, the worst case for §3.1
+        }
+        (b.build(), ())
+    };
+    let cfg = Config::for_graph(&g);
+    group.bench_function("simple_section31", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = exact_simple::diameter(black_box(&g), ExactParams::new(seed), cfg).unwrap();
+            black_box(out.quantum_rounds)
+        })
+    });
+    group.bench_function("windowed_theorem1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = exact::diameter(black_box(&g), ExactParams::new(seed), cfg).unwrap();
+            black_box(out.quantum_rounds)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

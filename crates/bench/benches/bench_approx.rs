@@ -1,0 +1,41 @@
+//! Criterion benches for **Table 1, row "3/2-approximation"** and
+//! **Figure 3**: the classical HPRW algorithm vs the quantum variant
+//! (Theorem 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use classical::hprw::{self, HprwParams};
+use congest::Config;
+use diameter_quantum::approx::{self, ApproxParams};
+
+fn bench_approx_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_approx");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        let g = graphs::generators::random_sparse(n, 6.0, 2);
+        let cfg = Config::for_graph(&g);
+        group.bench_with_input(BenchmarkId::new("classical_hprw", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out =
+                    hprw::approx_diameter(black_box(g), HprwParams::classical(g.len(), seed), cfg)
+                        .unwrap();
+                black_box(out.estimate)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("quantum_theorem4", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = approx::diameter(black_box(g), ApproxParams::new(seed), cfg).unwrap();
+                black_box(out.estimate)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx_diameter);
+criterion_main!(benches);

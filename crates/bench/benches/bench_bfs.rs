@@ -1,0 +1,32 @@
+//! Criterion benches for **Figure 1**: the distributed BFS-tree
+//! construction, against the centralized reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use congest::Config;
+use graphs::NodeId;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_bfs");
+    for &n in &[256usize, 1024] {
+        let g = graphs::generators::random_sparse(n, 6.0, 3);
+        let cfg = Config::for_graph(&g);
+        group.bench_with_input(BenchmarkId::new("distributed_fig1", n), &g, |b, g| {
+            b.iter(|| {
+                let out = classical::bfs::build(black_box(g), NodeId::new(0), cfg).unwrap();
+                black_box(out.depth)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("centralized_reference", n), &g, |b, g| {
+            b.iter(|| {
+                let bfs = graphs::traversal::Bfs::run(black_box(g), NodeId::new(0));
+                black_box(bfs.eccentricity())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

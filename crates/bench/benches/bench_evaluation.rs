@@ -1,0 +1,46 @@
+//! Criterion benches for **Figure 2**: one application of the distributed
+//! Evaluation procedure (the inner loop of Theorem 1's oracle), and the
+//! closed-form window maximum it is verified against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use classical::TreeView;
+use congest::Config;
+use diameter_quantum::dfs_window::Windows;
+use diameter_quantum::evaluation;
+use graphs::tree::{EulerTour, RootedTree};
+use graphs::NodeId;
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_evaluation");
+    for &n in &[128usize, 512] {
+        let g = graphs::generators::random_sparse(n, 6.0, 4);
+        let cfg = Config::for_graph(&g);
+        let b = classical::bfs::build(&g, NodeId::new(0), cfg).unwrap();
+        let tree = TreeView::from(&b);
+        let d = b.depth;
+        group.bench_with_input(BenchmarkId::new("distributed_fig2", n), &g, |bench, g| {
+            let mut u0 = 0usize;
+            bench.iter(|| {
+                u0 = (u0 + 17) % g.len();
+                let run =
+                    evaluation::run_figure2(black_box(g), &tree, d, NodeId::new(u0), cfg).unwrap();
+                black_box(run.value)
+            })
+        });
+        let rooted = RootedTree::from_parents(&b.parents).unwrap();
+        let tour = EulerTour::new(&rooted);
+        let eccs = graphs::metrics::eccentricities(&g).unwrap();
+        group.bench_with_input(BenchmarkId::new("closed_form_all_branches", n), &g, |bench, _| {
+            bench.iter(|| {
+                let windows = Windows::new(&tour, 2 * d as usize);
+                black_box(windows.window_max(&eccs))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);

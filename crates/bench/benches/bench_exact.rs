@@ -1,0 +1,38 @@
+//! Criterion wall-clock benches for **Table 1, row "Exact computation"**:
+//! simulating the classical `Θ(n)`-round baseline vs the quantum
+//! `Õ(√(nD))`-round algorithm (Theorem 1). The printable `table1_exact`
+//! binary reports the round counts; these benches track the *simulation*
+//! cost so regressions in the engines are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use congest::Config;
+use diameter_quantum::exact::{self, ExactParams};
+
+fn bench_exact_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_exact");
+    group.sample_size(10);
+    for &n in &[48usize, 96] {
+        let g = graphs::generators::random_sparse(n, 6.0, 1);
+        let cfg = Config::for_graph(&g);
+        group.bench_with_input(BenchmarkId::new("classical_apsp", n), &g, |b, g| {
+            b.iter(|| {
+                let out = classical::apsp::exact_diameter(black_box(g), cfg).unwrap();
+                black_box(out.diameter)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("quantum_theorem1", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let out = exact::diameter(black_box(g), ExactParams::new(seed), cfg).unwrap();
+                black_box(out.value)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_diameter);
+criterion_main!(benches);

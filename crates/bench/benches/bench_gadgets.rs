@@ -1,0 +1,49 @@
+//! Criterion benches for the lower-bound constructions (**Figures 4, 5,
+//! 8**): gadget assembly and the diameter decision that encodes DISJ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use commcc::bit_gadget::BitGadgetReduction;
+use commcc::hw::HwReduction;
+use commcc::reduction::Reduction;
+use commcc::stretch::StretchedReduction;
+use commcc::disj;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadget_build");
+    for &s in &[8usize, 32] {
+        let red = HwReduction::new(s);
+        let (x, y) = disj::random_instance(red.k(), false, 1);
+        group.bench_with_input(BenchmarkId::new("hw_fig4", s), &red, |b, red| {
+            b.iter(|| black_box(red.build(&x, &y)).graph.len())
+        });
+    }
+    for &k in &[64usize, 512] {
+        let red = BitGadgetReduction::new(k);
+        let (x, y) = disj::random_instance(k, false, 1);
+        group.bench_with_input(BenchmarkId::new("bit_gadget_thm9", k), &red, |b, red| {
+            b.iter(|| black_box(red.build(&x, &y)).graph.len())
+        });
+        let stretched = StretchedReduction::new(red, 16);
+        group.bench_with_input(BenchmarkId::new("stretched_fig8", k), &stretched, |b, red| {
+            b.iter(|| black_box(red.build(&x, &y)).graph.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadget_decide_diameter");
+    group.sample_size(10);
+    let red = BitGadgetReduction::new(32);
+    let (x, y) = disj::random_instance(32, false, 2);
+    let g = red.build(&x, &y);
+    group.bench_function("diameter_of_bit_gadget", |b| {
+        b.iter(|| black_box(graphs::metrics::diameter(&g.graph)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_decide);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for the quantum substrate (Theorem 6 / Corollary 1):
+//! amplitude amplification, maximum finding, and the gate-level simulator
+//! cross-check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use quantum::circuit::Register;
+use quantum::{amplify, maximize, AmplifyParams, MaximizeParams, SearchState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_amplify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem6_amplify");
+    for &n in &[256usize, 4096] {
+        let init = SearchState::uniform(n);
+        let params = AmplifyParams::with_min_mass(1.0 / n as f64);
+        group.bench_with_input(BenchmarkId::new("unique_marked", n), &init, |b, init| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let out = amplify(black_box(init), |x| x == n / 2, params, &mut rng).unwrap();
+                black_box(out.found)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_maximize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary1_maximize");
+    for &n in &[256usize, 4096] {
+        let init = SearchState::uniform(n);
+        let params = MaximizeParams::with_min_mass(1.0 / n as f64);
+        group.bench_with_input(BenchmarkId::new("uniform", n), &init, |b, init| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let out = maximize(black_box(init), |x| (x * 7919) % n, params, &mut rng).unwrap();
+                black_box(out.argmax)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_level_grover");
+    for &qubits in &[10usize, 14] {
+        group.bench_with_input(
+            BenchmarkId::new("optimal_iterations", qubits),
+            &qubits,
+            |b, &q| {
+                let n = 1usize << q;
+                let k = (std::f64::consts::FRAC_PI_4 * (n as f64).sqrt()) as u64;
+                b.iter(|| {
+                    let mut reg = Register::new(q);
+                    reg.prepare_uniform();
+                    reg.grover(|i| i == 5, black_box(k));
+                    black_box(reg.probability(5))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amplify, bench_maximize, bench_gate_level);
+criterion_main!(benches);

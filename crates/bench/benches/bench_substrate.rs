@@ -1,0 +1,53 @@
+//! Criterion benches for the PRT12/LP13 substrate extensions: distributed
+//! girth and (S, γ, σ)-source detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use congest::Config;
+use graphs::NodeId;
+
+fn bench_girth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prt12_girth");
+    group.sample_size(10);
+    for &n in &[48usize, 96] {
+        let g = graphs::generators::random_sparse(n, 5.0, 4);
+        let cfg = Config::for_graph(&g);
+        group.bench_with_input(BenchmarkId::new("distributed", n), &g, |b, g| {
+            b.iter(|| {
+                let out = classical::girth::compute(black_box(g), cfg).unwrap();
+                black_box(out.girth)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("centralized_reference", n), &g, |b, g| {
+            b.iter(|| black_box(graphs::metrics::girth(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_source_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp13_source_detection");
+    for &n in &[128usize, 512] {
+        let g = graphs::generators::random_sparse(n, 5.0, 5);
+        let cfg = Config::for_graph(&g);
+        let sources: Vec<NodeId> = (0..n / 16).map(|i| NodeId::new(i * 16)).collect();
+        group.bench_with_input(BenchmarkId::new("gamma4_sigma16", n), &g, |b, g| {
+            b.iter(|| {
+                let out = classical::source_detection::detect(
+                    black_box(g),
+                    &sources,
+                    4,
+                    16,
+                    cfg,
+                )
+                .unwrap();
+                black_box(out.lists.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_girth, bench_source_detection);
+criterion_main!(benches);

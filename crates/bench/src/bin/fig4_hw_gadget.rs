@@ -1,0 +1,67 @@
+//! **Figure 4 / Theorem 8**: the Holzer–Wattenhofer
+//! `(Θ(n), Θ(n²), 2, 3)`-reduction — diameter 2 vs 3 encodes `DISJ` on
+//! `k = s²` bits, over `b = 2s + 1` cut edges.
+
+use bench::{rule, scale};
+use commcc::hw::HwReduction;
+use commcc::reduction::{check_instance, Reduction};
+use commcc::{bounds, disj};
+
+fn main() {
+    let scale = scale();
+
+    rule("Figure 4: DISJ(x, y) ⇔ diameter gap, across sizes");
+    println!(
+        "{:>4} {:>6} {:>8} {:>6} {:>18} {:>18}",
+        "s", "n", "k = s²", "b", "diam (disjoint)", "diam (intersect)"
+    );
+    for &s in &[1usize, 2, 4, 8, 16, 24] {
+        let s = s * scale;
+        let red = HwReduction::new(s);
+        let mut diam_dis = Vec::new();
+        let mut diam_int = Vec::new();
+        for seed in 0..5 {
+            for disjoint in [true, false] {
+                let (x, y) = disj::random_instance(red.k(), disjoint, seed);
+                check_instance(&red, &x, &y).expect("Definition 3 contract");
+                let g = red.build(&x, &y);
+                let diam = g.diameter().expect("connected");
+                if disjoint {
+                    diam_dis.push(diam);
+                } else {
+                    diam_int.push(diam);
+                }
+            }
+        }
+        assert!(diam_dis.iter().all(|&d| d <= 2));
+        assert!(diam_int.iter().all(|&d| d >= 3));
+        println!(
+            "{:>4} {:>6} {:>8} {:>6} {:>18} {:>18}",
+            s,
+            red.num_nodes(),
+            red.k(),
+            red.b(),
+            format!("{:?}", diam_dis.iter().max().unwrap()),
+            format!("{:?}", diam_int.iter().min().unwrap()),
+        );
+    }
+
+    rule("Theorem 2 via Theorem 10: the implied round lower bound");
+    println!("{:>8} {:>10} {:>10} {:>16} {:>12}", "n", "k", "b", "Ω̃(√(k/b))", "Ω̃(√n)");
+    for &s in &[16u64, 64, 256, 1024, 4096] {
+        let n = 4 * s + 2;
+        let k = s * s;
+        let b = 2 * s + 1;
+        println!(
+            "{:>8} {:>10} {:>10} {:>16.0} {:>12.0}",
+            n,
+            k,
+            b,
+            bounds::theorem10_rounds_lower_bound(k, b),
+            bounds::theorem2_rounds_lower_bound(n)
+        );
+    }
+    println!("\n√(k/b) = √(s²/2s) = Θ(√n): any quantum algorithm distinguishing");
+    println!("diameter 2 from 3 with high probability needs Ω̃(√n) rounds — even");
+    println!("with unbounded per-node memory (Theorem 2).");
+}

@@ -1,0 +1,75 @@
+//! **Section 2.2**: the quantum communication complexity of disjointness —
+//! the `O(√k log k)`-qubit BCW98 protocol (upper bound) against the
+//! `Ω̃(k/r + r)` bounded-round lower bound of [BGK+15] (Theorem 5) and the
+//! classical `Θ(k)` baseline.
+//!
+//! This is the two-party engine behind *all* of the paper's lower bounds:
+//! at `r = Θ(√k)` messages, `Θ̃(√k)` qubits are simultaneously achievable
+//! and necessary.
+
+use bench::{loglog_slope, mean, rule, scale};
+use commcc::{bounds, disj, qdisj};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = scale();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    rule("quantum disjointness: qubits vs k (disjoint = worst-case inputs)");
+    println!(
+        "{:>7} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "k", "queries", "messages", "qubits", "classical", "BGK LB"
+    );
+    let mut ks = Vec::new();
+    let mut qubits = Vec::new();
+    for &k in &[64usize, 256, 1024, 4096].map(|k| k * scale) {
+        let reps = 5;
+        let mut q = Vec::new();
+        let mut queries = Vec::new();
+        let mut messages = Vec::new();
+        let mut lb = 0.0f64;
+        for seed in 0..reps {
+            let (x, y) = disj::random_instance(k, true, seed);
+            let out = qdisj::run(&x, &y, 1e-2, &mut rng).expect("protocol");
+            assert!(out.disjoint);
+            q.push(out.qubits as f64);
+            queries.push(out.oracle_queries as f64);
+            messages.push(out.messages as f64);
+            lb = bounds::bgk_qubits_lower_bound(k as u64, out.messages);
+            assert!(out.qubits as f64 >= lb, "protocol below the BGK bound!");
+        }
+        println!(
+            "{:>7} {:>10.0} {:>10.0} {:>12.0} {:>12} {:>10.0}",
+            k,
+            mean(&queries),
+            mean(&messages),
+            mean(&q),
+            qdisj::classical_cost_bits(k),
+            lb
+        );
+        ks.push(k as f64);
+        qubits.push(mean(&q));
+    }
+    let slope = loglog_slope(&ks, &qubits);
+    println!("\nfitted qubit exponent in k: {slope:.2} (paper: 0.5 + log factor)");
+
+    rule("correctness sweep (both DISJ values)");
+    let mut correct = 0;
+    let total = 200;
+    for seed in 0..(total / 2) {
+        for disjoint in [true, false] {
+            let (x, y) = disj::random_instance(256, disjoint, seed + 1000);
+            let out = qdisj::run(&x, &y, 1e-2, &mut rng).expect("protocol");
+            if out.disjoint == disjoint {
+                correct += 1;
+            }
+        }
+    }
+    println!("{correct}/{total} correct at δ = 0.01");
+    assert!(correct as f64 >= 0.97 * total as f64, "error rate above promise");
+
+    println!("\nthe protocol realizes the √k side of Section 2.2's Θ(√k); BGK+15's");
+    println!("k/r + r trade-off (Theorem 5) shows no protocol with few messages can");
+    println!("do better — the wedge that drives Theorems 2, 3 and 10.");
+}

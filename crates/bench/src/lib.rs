@@ -1,0 +1,139 @@
+//! Shared harness utilities for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md §4 for
+//! the experiment index); this library holds the common machinery: scaling
+//! control, log–log slope fits, and instance construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use congest::Config;
+use graphs::Graph;
+
+/// Experiment scale factor read from the `QD_SCALE` environment variable
+/// (default 1). Experiment binaries multiply their sweep sizes by this, so
+/// `QD_SCALE=4 cargo run --release --bin table1_exact` runs a larger sweep.
+pub fn scale() -> usize {
+    std::env::var("QD_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+}
+
+/// Least-squares slope of `ln y` against `ln x` — the log–log growth
+/// exponent used to compare measured round curves against the paper's
+/// `n`, `√(nD)`, `√n`, `∛(nD)` shapes.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any value is nonpositive.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert!(xs.len() == ys.len() && xs.len() >= 2, "need at least two points");
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "log-log fit needs positive values"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let cov: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    cov / var
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for a single point).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// A sweep instance: a sparse random network with roughly constant degree
+/// (so the diameter grows only logarithmically), plus its CONGEST config.
+pub fn sparse_instance(n: usize, seed: u64) -> (Graph, Config) {
+    let g = graphs::generators::random_sparse(n, 8.0, seed);
+    let cfg = Config::for_graph(&g);
+    (g, cfg)
+}
+
+/// A sweep instance with *tunable diameter*: a cycle subdivided to roughly
+/// the requested diameter, padded with chords. Returns the graph and its
+/// exact diameter.
+pub fn dialed_diameter_instance(n: usize, target_d: usize, seed: u64) -> (Graph, u32) {
+    // A cycle of length ~2·target_d has diameter ~target_d; hang balanced
+    // random trees off it to reach n nodes without growing the diameter
+    // too much.
+    let ring = (2 * target_d).clamp(3, n);
+    let mut b = graphs::GraphBuilder::new(n);
+    for i in 0..ring {
+        b.edge(i, (i + 1) % ring);
+    }
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in ring..n {
+        // Attach to a random earlier node, biased toward the ring so the
+        // appendages stay shallow.
+        let parent = if rng.random_bool(0.7) || v == ring {
+            rng.random_range(0..ring)
+        } else {
+            rng.random_range(ring..v)
+        };
+        b.edge(v, parent);
+    }
+    let g = b.build();
+    let d = graphs::metrics::diameter(&g).expect("connected");
+    (g, d)
+}
+
+/// Pretty separator line for experiment output.
+pub fn rule(title: &str) {
+    println!("\n==== {title} {}", "=".repeat(64_usize.saturating_sub(title.len())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_power_laws() {
+        let xs: Vec<f64> = (1..=6).map(|i| (1 << i) as f64).collect();
+        let lin: Vec<f64> = xs.iter().map(|x| 3.0 * x).collect();
+        let sqrt: Vec<f64> = xs.iter().map(|x| 5.0 * x.sqrt()).collect();
+        assert!((loglog_slope(&xs, &lin) - 1.0).abs() < 1e-9);
+        assert!((loglog_slope(&xs, &sqrt) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn dialed_instance_hits_target_roughly() {
+        let (g, d) = dialed_diameter_instance(300, 40, 1);
+        assert_eq!(g.len(), 300);
+        assert!(graphs::traversal::is_connected(&g));
+        assert!((30..=80).contains(&d), "diameter {d} far from target 40");
+    }
+
+    #[test]
+    fn sparse_instance_is_connected() {
+        let (g, _) = sparse_instance(128, 3);
+        assert!(graphs::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! Broadcast and convergecast along a rooted spanning tree.
+//!
+//! Convergecast implements the paper's Figure 2 Step 3 pattern: values flow
+//! bottom-up, each node forwarding only the aggregate of what it has seen,
+//! so a single `O(log n)`-bit message per tree edge suffices. Broadcast is
+//! the top-down dual. Both finish in `depth + 1` rounds.
+
+use congest::{bits, Config, Network, NodeProgram, Payload, RoundCtx, RunStats, Status};
+use graphs::{Graph, NodeId};
+
+use crate::error::AlgoError;
+use crate::tree_view::TreeView;
+
+/// The aggregation performed by a convergecast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Maximum, carrying the id of a node achieving it.
+    Max,
+    /// Minimum, carrying the id of a node achieving it.
+    Min,
+    /// Sum (saturating).
+    Sum,
+}
+
+#[derive(Clone, Debug)]
+struct AggMsg {
+    value: u64,
+    witness: u32,
+    value_bits: usize,
+    n: usize,
+}
+
+impl Payload for AggMsg {
+    fn size_bits(&self) -> usize {
+        self.value_bits + bits::for_node(self.n)
+    }
+}
+
+struct AggProgram {
+    parent: Option<NodeId>,
+    pending: usize,
+    op: Op,
+    acc: u64,
+    witness: u32,
+    value_bits: usize,
+    sent: bool,
+}
+
+impl AggProgram {
+    fn combine(&mut self, value: u64, witness: u32) {
+        match self.op {
+            Op::Max => {
+                if value > self.acc || (value == self.acc && witness < self.witness) {
+                    self.acc = value;
+                    self.witness = witness;
+                }
+            }
+            Op::Min => {
+                if value < self.acc || (value == self.acc && witness < self.witness) {
+                    self.acc = value;
+                    self.witness = witness;
+                }
+            }
+            Op::Sum => self.acc = self.acc.saturating_add(value),
+        }
+    }
+}
+
+impl NodeProgram for AggProgram {
+    type Msg = AggMsg;
+    type Output = (u64, NodeId);
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, AggMsg>) -> Status {
+        for (_, msg) in ctx.inbox() {
+            self.combine(msg.value, msg.witness);
+            self.pending -= 1;
+        }
+        if self.pending == 0 && !self.sent {
+            self.sent = true;
+            if let Some(parent) = self.parent {
+                ctx.send(
+                    parent,
+                    AggMsg {
+                        value: self.acc,
+                        witness: self.witness,
+                        value_bits: self.value_bits,
+                        n: ctx.num_nodes(),
+                    },
+                );
+            }
+        }
+        Status::Halted
+    }
+
+    fn finish(self, _node: NodeId) -> (u64, NodeId) {
+        (self.acc, NodeId::from(self.witness))
+    }
+}
+
+/// Result of a convergecast: the aggregate as known at the tree root.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggOutcome {
+    /// The aggregated value.
+    pub value: u64,
+    /// For [`Op::Max`]/[`Op::Min`], a node achieving the value (smallest id
+    /// on ties); meaningless for [`Op::Sum`].
+    pub witness: NodeId,
+    /// Round/bit accounting.
+    pub stats: RunStats,
+}
+
+/// Aggregates `values` up `tree` to its root in `depth + 1` rounds.
+///
+/// `value_bits` is the honest wire width of a value (and must cover every
+/// partial aggregate: for [`Op::Sum`], the width of the total).
+///
+/// # Errors
+///
+/// Returns a wrapped simulator error; `Protocol` if arrays mismatch.
+///
+/// # Example
+///
+/// ```
+/// use classical::{aggregate::{self, Op}, bfs, TreeView};
+/// use congest::{bits, Config};
+/// use graphs::{generators, NodeId};
+///
+/// let g = generators::path(5);
+/// let cfg = Config::for_graph(&g);
+/// let tree = TreeView::from(&bfs::build(&g, NodeId::new(0), cfg)?);
+/// let values = vec![3, 9, 4, 9, 1];
+/// let out = aggregate::convergecast(&g, &tree, &values, 8, Op::Max, cfg)?;
+/// assert_eq!(out.value, 9);
+/// assert_eq!(out.witness, NodeId::new(1)); // smallest id achieving 9
+/// # Ok::<(), classical::AlgoError>(())
+/// ```
+pub fn convergecast(
+    graph: &Graph,
+    tree: &TreeView,
+    values: &[u64],
+    value_bits: usize,
+    op: Op,
+    config: Config,
+) -> Result<AggOutcome, AlgoError> {
+    if values.len() != graph.len() || tree.len() != graph.len() {
+        return Err(AlgoError::Protocol { reason: "values/tree size mismatch".into() });
+    }
+    let mut net = Network::new(graph, config, |v| AggProgram {
+        parent: tree.parent(v),
+        pending: tree.children(v).len(),
+        op,
+        acc: values[v.index()],
+        witness: u32::from(v),
+        value_bits,
+        sent: false,
+    });
+    let cap = 2 * graph.len() as u64 + 16;
+    let stats = net.run_until_quiescent(cap)?;
+    let outputs = net.into_outputs();
+    let (value, witness) = outputs[tree.root().index()];
+    Ok(AggOutcome { value, witness, stats })
+}
+
+#[derive(Clone, Debug)]
+struct BcastMsg {
+    value: u64,
+    value_bits: usize,
+}
+
+impl Payload for BcastMsg {
+    fn size_bits(&self) -> usize {
+        self.value_bits
+    }
+}
+
+struct BcastProgram {
+    children: Vec<NodeId>,
+    value: Option<u64>,
+    value_bits: usize,
+    is_root: bool,
+    sent: bool,
+}
+
+impl NodeProgram for BcastProgram {
+    type Msg = BcastMsg;
+    type Output = Option<u64>;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, BcastMsg>) -> Status {
+        if let Some(&(_, BcastMsg { value, .. })) = ctx.inbox().first() {
+            self.value = Some(value);
+        }
+        if (self.is_root || self.value.is_some()) && !self.sent {
+            self.sent = true;
+            let value = self.value.expect("root starts with a value");
+            for &c in &self.children {
+                ctx.send(c, BcastMsg { value, value_bits: self.value_bits });
+            }
+        }
+        Status::Halted
+    }
+
+    fn finish(self, _node: NodeId) -> Option<u64> {
+        self.value
+    }
+}
+
+/// Result of a broadcast: the value as received by every node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// Per-node received value (identical everywhere on success).
+    pub values: Vec<u64>,
+    /// Round/bit accounting.
+    pub stats: RunStats,
+}
+
+/// Broadcasts `value` from the root of `tree` to every node in `depth + 1`
+/// rounds.
+///
+/// # Errors
+///
+/// Returns a wrapped simulator error, or `Protocol` if some node was not
+/// reached (inconsistent tree).
+pub fn broadcast(
+    graph: &Graph,
+    tree: &TreeView,
+    value: u64,
+    value_bits: usize,
+    config: Config,
+) -> Result<BroadcastOutcome, AlgoError> {
+    let root = tree.root();
+    let mut net = Network::new(graph, config, |v| BcastProgram {
+        children: tree.children(v).to_vec(),
+        value: (v == root).then_some(value),
+        value_bits,
+        is_root: v == root,
+        sent: false,
+    });
+    let cap = 2 * graph.len() as u64 + 16;
+    let stats = net.run_until_quiescent(cap)?;
+    let values: Option<Vec<u64>> = net.into_outputs().into_iter().collect();
+    let values = values.ok_or(AlgoError::Protocol {
+        reason: "broadcast did not reach every node".into(),
+    })?;
+    Ok(BroadcastOutcome { values, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use graphs::generators;
+
+    fn tree_of(g: &Graph, root: usize) -> TreeView {
+        TreeView::from(&bfs::build(g, NodeId::new(root), Config::for_graph(g)).unwrap())
+    }
+
+    #[test]
+    fn convergecast_max_and_witness() {
+        let g = generators::random_connected(25, 0.15, 2);
+        let tree = tree_of(&g, 0);
+        let values: Vec<u64> = (0..25).map(|i| (i as u64 * 13) % 17).collect();
+        let expect = values.iter().copied().max().unwrap();
+        let out =
+            convergecast(&g, &tree, &values, 8, Op::Max, Config::for_graph(&g)).unwrap();
+        assert_eq!(out.value, expect);
+        assert_eq!(values[out.witness.index()], expect);
+    }
+
+    #[test]
+    fn convergecast_min() {
+        let g = generators::grid(4, 4);
+        let tree = tree_of(&g, 5);
+        let values: Vec<u64> = (0..16).map(|i| 100 - i as u64).collect();
+        let out =
+            convergecast(&g, &tree, &values, 8, Op::Min, Config::for_graph(&g)).unwrap();
+        assert_eq!(out.value, 85);
+        assert_eq!(out.witness, NodeId::new(15));
+    }
+
+    #[test]
+    fn convergecast_sum_counts() {
+        let g = generators::cycle(12);
+        let tree = tree_of(&g, 0);
+        let values: Vec<u64> = (0..12).map(|i| u64::from(i % 3 == 0)).collect();
+        let out =
+            convergecast(&g, &tree, &values, 8, Op::Sum, Config::for_graph(&g)).unwrap();
+        assert_eq!(out.value, 4);
+    }
+
+    #[test]
+    fn convergecast_rounds_scale_with_depth() {
+        let g = generators::path(40);
+        let tree = tree_of(&g, 0);
+        let values = vec![1u64; 40];
+        let out =
+            convergecast(&g, &tree, &values, 8, Op::Sum, Config::for_graph(&g)).unwrap();
+        assert_eq!(out.value, 40);
+        // Depth 39: the deepest leaf's message needs 39 hops.
+        assert!((40..=42).contains(&out.stats.rounds), "rounds = {}", out.stats.rounds);
+    }
+
+    #[test]
+    fn convergecast_size_mismatch() {
+        let g = generators::path(4);
+        let tree = tree_of(&g, 0);
+        let err =
+            convergecast(&g, &tree, &[1, 2], 8, Op::Sum, Config::for_graph(&g)).unwrap_err();
+        assert!(matches!(err, AlgoError::Protocol { .. }));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let g = generators::random_connected(30, 0.1, 7);
+        let tree = tree_of(&g, 4);
+        let out = broadcast(&g, &tree, 0xBEEF, 16, Config::for_graph(&g)).unwrap();
+        assert!(out.values.iter().all(|&v| v == 0xBEEF));
+    }
+
+    #[test]
+    fn single_node_aggregate() {
+        let g = Graph::from_edges(1, []).unwrap();
+        let tree = tree_of(&g, 0);
+        let out = convergecast(&g, &tree, &[7], 4, Op::Max, Config::for_graph(&g)).unwrap();
+        assert_eq!(out.value, 7);
+        assert_eq!(out.witness, NodeId::new(0));
+        let b = broadcast(&g, &tree, 3, 4, Config::for_graph(&g)).unwrap();
+        assert_eq!(b.values, vec![3]);
+    }
+}

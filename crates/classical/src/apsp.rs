@@ -1,0 +1,286 @@
+//! Classical exact diameter in `O(n)` rounds (PRT12 / HW12) — the classical
+//! column of **Table 1, row 1**.
+//!
+//! The algorithm is the full-network version of the paper's Figure 2:
+//!
+//! 1. elect a leader and build `BFS(leader)` (Figure 1), `O(D)` rounds;
+//! 2. run a DFS token over the whole tree, assigning every node its tour
+//!    position `τ(v)` (Definition 1), `2(n−1)` rounds;
+//! 3. start a BFS wave from *every* node `v` at round `2τ(v)`; by Lemmas
+//!    2–4 the waves pipeline without congestion, and after
+//!    `4(n−1) + D` rounds every node `v` knows `max_u d(u, v)`;
+//! 4. convergecast the maximum to the leader: the diameter.
+//!
+//! Total: `Θ(n)` rounds — matching the classical upper bound of [HW12,
+//! PRT12] that the quantum algorithm of Theorem 1 beats.
+
+use congest::{bits, Config, RoundsLedger};
+use graphs::{Dist, Graph, NodeId};
+
+use crate::aggregate::{self, Op};
+use crate::bfs;
+use crate::dfs_walk;
+use crate::error::AlgoError;
+use crate::leader;
+use crate::tree_view::TreeView;
+use crate::waves;
+
+/// Result of the classical exact-diameter algorithm.
+#[derive(Clone, Debug)]
+pub struct ExactDiameterOutcome {
+    /// The exact diameter (the maximum eccentricity).
+    pub diameter: Dist,
+    /// The exact radius (the minimum eccentricity) — the wave phase gives
+    /// it to the leader for one extra convergecast.
+    pub radius: Dist,
+    /// Every node's eccentricity, as known locally after the wave phase
+    /// (`max_u d(u, v) = ecc(v)` since the graph is undirected).
+    pub eccentricities: Vec<Dist>,
+    /// The elected leader that learned the answer.
+    pub leader: NodeId,
+    /// Per-phase round/bit accounting.
+    pub ledger: RoundsLedger,
+}
+
+impl ExactDiameterOutcome {
+    /// Total rounds across all phases.
+    pub fn rounds(&self) -> u64 {
+        self.ledger.total_rounds()
+    }
+}
+
+/// The closed-form round count of [`exact_diameter`] on an `n`-node network
+/// whose elected leader has eccentricity `depth`:
+/// election + BFS (`O(depth)` each) + DFS tour (`2(n−1) + 1`) + waves
+/// (`4(n−1) + depth + 2`) + convergecast (`depth + 1`).
+///
+/// Every phase schedule is deterministic, so this *predicts* real runs
+/// exactly up to the `O(depth)` election term (validated by tests within a
+/// `±(depth + 3)` window). Experiments use it to extend the classical
+/// baseline to sizes where executing `Θ(n·m)` message deliveries is
+/// impractical.
+pub fn predicted_rounds(n: u64, depth: u64) -> u64 {
+    if n <= 1 {
+        return predicted_rounds(2, depth).min(8);
+    }
+    let election = depth + 2;
+    let bfs = depth + 2;
+    let dfs = 2 * (n - 1) + 1;
+    let waves = 4 * (n - 1) + depth + 2;
+    let convergecast = depth + 1;
+    election + bfs + dfs + waves + convergecast
+}
+
+/// Computes the exact diameter in `O(n)` rounds.
+///
+/// # Errors
+///
+/// Returns [`AlgoError::Disconnected`] on disconnected graphs (the diameter
+/// is infinite), or a wrapped simulator error.
+///
+/// # Example
+///
+/// ```
+/// use classical::apsp;
+/// use congest::Config;
+/// use graphs::generators;
+///
+/// let g = generators::grid(3, 5);
+/// let out = apsp::exact_diameter(&g, Config::for_graph(&g))?;
+/// assert_eq!(out.diameter, 6);
+/// # Ok::<(), classical::AlgoError>(())
+/// ```
+pub fn exact_diameter(graph: &Graph, config: Config) -> Result<ExactDiameterOutcome, AlgoError> {
+    if graph.is_empty() {
+        return Err(AlgoError::InvalidParameter { reason: "empty graph".into() });
+    }
+    let n = graph.len() as u64;
+    let mut ledger = RoundsLedger::new();
+
+    // Phase 1: leader election + BFS tree.
+    let elect = leader::elect(graph, config)?;
+    ledger.add("leader election", elect.stats);
+    let b = bfs::build(graph, elect.leader, config)?;
+    ledger.add("bfs(leader)", b.stats);
+    let tree = TreeView::from(&b);
+
+    if n == 1 {
+        return Ok(ExactDiameterOutcome {
+            diameter: 0,
+            radius: 0,
+            eccentricities: vec![0],
+            leader: elect.leader,
+            ledger,
+        });
+    }
+
+    // Phase 2: full DFS tour numbering.
+    let steps = 2 * (n - 1);
+    let dfs = dfs_walk::walk(graph, &tree, elect.leader, steps, config)?;
+    ledger.add("dfs numbering", dfs.stats);
+
+    // Phase 3: pipelined waves from every node.
+    let sources: Vec<(NodeId, u64)> = dfs
+        .tau
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (NodeId::new(i), t.expect("full tour visits every node")))
+        .collect();
+    let duration = 2 * steps + u64::from(b.depth) + 2;
+    let wave = waves::run(graph, &sources, duration, config)?;
+    ledger.add("eccentricity waves", wave.stats);
+
+    // Phase 4: convergecast the maximum (diameter) and minimum (radius) to
+    // the leader.
+    let values: Vec<u64> = wave.max_dist.iter().map(|&d| d as u64).collect();
+    let agg = aggregate::convergecast(
+        graph,
+        &tree,
+        &values,
+        bits::for_dist(graph.len()),
+        Op::Max,
+        config,
+    )?;
+    ledger.add("max convergecast", agg.stats);
+    let min = aggregate::convergecast(
+        graph,
+        &tree,
+        &values,
+        bits::for_dist(graph.len()),
+        Op::Min,
+        config,
+    )?;
+    ledger.add("min convergecast", min.stats);
+
+    Ok(ExactDiameterOutcome {
+        diameter: agg.value as Dist,
+        radius: min.value as Dist,
+        eccentricities: wave.max_dist,
+        leader: elect.leader,
+        ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{generators, metrics};
+
+    #[test]
+    fn matches_reference_on_families() {
+        let cases: Vec<Graph> = vec![
+            generators::path(17),
+            generators::cycle(12),
+            generators::complete(9),
+            generators::star(7),
+            generators::grid(4, 6),
+            generators::balanced_tree(3, 3),
+            generators::barbell(5, 7),
+            generators::lollipop(4, 9),
+            generators::hypercube(4),
+        ];
+        for g in cases {
+            let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+            assert_eq!(out.diameter, metrics::diameter(&g).unwrap(), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..6 {
+            let g = generators::random_connected(35, 0.1, seed);
+            let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+            assert_eq!(out.diameter, metrics::diameter(&g).unwrap(), "seed {seed}");
+        }
+        for seed in 0..3 {
+            let g = generators::random_tree(30, seed);
+            let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+            assert_eq!(out.diameter, metrics::diameter(&g).unwrap(), "tree seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rounds_are_linear_in_n() {
+        // The wave phase dominates: ~4n + O(D). Check Θ(n) with a generous
+        // constant window, on a low-diameter graph so D is negligible.
+        let g = generators::random_connected(60, 0.2, 1);
+        let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+        let n = 60u64;
+        assert!(out.rounds() >= 6 * (n - 1), "rounds {} below 6(n-1)", out.rounds());
+        assert!(out.rounds() <= 7 * n + 100, "rounds {} not O(n)", out.rounds());
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g1 = Graph::from_edges(1, []).unwrap();
+        assert_eq!(exact_diameter(&g1, Config::for_graph(&g1)).unwrap().diameter, 0);
+        let g2 = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert_eq!(exact_diameter(&g2, Config::for_graph(&g2)).unwrap().diameter, 1);
+    }
+
+    #[test]
+    fn disconnected_fails() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3), (3, 4)]).unwrap();
+        assert!(matches!(
+            exact_diameter(&g, Config::for_graph(&g)),
+            Err(AlgoError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn radius_and_eccentricities_match_reference() {
+        for seed in 0..3 {
+            let g = generators::random_connected(30, 0.1, seed);
+            let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+            assert_eq!(Some(out.radius), metrics::radius(&g), "radius seed {seed}");
+            let reference = metrics::eccentricities(&g).unwrap();
+            assert_eq!(out.eccentricities, reference, "eccentricities seed {seed}");
+        }
+        // Radius < diameter on a lollipop; equal on a cycle.
+        let g = generators::lollipop(5, 10);
+        let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+        assert!(out.radius < out.diameter);
+        let g = generators::cycle(12);
+        let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+        assert_eq!(out.radius, out.diameter);
+    }
+
+    #[test]
+    fn predicted_rounds_matches_real_runs() {
+        for g in [
+            generators::path(24),
+            generators::cycle(17),
+            generators::grid(4, 6),
+            generators::random_connected(40, 0.1, 3),
+            generators::random_tree(30, 1),
+        ] {
+            let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+            let depth = metrics::eccentricity(&g, out.leader).unwrap() as u64;
+            let predicted = predicted_rounds(g.len() as u64, depth);
+            let real = out.rounds();
+            let tolerance = depth + 3;
+            assert!(
+                predicted.abs_diff(real) <= tolerance,
+                "predicted {predicted} vs real {real} (depth {depth}) on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_has_all_phases() {
+        let g = generators::cycle(10);
+        let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
+        let labels: Vec<&str> = out.ledger.phases().map(|(l, _, _)| l).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "leader election",
+                "bfs(leader)",
+                "dfs numbering",
+                "eccentricity waves",
+                "max convergecast",
+                "min convergecast"
+            ]
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Distributed BFS-tree construction — **Figure 1** of the paper.
+//!
+//! The root activates itself in round 0 and floods activation messages; a
+//! node activated by a message at distance `d` adopts the (smallest-id)
+//! sender as parent, records distance `d + 1`, and activates its own
+//! neighbours in the next round. On top of Figure 1, each node also sends a
+//! one-bit *claim* to its chosen parent, so that parents learn their
+//! children — the DFS token walk (Figure 2 Step 1) needs child lists.
+//!
+//! Round complexity: `ecc(root) + 2` (the paper's `O(D)`), memory
+//! `O(log n)` bits per node plus the child list.
+
+use congest::{bits, Config, Network, NodeProgram, Payload, RoundCtx, RunStats, Status};
+use graphs::{Dist, Graph, NodeId};
+
+use crate::error::AlgoError;
+
+/// BFS protocol messages.
+#[derive(Clone, Debug)]
+enum Msg {
+    /// "I am at distance `dist` from the root; activate."
+    Activate { dist: Dist, n: usize },
+    /// "You are my parent in the BFS tree."
+    Claim,
+}
+
+impl Payload for Msg {
+    fn size_bits(&self) -> usize {
+        match self {
+            Msg::Activate { n, .. } => 1 + bits::for_dist(*n),
+            Msg::Claim => 1,
+        }
+    }
+}
+
+struct BfsProgram {
+    root: NodeId,
+    parent: Option<NodeId>,
+    dist: Option<Dist>,
+    children: Vec<NodeId>,
+}
+
+impl NodeProgram for BfsProgram {
+    type Msg = Msg;
+    type Output = BfsNode;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Msg>) -> Status {
+        // Record child claims.
+        for (from, msg) in ctx.inbox() {
+            if matches!(msg, Msg::Claim) {
+                self.children.push(*from);
+            }
+        }
+        if ctx.node() == self.root && ctx.round() == 0 {
+            self.dist = Some(0);
+            ctx.broadcast(Msg::Activate { dist: 0, n: ctx.num_nodes() });
+        } else if self.dist.is_none() {
+            // Not yet activated: adopt the smallest-id activator, if any.
+            let activator = ctx
+                .inbox()
+                .iter()
+                .filter_map(|(from, msg)| match msg {
+                    Msg::Activate { dist, .. } => Some((*from, *dist)),
+                    Msg::Claim => None,
+                })
+                .min_by_key(|&(from, _)| from);
+            if let Some((parent, d)) = activator {
+                self.parent = Some(parent);
+                self.dist = Some(d + 1);
+                ctx.broadcast_except(parent, Msg::Activate { dist: d + 1, n: ctx.num_nodes() });
+                ctx.send(parent, Msg::Claim);
+            }
+        }
+        Status::Halted
+    }
+
+    fn finish(mut self, _node: NodeId) -> BfsNode {
+        self.children.sort_unstable();
+        BfsNode { parent: self.parent, dist: self.dist, children: self.children }
+    }
+}
+
+/// A node's local view of the constructed BFS tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsNode {
+    /// Parent in the tree (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Distance from the root.
+    pub dist: Option<Dist>,
+    /// Children in the tree, sorted by id.
+    pub children: Vec<NodeId>,
+}
+
+/// The constructed BFS tree, gathered across all nodes, plus accounting.
+#[derive(Clone, Debug)]
+pub struct BfsOutcome {
+    /// The root the tree was grown from.
+    pub root: NodeId,
+    /// Per-node parent pointers.
+    pub parents: Vec<Option<NodeId>>,
+    /// Per-node distances from the root.
+    pub dists: Vec<Dist>,
+    /// Per-node sorted child lists.
+    pub children: Vec<Vec<NodeId>>,
+    /// Tree depth = `ecc(root)`.
+    pub depth: Dist,
+    /// Round/bit accounting.
+    pub stats: RunStats,
+}
+
+/// Builds a BFS tree from `root` (Figure 1), in `ecc(root) + 2` rounds.
+///
+/// # Errors
+///
+/// Returns [`AlgoError::Disconnected`] if some node is not reached, or a
+/// wrapped simulator error.
+///
+/// # Example
+///
+/// ```
+/// use classical::bfs;
+/// use congest::Config;
+/// use graphs::{generators, NodeId};
+///
+/// let g = generators::path(6);
+/// let out = bfs::build(&g, NodeId::new(0), Config::for_graph(&g))?;
+/// assert_eq!(out.depth, 5);
+/// assert_eq!(out.dists[4], 4);
+/// assert_eq!(out.stats.rounds, 5 + 2);
+/// # Ok::<(), classical::AlgoError>(())
+/// ```
+pub fn build(graph: &Graph, root: NodeId, config: Config) -> Result<BfsOutcome, AlgoError> {
+    assert!(root.index() < graph.len(), "root out of range");
+    let mut net = Network::new(graph, config, |_| BfsProgram {
+        root,
+        parent: None,
+        dist: None,
+        children: Vec::new(),
+    });
+    let cap = 2 * graph.len() as u64 + 16;
+    let stats = net.run_until_quiescent(cap)?;
+    let nodes = net.into_outputs();
+    let mut parents = Vec::with_capacity(nodes.len());
+    let mut dists = Vec::with_capacity(nodes.len());
+    let mut children = Vec::with_capacity(nodes.len());
+    let mut depth = 0;
+    for node in nodes {
+        let dist = node.dist.ok_or(AlgoError::Disconnected)?;
+        depth = depth.max(dist);
+        parents.push(node.parent);
+        dists.push(dist);
+        children.push(node.children);
+    }
+    Ok(BfsOutcome { root, parents, dists, children, depth, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{generators, metrics, traversal::Bfs};
+
+    fn check_tree(g: &Graph, out: &BfsOutcome) {
+        let reference = Bfs::run(g, out.root);
+        for v in g.nodes() {
+            assert_eq!(Some(out.dists[v.index()]), reference.dist(v), "distance mismatch at {v}");
+            match out.parents[v.index()] {
+                Some(p) => {
+                    assert!(g.has_edge(p, v));
+                    assert_eq!(out.dists[p.index()] + 1, out.dists[v.index()]);
+                    assert!(out.children[p.index()].contains(&v), "parent missing child");
+                }
+                None => assert_eq!(v, out.root),
+            }
+        }
+        // Child lists partition the non-root nodes.
+        let total_children: usize = out.children.iter().map(Vec::len).sum();
+        assert_eq!(total_children, g.len() - 1);
+    }
+
+    #[test]
+    fn grid_tree_is_correct() {
+        let g = generators::grid(5, 6);
+        let out = build(&g, NodeId::new(7), Config::for_graph(&g)).unwrap();
+        check_tree(&g, &out);
+    }
+
+    #[test]
+    fn random_graphs_various_roots() {
+        for seed in 0..4 {
+            let g = generators::random_connected(40, 0.08, seed);
+            for root in [0usize, 13, 39] {
+                let out = build(&g, NodeId::new(root), Config::for_graph(&g)).unwrap();
+                check_tree(&g, &out);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_ecc_plus_two() {
+        for (g, root) in [
+            (generators::path(30), 0usize),
+            (generators::cycle(21), 3),
+            (generators::star(9), 1),
+        ] {
+            let root = NodeId::new(root);
+            let ecc = metrics::eccentricity(&g, root).unwrap() as u64;
+            let out = build(&g, root, Config::for_graph(&g)).unwrap();
+            assert_eq!(out.stats.rounds, ecc + 2, "rounds vs ecc mismatch");
+            assert_eq!(out.depth as u64, ecc);
+        }
+    }
+
+    #[test]
+    fn parent_ties_break_to_smallest_id() {
+        // Node 3 in C4 (0-1-2-3-0) is reached from both 2 and 0 at the same
+        // round when rooted at 1; it must choose... rooted at 1: dists are
+        // 1:0, 0:1, 2:1, 3:2 reached from 0 and 2 simultaneously → parent 0.
+        let g = generators::cycle(4);
+        let out = build(&g, NodeId::new(1), Config::for_graph(&g)).unwrap();
+        assert_eq!(out.parents[3], Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn disconnected_is_an_error() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let err = build(&g, NodeId::new(0), Config::for_graph(&g)).unwrap_err();
+        assert_eq!(err, AlgoError::Disconnected);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = Graph::from_edges(1, []).unwrap();
+        let out = build(&g, NodeId::new(0), Config::for_graph(&g)).unwrap();
+        assert_eq!(out.depth, 0);
+        assert!(out.children[0].is_empty());
+    }
+}

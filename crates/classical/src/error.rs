@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use congest::CongestError;
+
+/// Errors raised by the distributed-algorithm drivers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlgoError {
+    /// The underlying CONGEST simulation failed.
+    Congest(CongestError),
+    /// The graph is disconnected, so distances/diameter are infinite.
+    Disconnected,
+    /// A protocol invariant was violated (always a bug in the caller's
+    /// inputs, e.g. an inconsistent tree).
+    Protocol {
+        /// Description of the violated invariant.
+        reason: String,
+    },
+    /// A randomized algorithm aborted (e.g. the sample-size guard of the
+    /// HPRW 3/2-approximation, Figure 3 step 1).
+    Aborted {
+        /// Why the algorithm gave up.
+        reason: String,
+    },
+    /// A parameter is outside its documented domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::Congest(e) => write!(f, "congest simulation failed: {e}"),
+            AlgoError::Disconnected => write!(f, "graph is not connected"),
+            AlgoError::Protocol { reason } => write!(f, "protocol invariant violated: {reason}"),
+            AlgoError::Aborted { reason } => write!(f, "algorithm aborted: {reason}"),
+            AlgoError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for AlgoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AlgoError::Congest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CongestError> for AlgoError {
+    fn from(e: CongestError) -> Self {
+        AlgoError::Congest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let inner = CongestError::RoundLimitExceeded { limit: 5 };
+        let e = AlgoError::from(inner.clone());
+        assert!(e.to_string().contains("5 rounds"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&AlgoError::Disconnected).is_none());
+        assert_eq!(AlgoError::Disconnected.to_string(), "graph is not connected");
+    }
+}

@@ -1,0 +1,62 @@
+//! Classical distributed algorithms in the CONGEST model.
+//!
+//! These are the classical building blocks and baselines of Le Gall &
+//! Magniez (PODC 2018), implemented as real message-passing programs on the
+//! [`congest`] simulator:
+//!
+//! * [`leader`] — leader election by min-id flooding (`O(D)` rounds).
+//! * [`bfs`] — the BFS-tree construction of the paper's **Figure 1**
+//!   (`O(D)` rounds), extended with child discovery.
+//! * [`aggregate`] — broadcast and convergecast (max / sum / argmax) along a
+//!   rooted tree (`O(depth)` rounds each).
+//! * [`dfs_walk`] — the token-based depth-first traversal of a BFS tree that
+//!   assigns the DFS numbers `τ'(v)` of Definition 1 / Figure 2 Step 1
+//!   (one tree move per round).
+//! * [`waves`] — the congestion-free pipelined eccentricity waves of
+//!   **Figure 2** Step 2 (after PRT12), the engine of both the classical
+//!   exact-diameter baseline and the quantum Evaluation procedure.
+//! * [`apsp`] — the classical exact diameter algorithm in `O(n)` rounds
+//!   (PRT12 / HW12): **Table 1, row 1, classical column**.
+//! * [`girth`] — the distributed girth computation of PRT12 in `O(n)`
+//!   rounds, built on the same pipelined waves (the substrate paper the
+//!   Figure 2 Evaluation refines).
+//! * [`ecc`] — eccentricity of a single node (`O(D)` rounds), the trivial
+//!   2-approximation of the diameter.
+//! * [`hprw`] — the classical `3/2`-approximation of Holzer–Peleg–Roditty–
+//!   Wattenhofer (DISC 2014) in `Õ(√n + D)` rounds: **Table 1, row 3,
+//!   classical column**, and the preparation phase of the paper's Figure 3.
+//!
+//! Every driver returns both its *answer* and the [`congest::RunStats`] of
+//! the run, because round counts are the quantity the paper is about.
+//!
+//! # Example
+//!
+//! ```
+//! use classical::apsp;
+//! use congest::Config;
+//! use graphs::generators;
+//!
+//! let g = generators::cycle(16);
+//! let out = apsp::exact_diameter(&g, Config::for_graph(&g))?;
+//! assert_eq!(out.diameter, 8);
+//! # Ok::<(), classical::AlgoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod apsp;
+pub mod bfs;
+pub mod dfs_walk;
+pub mod ecc;
+pub mod girth;
+mod error;
+pub mod hprw;
+pub mod leader;
+pub mod source_detection;
+mod tree_view;
+pub mod waves;
+
+pub use error::AlgoError;
+pub use tree_view::TreeView;

@@ -1,0 +1,290 @@
+//! Pipelined eccentricity waves — Step 2 of the paper's Figure 2 (after
+//! PRT12).
+//!
+//! Every source `u` starts a BFS wave at round `2τ'(u)`, where `τ'` are DFS
+//! tour positions. Because consecutive tour positions are adjacent on the
+//! tree, `d(u, v) ≤ τ'(v) − τ'(u)` (Lemma 2), which staggers the waves so
+//! that **first arrivals at any node come in strictly increasing `τ'` order**
+//! (Lemma 3) and all messages kept in one round are identical (Lemma 4).
+//! Hence each node processes at most one wave per round — no congestion —
+//! and needs only `O(log n)` bits of state: the last wave seen `t_v` and the
+//! running maximum `d_v`.
+//!
+//! At the end, `max_v d_v = max_u ecc(u)` over all sources `u` (every
+//! pairwise distance `d(u, v)` was recorded at `v`).
+//!
+//! The figure's Lemma 3 identity — a wave from `u` first reaches `v` exactly
+//! at round `2τ'(u) + d(u, v)` — is asserted at runtime on every receipt,
+//! and wave collisions at a starting source are rejected. (A schedule
+//! violating Lemma 2 can also silently *block* a wave — an inherently
+//! undetectable condition with `O(log n)` memory — so correctness is
+//! additionally verified against centralized ground truth in the tests.)
+//!
+//! One bookkeeping note: the figure broadcasts `(τ', 0)` from the source and
+//! lets receivers record `δ`; we record `δ + 1` at the receiver (its true
+//! distance from the source) and rebroadcast `(τ', δ + 1)`, which keeps
+//! `d_v = max_u d(u, v)` exactly.
+
+use congest::{bits, Config, Network, NodeProgram, Payload, Round, RoundCtx, RunStats, Status};
+use graphs::{Dist, Graph, NodeId};
+
+use crate::error::AlgoError;
+
+#[derive(Clone, Debug)]
+struct WaveMsg {
+    /// Tour position of the wave's source.
+    tau: u64,
+    /// Distance of the *sender* from the wave's source.
+    delta: Dist,
+    tau_bits: usize,
+    n: usize,
+}
+
+impl Payload for WaveMsg {
+    fn size_bits(&self) -> usize {
+        self.tau_bits + bits::for_dist(self.n)
+    }
+}
+
+struct WaveProgram {
+    /// `Some((start_round, tau))` if this node is a wave source.
+    source: Option<(Round, u64)>,
+    /// Highest wave processed so far (`t_v` in the figure; -1 initially).
+    last_tau: i64,
+    /// Running maximum distance recorded (`d_v` in the figure).
+    max_dist: Dist,
+    tau_bits: usize,
+}
+
+impl NodeProgram for WaveProgram {
+    type Msg = WaveMsg;
+    type Output = Dist;
+
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, WaveMsg>) -> Status {
+        // Step 3(a)/(b): disregard old waves; all remaining messages must be
+        // identical (Lemma 4) — keep one.
+        let mut kept: Option<(u64, Dist)> = None;
+        for &(_, WaveMsg { tau, delta, .. }) in ctx.inbox() {
+            if (tau as i64) <= self.last_tau {
+                continue;
+            }
+            match kept {
+                None => kept = Some((tau, delta)),
+                Some(k) => assert_eq!(
+                    k,
+                    (tau, delta),
+                    "Lemma 4 violated at {} round {}: distinct concurrent waves",
+                    ctx.node(),
+                    ctx.round()
+                ),
+            }
+        }
+        if let Some((tau, delta)) = kept {
+            let my_dist = delta + 1;
+            // Lemma 3: a first arrival happens exactly at 2τ' + d(u, v).
+            assert_eq!(
+                ctx.round(),
+                2 * tau + my_dist as Round,
+                "Lemma 3 violated at {}: wave {tau} arrived off schedule",
+                ctx.node()
+            );
+            self.last_tau = tau as i64;
+            self.max_dist = self.max_dist.max(my_dist);
+            ctx.broadcast(WaveMsg { tau, delta: my_dist, tau_bits: self.tau_bits, n: ctx.num_nodes() });
+        }
+        // Step 2: start this node's own wave at round 2τ'(v).
+        if let Some((start, tau)) = self.source {
+            if ctx.round() == start {
+                assert!(
+                    kept.is_none(),
+                    "wave collision at source {} round {start}",
+                    ctx.node()
+                );
+                self.last_tau = tau as i64;
+                ctx.broadcast(WaveMsg { tau, delta: 0, tau_bits: self.tau_bits, n: ctx.num_nodes() });
+            }
+        }
+        Status::Halted
+    }
+
+    fn finish(self, _node: NodeId) -> Dist {
+        self.max_dist
+    }
+}
+
+/// Result of a wave phase.
+#[derive(Clone, Debug)]
+pub struct WaveOutcome {
+    /// Per node `v`: `max_u d(u, v)` over all wave sources `u` whose wave
+    /// reached `v` within the duration.
+    pub max_dist: Vec<Dist>,
+    /// Round/bit accounting.
+    pub stats: RunStats,
+}
+
+impl WaveOutcome {
+    /// The global maximum — `max_{u ∈ sources} ecc(u)` when the duration
+    /// covered full propagation.
+    pub fn global_max(&self) -> Dist {
+        self.max_dist.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs the pipelined wave phase for exactly `duration` rounds.
+///
+/// `sources` maps each source node to its tour position `τ'`; its wave
+/// starts at round `2τ'`. The schedule must satisfy Lemma 2
+/// (`d(u, v) ≤ τ'(v) − τ'(u)` for sources `u, v` with `τ'(u) < τ'(v)`),
+/// which holds whenever the positions come from a DFS walk
+/// ([`dfs_walk`](crate::dfs_walk)); violations trip runtime assertions.
+///
+/// `duration` must cover `2·max τ' + max ecc(source)`; Figure 2 uses `6d`
+/// (with `τ' ≤ 2d` and eccentricities at most `D ≤ 2d`).
+///
+/// # Errors
+///
+/// Returns a wrapped simulator error; `Protocol` on malformed inputs.
+pub fn run(
+    graph: &Graph,
+    sources: &[(NodeId, u64)],
+    duration: Round,
+    config: Config,
+) -> Result<WaveOutcome, AlgoError> {
+    let n = graph.len();
+    let mut starts: Vec<Option<(Round, u64)>> = vec![None; n];
+    let mut max_tau = 1u64;
+    for &(v, tau) in sources {
+        if v.index() >= n {
+            return Err(AlgoError::Protocol { reason: format!("source {v} out of range") });
+        }
+        if starts[v.index()].is_some() {
+            return Err(AlgoError::Protocol { reason: format!("duplicate source {v}") });
+        }
+        starts[v.index()] = Some((2 * tau, tau));
+        max_tau = max_tau.max(tau);
+    }
+    let tau_bits = bits::for_value(max_tau);
+    let mut net = Network::new(graph, config, |v| WaveProgram {
+        source: starts[v.index()],
+        last_tau: -1,
+        max_dist: 0,
+        tau_bits,
+    });
+    let stats = net.run_rounds(duration)?;
+    Ok(WaveOutcome { max_dist: net.into_outputs(), stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, dfs_walk, TreeView};
+    use graphs::{generators, metrics, traversal::Bfs};
+
+    /// Full-tour wave schedule on a random graph must compute every node's
+    /// `max_u d(u, v)` = eccentricity-transpose, whose max is the diameter.
+    #[test]
+    fn full_schedule_computes_diameter() {
+        for seed in 0..4 {
+            let g = generators::random_connected(26, 0.12, seed);
+            let cfg = Config::for_graph(&g);
+            let root = NodeId::new(0);
+            let b = bfs::build(&g, root, cfg).unwrap();
+            let view = TreeView::from(&b);
+            let steps = 2 * (g.len() as u64 - 1);
+            let dfs = dfs_walk::walk(&g, &view, root, steps, cfg).unwrap();
+            let sources: Vec<(NodeId, u64)> =
+                g.nodes().map(|v| (v, dfs.tau[v.index()].unwrap())).collect();
+            let duration = 2 * steps + g.len() as u64 + 2;
+            let out = run(&g, &sources, duration, cfg).unwrap();
+            assert_eq!(out.global_max(), metrics::diameter(&g).unwrap());
+            // Per-node check: max over u of d(u, v).
+            for v in g.nodes() {
+                let expect = g
+                    .nodes()
+                    .map(|u| Bfs::run(&g, u).dist(v).unwrap())
+                    .max()
+                    .unwrap();
+                assert_eq!(out.max_dist[v.index()], expect, "node {v}");
+            }
+        }
+    }
+
+    /// A windowed schedule (sources = a DFS segment) computes
+    /// `max_{u ∈ S} ecc(u)` — the Evaluation value of Figure 2.
+    #[test]
+    fn windowed_schedule_computes_window_max_ecc() {
+        let g = generators::random_connected(24, 0.14, 3);
+        let cfg = Config::for_graph(&g);
+        let root = NodeId::new(0);
+        let b = bfs::build(&g, root, cfg).unwrap();
+        let d = b.depth.max(1) as u64;
+        let view = TreeView::from(&b);
+        let eccs = metrics::eccentricities(&g).unwrap();
+        for start in [0usize, 5, 17] {
+            let dfs = dfs_walk::walk(&g, &view, NodeId::new(start), 2 * d, cfg).unwrap();
+            let sources: Vec<(NodeId, u64)> = dfs
+                .tau
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| t.map(|t| (NodeId::new(i), t)))
+                .collect();
+            let expect = sources.iter().map(|&(v, _)| eccs[v.index()]).max().unwrap();
+            let out = run(&g, &sources, 6 * d + 2, cfg).unwrap();
+            assert_eq!(out.global_max(), expect, "window from {start}");
+        }
+    }
+
+    #[test]
+    fn single_source_wave_is_a_bfs() {
+        let g = generators::grid(4, 5);
+        let cfg = Config::for_graph(&g);
+        let src = NodeId::new(7);
+        let out = run(&g, &[(src, 0)], 2 * g.len() as u64, cfg).unwrap();
+        let bfs = Bfs::run(&g, src);
+        for v in g.nodes() {
+            if v == src {
+                assert_eq!(out.max_dist[v.index()], 0);
+            } else {
+                assert_eq!(out.max_dist[v.index()], bfs.dist(v).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn duration_cuts_off_propagation() {
+        let g = generators::path(10);
+        let cfg = Config::for_graph(&g);
+        let out = run(&g, &[(NodeId::new(0), 0)], 3, cfg).unwrap();
+        // With 3 executed rounds (0, 1, 2), the wave has been processed by
+        // nodes at distance ≤ 2; node 3's delivery round never ran.
+        assert_eq!(out.max_dist[2], 2);
+        assert_eq!(out.max_dist[3], 0, "wave must not have reached node 3 yet");
+    }
+
+    #[test]
+    fn rejects_bad_sources() {
+        let g = generators::path(4);
+        let cfg = Config::for_graph(&g);
+        assert!(matches!(
+            run(&g, &[(NodeId::new(9), 0)], 4, cfg),
+            Err(AlgoError::Protocol { .. })
+        ));
+        assert!(matches!(
+            run(&g, &[(NodeId::new(1), 0), (NodeId::new(1), 2)], 4, cfg),
+            Err(AlgoError::Protocol { .. })
+        ));
+    }
+
+    /// An invalid schedule violating Lemma 2 (`d(u,v) ≤ τ'(v) − τ'(u)` fails
+    /// for the pair below: d = 4 > 2 − 0) makes an earlier wave collide with
+    /// a source's own start and must trip the runtime invariant.
+    #[test]
+    #[should_panic(expected = "wave collision")]
+    fn invalid_schedule_trips_lemma_assertions() {
+        let g = generators::path(5);
+        let cfg = Config::for_graph(&g);
+        // Wave of node 0 (τ'=0) reaches node 4 at round 4 — exactly when
+        // node 4 (τ'=2) starts its own wave.
+        let _ = run(&g, &[(NodeId::new(0), 0), (NodeId::new(4), 2)], 20, cfg);
+    }
+}

@@ -1,0 +1,227 @@
+//! A sparse-cut `(Θ(log n), Θ(n), 4, 5)`-reduction — the construction class
+//! cited by **Theorem 9** (Abboud–Censor-Hillel–Khoury, DISC 2016).
+//!
+//! The paper cites \[ACHK16\] for the existence of such a reduction without
+//! reproducing it; this is the standard *bit-gadget* construction with the
+//! stated parameters, verified computationally against Definition 3.
+//!
+//! Layout (with `m = ⌈log₂ k⌉` bit positions):
+//!
+//! * left: nodes `ℓ_0 … ℓ_{k−1}`, bit nodes `bL[h][c]` for `h < m`,
+//!   `c ∈ {0,1}`, and a hub `a_L`;
+//! * right: symmetric (`r_j`, `bR[h][c]`, `a_R`);
+//! * fixed edges: `ℓ_i — bL[h][bit_h(i)]` (its binary encoding),
+//!   `r_j — bR[h][1 − bit_h(j)]` (the *complement* encoding), hubs adjacent
+//!   to all their side's bit nodes;
+//! * **cut** (only `2m + 1 = Θ(log k)` edges): `bL[h][c] — bR[h][c]` and
+//!   `a_L — a_R`;
+//! * inputs: Alice adds `a_L — ℓ_i` iff `x_i = 0`; Bob adds `a_R — r_i` iff
+//!   `y_i = 0`.
+//!
+//! For `i ≠ j` some bit position distinguishes them, giving
+//! `d(ℓ_i, r_j) = 3` through the matching bit nodes. For `i = j` the bit
+//! routes are blocked by the complement encoding, and the hub routes exist
+//! iff `x_i = 0` or `y_i = 0` — so `d(ℓ_i, r_i) ≥ 5` exactly when
+//! `x_i = y_i = 1`.
+
+use graphs::{Dist, GraphBuilder, NodeId};
+
+use crate::reduction::{Reduction, ReductionGraph};
+
+/// The bit-gadget construction for `k` input bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitGadgetReduction {
+    k: usize,
+    m: usize,
+}
+
+impl BitGadgetReduction {
+    /// Creates the construction for `k ≥ 2` input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (a single index has no distinguishing bit
+    /// structure worth building).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "bit gadget requires at least 2 input bits");
+        let m = (usize::BITS - (k - 1).leading_zeros()).max(1) as usize;
+        BitGadgetReduction { k, m }
+    }
+
+    /// Number of bit positions `m = ⌈log₂ k⌉`.
+    pub fn bit_positions(&self) -> usize {
+        self.m
+    }
+
+    // Node layout: ℓ_i = i; bL[h][c] = k + 2h + c; a_L = k + 2m;
+    // right side mirrors at offset k + 2m + 1.
+    fn side_size(&self) -> usize {
+        self.k + 2 * self.m + 1
+    }
+    fn l(&self, i: usize) -> usize {
+        i
+    }
+    fn bl(&self, h: usize, c: usize) -> usize {
+        self.k + 2 * h + c
+    }
+    fn al(&self) -> usize {
+        self.k + 2 * self.m
+    }
+    fn r(&self, j: usize) -> usize {
+        self.side_size() + j
+    }
+    fn br(&self, h: usize, c: usize) -> usize {
+        self.side_size() + self.k + 2 * h + c
+    }
+    fn ar(&self) -> usize {
+        self.side_size() + self.k + 2 * self.m
+    }
+}
+
+impl Reduction for BitGadgetReduction {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn b(&self) -> usize {
+        2 * self.m + 1
+    }
+
+    fn d1(&self) -> Dist {
+        4
+    }
+
+    fn d2(&self) -> Dist {
+        5
+    }
+
+    fn num_nodes(&self) -> usize {
+        2 * self.side_size()
+    }
+
+    fn build(&self, x: &[bool], y: &[bool]) -> ReductionGraph {
+        assert_eq!(x.len(), self.k, "x must have k bits");
+        assert_eq!(y.len(), self.k, "y must have k bits");
+        let mut g = GraphBuilder::new(self.num_nodes());
+        // Encoding edges.
+        for i in 0..self.k {
+            for h in 0..self.m {
+                let bit = i >> h & 1;
+                g.edge(self.l(i), self.bl(h, bit));
+                g.edge(self.r(i), self.br(h, 1 - bit));
+            }
+        }
+        // Hubs to their bit nodes.
+        for h in 0..self.m {
+            for c in 0..2 {
+                g.edge(self.al(), self.bl(h, c));
+                g.edge(self.ar(), self.br(h, c));
+            }
+        }
+        // Cut edges.
+        let mut cut = Vec::with_capacity(self.b());
+        for h in 0..self.m {
+            for c in 0..2 {
+                g.edge(self.bl(h, c), self.br(h, c));
+                cut.push((NodeId::new(self.bl(h, c)), NodeId::new(self.br(h, c))));
+            }
+        }
+        g.edge(self.al(), self.ar());
+        cut.push((NodeId::new(self.al()), NodeId::new(self.ar())));
+        // Input edges.
+        for i in 0..self.k {
+            if !x[i] {
+                g.edge(self.al(), self.l(i));
+            }
+            if !y[i] {
+                g.edge(self.ar(), self.r(i));
+            }
+        }
+        let left = (0..self.side_size()).map(NodeId::new).collect();
+        let right = (self.side_size()..self.num_nodes()).map(NodeId::new).collect();
+        ReductionGraph { graph: g.build(), left, right, cut }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::{check_instance, verify, verify_cut_edges};
+    use graphs::traversal::distance;
+
+    #[test]
+    fn exhaustive_tiny_and_random_larger() {
+        verify(&BitGadgetReduction::new(2), 10); // exhaustive
+        verify(&BitGadgetReduction::new(4), 10); // exhaustive
+        verify(&BitGadgetReduction::new(5), 10); // exhaustive, non-power-of-2
+        verify(&BitGadgetReduction::new(16), 20);
+        verify(&BitGadgetReduction::new(33), 15);
+    }
+
+    #[test]
+    fn parameters_scale_as_theorem9() {
+        let red = BitGadgetReduction::new(256);
+        assert_eq!(red.k(), 256); // Θ(n)
+        assert_eq!(red.bit_positions(), 8);
+        assert_eq!(red.b(), 17); // Θ(log n)
+        assert_eq!(red.num_nodes(), 2 * (256 + 16 + 1));
+        assert_eq!((red.d1(), red.d2()), (4, 5));
+    }
+
+    /// The cut stays logarithmic while k grows — the sparsity that makes
+    /// Theorem 3's edge-stretching pay off.
+    #[test]
+    fn cut_grows_logarithmically() {
+        let b_small = BitGadgetReduction::new(16).b();
+        let b_big = BitGadgetReduction::new(16 * 16).b();
+        assert_eq!(b_small, 9);
+        assert_eq!(b_big, 17); // ~2x cut for 16x input
+    }
+
+    /// Distinct indices are always close: d(ℓ_i, r_j) = 3 for i ≠ j.
+    #[test]
+    fn distinct_indices_distance_three() {
+        let red = BitGadgetReduction::new(8);
+        let x = vec![true; 8];
+        let y = vec![true; 8];
+        let g = red.build(&x, &y);
+        for i in 0..8 {
+            for j in 0..8 {
+                let d =
+                    distance(&g.graph, NodeId::new(red.l(i)), NodeId::new(red.r(j))).unwrap();
+                if i == j {
+                    assert_eq!(d, 5, "intersecting pair ({i},{i})");
+                } else {
+                    assert_eq!(d, 3, "pair ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_intersection_bit_controls_the_gap() {
+        let red = BitGadgetReduction::new(10);
+        let mut x = vec![false; 10];
+        let mut y = vec![false; 10];
+        x[7] = true;
+        let g = red.build(&x, &y);
+        assert_eq!(g.diameter(), Some(4));
+        y[7] = true;
+        let g = red.build(&x, &y);
+        assert_eq!(g.diameter(), Some(5));
+        assert!(check_instance(&red, &x, &y).is_ok());
+    }
+
+    #[test]
+    fn declared_cut_edges_exist() {
+        let red = BitGadgetReduction::new(9);
+        let (x, y) = crate::disj::random_instance(9, false, 1);
+        assert!(verify_cut_edges(&red.build(&x, &y)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "k bits")]
+    fn wrong_input_length_panics() {
+        BitGadgetReduction::new(4).build(&[true], &[true, false, false, true]);
+    }
+}

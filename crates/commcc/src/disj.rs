@@ -1,0 +1,122 @@
+//! The two-party disjointness function `DISJ_k` (Section 2.2).
+//!
+//! `DISJ_k(x, y) = 0` iff there is an index `i` with `x_i = y_i = 1`.
+//! Its randomized classical communication complexity is `Θ(k)` bits
+//! \[KS92, Raz92\]; its quantum complexity is `Θ(√k)` qubits \[Raz03\], and —
+//! crucially for the paper — its `r`-message quantum complexity is
+//! `Ω̃(k/r + r)` (Theorem 5, [BGK+15]).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Evaluates `DISJ_k`: `true` iff the supports of `x` and `y` are disjoint.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+///
+/// # Example
+///
+/// ```
+/// assert!(commcc::disj::eval(&[true, false], &[false, true]));
+/// assert!(!commcc::disj::eval(&[true, false], &[true, true]));
+/// ```
+pub fn eval(x: &[bool], y: &[bool]) -> bool {
+    assert_eq!(x.len(), y.len(), "disjointness inputs must have equal length");
+    !x.iter().zip(y).any(|(&a, &b)| a && b)
+}
+
+/// Samples a `k`-bit instance with the prescribed disjointness value.
+///
+/// Each bit is drawn with density ~1/2 and the instance is then repaired:
+/// intersections are cleared (if `disjoint`) or one is planted (if not).
+///
+/// # Panics
+///
+/// Panics if `k == 0` and `disjoint` is `false` (a 0-bit instance cannot
+/// intersect).
+pub fn random_instance(k: usize, disjoint: bool, seed: u64) -> (Vec<bool>, Vec<bool>) {
+    assert!(k > 0 || disjoint, "cannot intersect on zero bits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x: Vec<bool> = (0..k).map(|_| rng.random_bool(0.5)).collect();
+    let mut y: Vec<bool> = (0..k).map(|_| rng.random_bool(0.5)).collect();
+    if disjoint {
+        for i in 0..k {
+            if x[i] && y[i] {
+                // Clear one side at random.
+                if rng.random_bool(0.5) {
+                    x[i] = false;
+                } else {
+                    y[i] = false;
+                }
+            }
+        }
+    } else if eval(&x, &y) {
+        let i = rng.random_range(0..k);
+        x[i] = true;
+        y[i] = true;
+    }
+    debug_assert_eq!(eval(&x, &y), disjoint);
+    (x, y)
+}
+
+/// Iterates over all `2^k × 2^k` input pairs — for exhaustive small-`k`
+/// verification of reductions.
+///
+/// # Panics
+///
+/// Panics if `k > 10` (the enumeration would be enormous).
+pub fn all_instances(k: usize) -> impl Iterator<Item = (Vec<bool>, Vec<bool>)> {
+    assert!(k <= 10, "exhaustive enumeration is limited to k <= 10");
+    let count = 1usize << k;
+    (0..count).flat_map(move |xm| {
+        (0..count).map(move |ym| {
+            let x = (0..k).map(|i| xm >> i & 1 == 1).collect();
+            let y = (0..k).map(|i| ym >> i & 1 == 1).collect();
+            (x, y)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        assert!(eval(&[], &[]));
+        assert!(eval(&[false], &[true]));
+        assert!(!eval(&[true], &[true]));
+        assert!(eval(&[true, false, true], &[false, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn eval_length_mismatch_panics() {
+        eval(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn random_instances_have_prescribed_value() {
+        for seed in 0..50 {
+            let (x, y) = random_instance(16, true, seed);
+            assert!(eval(&x, &y));
+            let (x, y) = random_instance(16, false, seed);
+            assert!(!eval(&x, &y));
+        }
+    }
+
+    #[test]
+    fn random_instances_are_seed_deterministic() {
+        assert_eq!(random_instance(12, false, 3), random_instance(12, false, 3));
+    }
+
+    #[test]
+    fn all_instances_enumerates_everything() {
+        let all: Vec<_> = all_instances(2).collect();
+        assert_eq!(all.len(), 16);
+        let disjoint = all.iter().filter(|(x, y)| eval(x, y)).count();
+        // Pairs of subsets of {0,1} that are disjoint: 3^2 = 9.
+        assert_eq!(disjoint, 9);
+    }
+}

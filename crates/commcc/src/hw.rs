@@ -1,0 +1,211 @@
+//! The Holzer–Wattenhofer reduction — **Theorem 8** and **Figure 4** of the
+//! paper: a `(Θ(n), Θ(n²), 2, 3)`-reduction from disjointness to deciding
+//! "diameter 2 or 3".
+//!
+//! With clique size `s`, the fixed graph has `n = 4s + 2` nodes: cliques
+//! `L, L', R, R'` of size `s` each, plus hubs `a` (adjacent to `L ∪ L'`)
+//! and `b` (adjacent to `R ∪ R'`), with the matching edges `ℓᵢ–rᵢ`,
+//! `ℓ'ᵢ–r'ᵢ` and the hub edge `a–b` crossing the cut (`b = 2s + 1` cut
+//! edges). Alice's input bit `x_{i,j} = 0` adds the edge `ℓᵢ–ℓ'ⱼ`; Bob's
+//! `y_{i,j} = 0` adds `rᵢ–r'ⱼ`. Then `d(ℓᵢ, r'ⱼ) = 3` exactly when
+//! `x_{i,j} = y_{i,j} = 1`, and 2 otherwise — so the diameter is 3 iff the
+//! inputs intersect.
+
+use graphs::{Dist, GraphBuilder, NodeId};
+
+use crate::reduction::{Reduction, ReductionGraph};
+
+/// The Theorem 8 construction with clique size `s` (`k = s²` input bits,
+/// `n = 4s + 2` nodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HwReduction {
+    s: usize,
+}
+
+impl HwReduction {
+    /// Creates the construction with clique size `s ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`.
+    pub fn new(s: usize) -> Self {
+        assert!(s >= 1, "clique size must be at least 1");
+        HwReduction { s }
+    }
+
+    /// The clique size.
+    pub fn clique_size(&self) -> usize {
+        self.s
+    }
+
+    // Node layout: L = 0..s, L' = s..2s, R = 2s..3s, R' = 3s..4s,
+    // a = 4s, b = 4s + 1.
+    fn l(&self, i: usize) -> usize {
+        i
+    }
+    fn lp(&self, i: usize) -> usize {
+        self.s + i
+    }
+    fn r(&self, i: usize) -> usize {
+        2 * self.s + i
+    }
+    fn rp(&self, i: usize) -> usize {
+        3 * self.s + i
+    }
+    fn a(&self) -> usize {
+        4 * self.s
+    }
+    fn b_node(&self) -> usize {
+        4 * self.s + 1
+    }
+}
+
+impl Reduction for HwReduction {
+    fn k(&self) -> usize {
+        self.s * self.s
+    }
+
+    fn b(&self) -> usize {
+        2 * self.s + 1
+    }
+
+    fn d1(&self) -> Dist {
+        2
+    }
+
+    fn d2(&self) -> Dist {
+        3
+    }
+
+    fn num_nodes(&self) -> usize {
+        4 * self.s + 2
+    }
+
+    fn build(&self, x: &[bool], y: &[bool]) -> ReductionGraph {
+        assert_eq!(x.len(), self.k(), "x must have s² bits");
+        assert_eq!(y.len(), self.k(), "y must have s² bits");
+        let s = self.s;
+        let mut g = GraphBuilder::new(self.num_nodes());
+        // Cliques.
+        for i in 0..s {
+            for j in (i + 1)..s {
+                g.edge(self.l(i), self.l(j));
+                g.edge(self.lp(i), self.lp(j));
+                g.edge(self.r(i), self.r(j));
+                g.edge(self.rp(i), self.rp(j));
+            }
+        }
+        // Hubs.
+        for i in 0..s {
+            g.edge(self.a(), self.l(i));
+            g.edge(self.a(), self.lp(i));
+            g.edge(self.b_node(), self.r(i));
+            g.edge(self.b_node(), self.rp(i));
+        }
+        // Cut: matchings plus the hub edge.
+        let mut cut = Vec::with_capacity(self.b());
+        for i in 0..s {
+            g.edge(self.l(i), self.r(i));
+            cut.push((NodeId::new(self.l(i)), NodeId::new(self.r(i))));
+            g.edge(self.lp(i), self.rp(i));
+            cut.push((NodeId::new(self.lp(i)), NodeId::new(self.rp(i))));
+        }
+        g.edge(self.a(), self.b_node());
+        cut.push((NodeId::new(self.a()), NodeId::new(self.b_node())));
+        // Input edges: bit (i, j) = 0 adds ℓi–ℓ'j (Alice) / ri–r'j (Bob).
+        for i in 0..s {
+            for j in 0..s {
+                if !x[i * s + j] {
+                    g.edge(self.l(i), self.lp(j));
+                }
+                if !y[i * s + j] {
+                    g.edge(self.r(i), self.rp(j));
+                }
+            }
+        }
+        let left = (0..2 * s).chain([self.a()]).map(NodeId::new).collect();
+        let right = (2 * s..4 * s).chain([self.b_node()]).map(NodeId::new).collect();
+        ReductionGraph { graph: g.build(), left, right, cut }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disj;
+    use crate::reduction::{check_instance, verify, verify_cut_edges};
+    use graphs::traversal::distance;
+
+    #[test]
+    fn exhaustive_tiny_and_random_larger() {
+        verify(&HwReduction::new(1), 10); // k = 1: exhaustive
+        verify(&HwReduction::new(2), 20); // k = 4: exhaustive
+        verify(&HwReduction::new(4), 20);
+        verify(&HwReduction::new(7), 10);
+    }
+
+    #[test]
+    fn parameters_scale_as_theorem8() {
+        let red = HwReduction::new(10);
+        assert_eq!(red.k(), 100); // Θ(n²)
+        assert_eq!(red.b(), 21); // Θ(n)
+        assert_eq!(red.num_nodes(), 42);
+        assert_eq!((red.d1(), red.d2()), (2, 3));
+        assert_eq!(red.clique_size(), 10);
+    }
+
+    /// The proof's witness pair: d(ℓi, r'j) = 3 iff x_{ij} = y_{ij} = 1.
+    #[test]
+    fn witness_pair_distance() {
+        let red = HwReduction::new(3);
+        let k = red.k();
+        for (i, j) in [(0usize, 0usize), (1, 2), (2, 1)] {
+            let mut x = vec![false; k];
+            let mut y = vec![false; k];
+            x[i * 3 + j] = true;
+            y[i * 3 + j] = true;
+            let g = red.build(&x, &y);
+            let d = distance(&g.graph, NodeId::new(red.l(i)), NodeId::new(red.rp(j))).unwrap();
+            assert_eq!(d, 3, "intersecting bit ({i},{j}) must force distance 3");
+            // Clearing Bob's bit restores distance 2.
+            y[i * 3 + j] = false;
+            let g = red.build(&x, &y);
+            let d = distance(&g.graph, NodeId::new(red.l(i)), NodeId::new(red.rp(j))).unwrap();
+            assert_eq!(d, 2);
+        }
+    }
+
+    #[test]
+    fn all_ones_is_worst_case() {
+        let red = HwReduction::new(4);
+        let x = vec![true; red.k()];
+        let y = vec![true; red.k()];
+        assert!(!disj::eval(&x, &y));
+        assert!(check_instance(&red, &x, &y).is_ok());
+        let g = red.build(&x, &y);
+        assert_eq!(g.diameter(), Some(3));
+    }
+
+    #[test]
+    fn all_zeros_has_diameter_two() {
+        let red = HwReduction::new(4);
+        let x = vec![false; red.k()];
+        let y = vec![false; red.k()];
+        let g = red.build(&x, &y);
+        assert_eq!(g.diameter(), Some(2));
+        assert_eq!(g.delta(), Some(2));
+    }
+
+    #[test]
+    fn declared_cut_edges_exist() {
+        let red = HwReduction::new(3);
+        let (x, y) = crate::disj::random_instance(red.k(), true, 0);
+        assert!(verify_cut_edges(&red.build(&x, &y)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "s² bits")]
+    fn wrong_input_length_panics() {
+        HwReduction::new(2).build(&[true], &[true]);
+    }
+}

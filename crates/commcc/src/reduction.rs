@@ -1,0 +1,130 @@
+//! `(b, k, d₁, d₂)`-reductions from disjointness to diameter computation —
+//! **Definition 3** of the paper.
+//!
+//! A reduction is a fixed bipartite graph `G_n = (U_n, V_n, E_n)` with `b`
+//! cut edges, plus input maps `g_n`/`h_n` that add intra-side edges
+//! depending on Alice's `x` and Bob's `y`, such that
+//!
+//! * (i) `DISJ_k(x, y) = 1 ⟹ Δ(G_n(x, y)) ≤ d₁`, and
+//! * (ii) `DISJ_k(x, y) = 0 ⟹ Δ(G_n(x, y)) ≥ d₂`,
+//!
+//! where `Δ` is the largest `U`–`V` distance. The constructions in this
+//! workspace additionally keep the *graph diameter* inside the same gap,
+//! which is what a distributed diameter algorithm actually decides.
+
+use graphs::{metrics, Dist, Graph, NodeId};
+
+use crate::disj;
+
+/// A built reduction instance: the graph plus the two-party structure.
+#[derive(Clone, Debug)]
+pub struct ReductionGraph {
+    /// The assembled network `G_n(x, y)`.
+    pub graph: Graph,
+    /// Alice's side `U_n`.
+    pub left: Vec<NodeId>,
+    /// Bob's side `V_n`.
+    pub right: Vec<NodeId>,
+    /// The cut edges (between `U_n` and `V_n`), fixed regardless of input.
+    pub cut: Vec<(NodeId, NodeId)>,
+}
+
+impl ReductionGraph {
+    /// The largest `U`–`V` distance `Δ(G)`; `None` if disconnected.
+    pub fn delta(&self) -> Option<Dist> {
+        metrics::bipartite_delta(&self.graph, &self.left, &self.right)
+    }
+
+    /// The graph diameter; `None` if disconnected.
+    pub fn diameter(&self) -> Option<Dist> {
+        metrics::diameter(&self.graph)
+    }
+}
+
+/// A `(b, k, d₁, d₂)`-reduction from disjointness to diameter computation.
+pub trait Reduction {
+    /// Number of input bits `k` per player.
+    fn k(&self) -> usize;
+    /// Number of cut edges `b`.
+    fn b(&self) -> usize;
+    /// Diameter upper bound for disjoint inputs.
+    fn d1(&self) -> Dist;
+    /// Diameter lower bound for intersecting inputs.
+    fn d2(&self) -> Dist;
+    /// Number of nodes of the constructed graph.
+    fn num_nodes(&self) -> usize;
+    /// Assembles `G_n(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` or `y` has length ≠ `k`.
+    fn build(&self, x: &[bool], y: &[bool]) -> ReductionGraph;
+}
+
+/// Checks Definition 3's conditions (i)/(ii) — and the analogous bounds on
+/// the *graph diameter* — on one instance. Returns an error message on
+/// violation.
+pub fn check_instance<R: Reduction>(
+    red: &R,
+    x: &[bool],
+    y: &[bool],
+) -> Result<(), String> {
+    let g = red.build(x, y);
+    let delta = g.delta().ok_or("reduction graph is disconnected")?;
+    let diam = g.diameter().ok_or("reduction graph is disconnected")?;
+    if g.cut.len() != red.b() {
+        return Err(format!("cut has {} edges, expected b = {}", g.cut.len(), red.b()));
+    }
+    if disj::eval(x, y) {
+        if delta > red.d1() {
+            return Err(format!("disjoint input but Δ = {delta} > d1 = {}", red.d1()));
+        }
+        if diam > red.d1() {
+            return Err(format!("disjoint input but diameter = {diam} > d1 = {}", red.d1()));
+        }
+    } else {
+        if delta < red.d2() {
+            return Err(format!("intersecting input but Δ = {delta} < d2 = {}", red.d2()));
+        }
+        if diam < red.d2() {
+            return Err(format!("intersecting input but diameter = {diam} < d2 = {}", red.d2()));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every declared cut pair is an actual edge — true for the
+/// base gadgets (Theorems 8–9); *not* for stretched instances (Figure 8),
+/// whose cut pairs are connected by dummy paths instead.
+pub fn verify_cut_edges(g: &ReductionGraph) -> Result<(), String> {
+    for &(u, v) in &g.cut {
+        if !g.graph.has_edge(u, v) {
+            return Err(format!("declared cut edge {u}-{v} is absent"));
+        }
+    }
+    Ok(())
+}
+
+/// Property-checks a reduction over `trials` random instances of each
+/// disjointness value, plus (for `k ≤ 6`) the exhaustive input space.
+///
+/// # Panics
+///
+/// Panics with a diagnostic on the first violated instance.
+pub fn verify<R: Reduction>(red: &R, trials: u64) {
+    if red.k() <= 6 {
+        for (x, y) in disj::all_instances(red.k()) {
+            if let Err(e) = check_instance(red, &x, &y) {
+                panic!("exhaustive check failed on x={x:?} y={y:?}: {e}");
+            }
+        }
+    }
+    for seed in 0..trials {
+        for disjoint in [true, false] {
+            let (x, y) = disj::random_instance(red.k(), disjoint, seed);
+            if let Err(e) = check_instance(red, &x, &y) {
+                panic!("random check failed (seed {seed}, disjoint {disjoint}): {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+use std::fmt;
+
+use crate::{RunStats, Round};
+
+/// Round/bit accounting across the phases of a multi-phase distributed
+/// algorithm.
+///
+/// The paper's algorithms are compositions (leader election, then BFS, then
+/// a quantum optimization whose every oracle call is itself a sub-protocol).
+/// A ledger records one labelled [`RunStats`] entry per phase — possibly
+/// scaled by a repetition count, as when amplitude amplification invokes the
+/// same Setup/Evaluation schedule many times — and reports totals.
+///
+/// # Example
+///
+/// ```
+/// use congest::{RoundsLedger, RunStats};
+///
+/// let mut ledger = RoundsLedger::new();
+/// ledger.add("bfs", RunStats { rounds: 12, ..RunStats::default() });
+/// ledger.add_scaled("evaluation", RunStats { rounds: 40, ..RunStats::default() }, 9);
+/// assert_eq!(ledger.total_rounds(), 12 + 9 * 40);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundsLedger {
+    phases: Vec<Phase>,
+}
+
+#[derive(Clone, Debug)]
+struct Phase {
+    label: String,
+    stats: RunStats,
+    repetitions: u64,
+}
+
+impl RoundsLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RoundsLedger::default()
+    }
+
+    /// Records a phase executed once.
+    pub fn add(&mut self, label: impl Into<String>, stats: RunStats) {
+        self.add_scaled(label, stats, 1);
+    }
+
+    /// Records a phase whose schedule is executed `repetitions` times (e.g.
+    /// one amplitude-amplification iteration measured once and repeated).
+    pub fn add_scaled(&mut self, label: impl Into<String>, stats: RunStats, repetitions: u64) {
+        self.phases.push(Phase { label: label.into(), stats, repetitions });
+    }
+
+    /// Number of recorded phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Returns `true` if no phases have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Total rounds across all phases, including repetitions.
+    pub fn total_rounds(&self) -> Round {
+        self.phases.iter().map(|p| p.stats.rounds * p.repetitions).sum()
+    }
+
+    /// Total delivered bits across all phases, including repetitions.
+    pub fn total_bits(&self) -> u64 {
+        self.phases.iter().map(|p| p.stats.total_bits * p.repetitions).sum()
+    }
+
+    /// Total delivered messages across all phases, including repetitions.
+    pub fn total_messages(&self) -> u64 {
+        self.phases.iter().map(|p| p.stats.messages * p.repetitions).sum()
+    }
+
+    /// Largest single message observed in any phase.
+    pub fn max_message_bits(&self) -> usize {
+        self.phases.iter().map(|p| p.stats.max_message_bits).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(label, stats, repetitions)` for every phase.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, &RunStats, u64)> + '_ {
+        self.phases.iter().map(|p| (p.label.as_str(), &p.stats, p.repetitions))
+    }
+}
+
+impl fmt::Display for RoundsLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<28} {:>8} {:>6} {:>12}", "phase", "rounds", "reps", "total rounds")?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "{:<28} {:>8} {:>6} {:>12}",
+                p.label,
+                p.stats.rounds,
+                p.repetitions,
+                p.stats.rounds * p.repetitions
+            )?;
+        }
+        write!(f, "{:<28} {:>8} {:>6} {:>12}", "TOTAL", "", "", self.total_rounds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(rounds: Round, bits: u64) -> RunStats {
+        RunStats { rounds, total_bits: bits, messages: bits / 8, ..RunStats::default() }
+    }
+
+    #[test]
+    fn totals_respect_repetitions() {
+        let mut ledger = RoundsLedger::new();
+        ledger.add("init", stats(10, 80));
+        ledger.add_scaled("oracle", stats(5, 40), 20);
+        assert_eq!(ledger.total_rounds(), 10 + 100);
+        assert_eq!(ledger.total_bits(), 80 + 800);
+        assert_eq!(ledger.total_messages(), 10 + 100);
+        assert_eq!(ledger.len(), 2);
+        assert!(!ledger.is_empty());
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let ledger = RoundsLedger::new();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.total_rounds(), 0);
+        assert_eq!(ledger.max_message_bits(), 0);
+    }
+
+    #[test]
+    fn display_contains_phases_and_total() {
+        let mut ledger = RoundsLedger::new();
+        ledger.add("bfs", stats(3, 0));
+        let s = ledger.to_string();
+        assert!(s.contains("bfs"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn phase_iteration() {
+        let mut ledger = RoundsLedger::new();
+        ledger.add_scaled("x", stats(2, 16), 3);
+        let (label, st, reps) = ledger.phases().next().unwrap();
+        assert_eq!(label, "x");
+        assert_eq!(st.rounds, 2);
+        assert_eq!(reps, 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! A round-synchronous simulator for the CONGEST model of distributed
+//! computing.
+//!
+//! In the CONGEST model (Section 2.1 of Le Gall & Magniez, PODC 2018) the
+//! network is an undirected graph `G = (V, E)`; execution proceeds in
+//! synchronous rounds, and in each round every node may send **one message of
+//! `O(log n)` bits over each incident edge**. Nodes know `n`, their own
+//! identifier and their incident edges, and nothing else about the topology.
+//!
+//! This crate simulates that model faithfully enough to *measure* the
+//! quantity the paper is about — round complexity — while also accounting for
+//! bandwidth:
+//!
+//! * [`NodeProgram`] — the per-node state machine an algorithm implements.
+//! * [`Network`] — the synchronous scheduler: delivers messages, enforces or
+//!   tracks the per-edge bandwidth budget, detects quiescence, and collects
+//!   [`RunStats`].
+//! * [`Payload`] — messages declare their size in bits; the [`bits`] module
+//!   has helpers for honest field sizes.
+//! * [`RoundsLedger`] — accumulates round/bit accounting across the phases of
+//!   multi-phase algorithms.
+//!
+//! # Example: flooding a token
+//!
+//! ```
+//! use congest::{bits, Config, Network, NodeProgram, Payload, RoundCtx, Status};
+//! use graphs::{generators, NodeId};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Token;
+//! impl Payload for Token {
+//!     fn size_bits(&self) -> usize { 1 }
+//! }
+//!
+//! struct Flood { seen: bool }
+//! impl NodeProgram for Flood {
+//!     type Msg = Token;
+//!     type Output = bool;
+//!     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Token>) -> Status {
+//!         let start = ctx.node() == NodeId::new(0) && ctx.round() == 0;
+//!         if start && !self.seen {
+//!             self.seen = true;
+//!             ctx.broadcast(Token);
+//!         } else if let Some(&(from, _)) = ctx.inbox().first() {
+//!             if !self.seen {
+//!                 self.seen = true;
+//!                 ctx.broadcast_except(from, Token);
+//!             }
+//!         }
+//!         if self.seen { Status::Halted } else { Status::Active }
+//!     }
+//!     fn finish(self, _node: NodeId) -> bool { self.seen }
+//! }
+//!
+//! let g = generators::path(5);
+//! let mut net = Network::new(&g, Config::for_graph(&g), |_| Flood { seen: false });
+//! let stats = net.run_until_quiescent(100)?;
+//! assert_eq!(stats.rounds, 5); // 4 hops to the far end + its processing round
+//! assert!(net.into_outputs().into_iter().all(|seen| seen));
+//! # Ok::<(), congest::CongestError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+mod error;
+mod ledger;
+mod message;
+mod network;
+mod program;
+
+pub use error::CongestError;
+pub use ledger::RoundsLedger;
+pub use message::Payload;
+pub use network::{BandwidthPolicy, Config, Network, RunStats};
+pub use program::{NodeProgram, RoundCtx, Status};
+
+/// Round counter type. Rounds are numbered from 0.
+pub type Round = u64;

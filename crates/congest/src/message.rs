@@ -1,0 +1,53 @@
+use std::fmt;
+
+/// A message that can cross a CONGEST edge.
+///
+/// Implementors must report an *honest* wire size: the number of bits a real
+/// encoding of the message would occupy. The simulator compares this against
+/// the per-edge bandwidth budget (`O(log n)` bits in the CONGEST model).
+/// Use the [`bits`](crate::bits) helpers for canonical field widths.
+///
+/// # Example
+///
+/// ```
+/// use congest::{bits, Payload};
+///
+/// /// A BFS wave message carrying the sender's distance from the root.
+/// #[derive(Clone, Debug)]
+/// struct Wave { dist: u32, n: usize }
+///
+/// impl Payload for Wave {
+///     fn size_bits(&self) -> usize {
+///         bits::for_dist(self.n)
+///     }
+/// }
+/// ```
+pub trait Payload: Clone + fmt::Debug {
+    /// Size of this message on the wire, in bits.
+    fn size_bits(&self) -> usize;
+}
+
+/// The unit message: a pure 1-bit signal.
+impl Payload for () {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+/// A bare boolean signal.
+impl Payload for bool {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_bool_are_one_bit() {
+        assert_eq!(().size_bits(), 1);
+        assert_eq!(true.size_bits(), 1);
+    }
+}

@@ -1,0 +1,489 @@
+use graphs::{Graph, NodeId};
+
+use crate::{CongestError, NodeProgram, Payload, Round, RoundCtx, Status};
+
+/// What the simulator does when a message exceeds the per-edge bandwidth
+/// budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BandwidthPolicy {
+    /// Abort the run with [`CongestError::BandwidthExceeded`].
+    #[default]
+    Enforce,
+    /// Deliver anyway but count the violation in [`RunStats`]. Useful for
+    /// measuring how large a constant an algorithm actually needs in its
+    /// `O(log n)` bound.
+    Track,
+}
+
+/// Simulator configuration.
+///
+/// # Example
+///
+/// ```
+/// use congest::{BandwidthPolicy, Config};
+/// use graphs::generators;
+///
+/// let g = generators::cycle(64);
+/// let cfg = Config::for_graph(&g).with_policy(BandwidthPolicy::Track);
+/// assert!(cfg.bandwidth_bits() >= 4 * 6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    bandwidth_bits: usize,
+    policy: BandwidthPolicy,
+}
+
+impl Config {
+    /// A configuration with an explicit per-edge bandwidth budget (bits per
+    /// round) and the [`BandwidthPolicy::Enforce`] policy.
+    pub fn new(bandwidth_bits: usize) -> Self {
+        Config { bandwidth_bits, policy: BandwidthPolicy::Enforce }
+    }
+
+    /// The canonical CONGEST budget for `graph`: `4⌈log₂ n⌉ + 8` bits, i.e.
+    /// `O(log n)` with a constant comfortably covering the two-field
+    /// messages used by the algorithms in this workspace.
+    pub fn for_graph(graph: &Graph) -> Self {
+        Config::new(4 * crate::bits::for_node(graph.len().max(2)) + 8)
+    }
+
+    /// Replaces the bandwidth policy.
+    pub fn with_policy(mut self, policy: BandwidthPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the bandwidth budget.
+    pub fn with_bandwidth_bits(mut self, bits: usize) -> Self {
+        self.bandwidth_bits = bits;
+        self
+    }
+
+    /// The per-edge per-round budget in bits.
+    pub fn bandwidth_bits(&self) -> usize {
+        self.bandwidth_bits
+    }
+
+    /// The configured bandwidth policy.
+    pub fn policy(&self) -> BandwidthPolicy {
+        self.policy
+    }
+}
+
+/// Accounting collected by a [`Network`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Rounds executed.
+    pub rounds: Round,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits delivered.
+    pub total_bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+    /// Number of messages that exceeded the budget (only nonzero under
+    /// [`BandwidthPolicy::Track`]).
+    pub bandwidth_violations: u64,
+}
+
+impl RunStats {
+    /// Merges another phase's statistics into this one (rounds add up;
+    /// maxima combine).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.total_bits += other.total_bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.bandwidth_violations += other.bandwidth_violations;
+    }
+}
+
+/// Callback invoked for every delivered message: `(round, from, to, bits)`.
+pub type MessageObserver = Box<dyn FnMut(Round, NodeId, NodeId, usize)>;
+
+/// The synchronous CONGEST scheduler.
+///
+/// Holds one [`NodeProgram`] instance per node and executes rounds: deliver
+/// the previous round's messages, run every node, validate and queue the new
+/// messages. Node iteration order is fixed (by id) and programs receive
+/// sorted inboxes, so runs are fully deterministic.
+///
+/// See the [crate-level example](crate).
+pub struct Network<'g, P: NodeProgram> {
+    graph: &'g Graph,
+    config: Config,
+    programs: Vec<P>,
+    statuses: Vec<Status>,
+    /// Messages to be delivered at the start of the next round.
+    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    in_flight: usize,
+    round: Round,
+    stats: RunStats,
+    /// Optional per-message observer — used by experiments that need
+    /// traffic breakdowns the aggregate stats don't carry (e.g. bits
+    /// crossing a two-party cut).
+    observer: Option<MessageObserver>,
+}
+
+impl<'g, P: NodeProgram> Network<'g, P> {
+    /// Creates a network over `graph`, instantiating the program at every
+    /// node with `make`.
+    pub fn new(graph: &'g Graph, config: Config, mut make: impl FnMut(NodeId) -> P) -> Self {
+        let programs: Vec<P> = graph.nodes().map(&mut make).collect();
+        Network {
+            graph,
+            config,
+            statuses: vec![Status::Active; programs.len()],
+            inboxes: vec![Vec::new(); programs.len()],
+            in_flight: 0,
+            round: 0,
+            programs,
+            stats: RunStats::default(),
+            observer: None,
+        }
+    }
+
+    /// Installs a per-message observer called as `(round, from, to, bits)`
+    /// for every delivered message. Replaces any previous observer.
+    pub fn set_observer(&mut self, f: impl FnMut(Round, NodeId, NodeId, usize) + 'static) {
+        self.observer = Some(Box::new(f));
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Returns `true` if every node voted [`Status::Halted`] in the latest
+    /// round and no messages are waiting for delivery.
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight == 0 && self.statuses.iter().all(|&s| s == Status::Halted)
+    }
+
+    /// Executes a single round.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on invalid sends, or on over-budget messages under
+    /// [`BandwidthPolicy::Enforce`].
+    #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
+    pub fn step(&mut self) -> Result<(), CongestError> {
+        let n = self.programs.len();
+        let round = self.round;
+        // Take this round's inboxes; outgoing messages are staged into the
+        // next round's inboxes after validation.
+        let mut inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
+        self.in_flight = 0;
+        for i in 0..n {
+            let node = NodeId::new(i);
+            let mut inbox = std::mem::take(&mut inboxes[i]);
+            inbox.sort_by_key(|&(from, _)| from);
+            let mut ctx =
+                RoundCtx::new(node, round, n, self.graph.neighbors(node), &inbox);
+            self.statuses[i] = self.programs[i].on_round(&mut ctx);
+            let outbox = ctx.into_outbox();
+            let mut sent_to: Vec<NodeId> = Vec::with_capacity(outbox.len());
+            for (to, msg) in outbox {
+                if !self.graph.has_edge(node, to) {
+                    return Err(CongestError::NotANeighbor { from: node, to });
+                }
+                if sent_to.contains(&to) {
+                    return Err(CongestError::DuplicateSend { from: node, to, round });
+                }
+                sent_to.push(to);
+                let bits = msg.size_bits();
+                if bits > self.config.bandwidth_bits {
+                    match self.config.policy {
+                        BandwidthPolicy::Enforce => {
+                            return Err(CongestError::BandwidthExceeded {
+                                from: node,
+                                to,
+                                round,
+                                bits,
+                                budget: self.config.bandwidth_bits,
+                            });
+                        }
+                        BandwidthPolicy::Track => self.stats.bandwidth_violations += 1,
+                    }
+                }
+                self.stats.messages += 1;
+                self.stats.total_bits += bits as u64;
+                self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
+                if let Some(observer) = &mut self.observer {
+                    observer(round, node, to, bits);
+                }
+                self.inboxes[to.index()].push((node, msg));
+                self.in_flight += 1;
+            }
+        }
+        self.round += 1;
+        self.stats.rounds = self.round;
+        Ok(())
+    }
+
+    /// Executes exactly `rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`Network::step`].
+    pub fn run_rounds(&mut self, rounds: Round) -> Result<RunStats, CongestError> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Runs until quiescence (every node halted, no messages in flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::RoundLimitExceeded`] if the network does not
+    /// quiesce within `max_rounds`, or propagates errors from
+    /// [`Network::step`].
+    pub fn run_until_quiescent(&mut self, max_rounds: Round) -> Result<RunStats, CongestError> {
+        while !self.is_quiescent() {
+            if self.round >= max_rounds {
+                return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
+            }
+            self.step()?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Consumes the network and extracts every node's local output, in node
+    /// id order.
+    pub fn into_outputs(self) -> Vec<P::Output> {
+        self.programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.finish(NodeId::new(i)))
+            .collect()
+    }
+}
+
+impl<P: NodeProgram> std::fmt::Debug for Network<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.programs.len())
+            .field("round", &self.round)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Payload;
+    use graphs::generators;
+
+    /// Test message with an explicit size.
+    #[derive(Clone, Debug)]
+    struct Sized(usize);
+    impl Payload for Sized {
+        fn size_bits(&self) -> usize {
+            self.0
+        }
+    }
+
+    /// Node 0 sends one message of `bits` to node 1 in round 0.
+    struct OneShot {
+        bits: usize,
+        to_bad_target: bool,
+        duplicate: bool,
+    }
+    impl NodeProgram for OneShot {
+        type Msg = Sized;
+        type Output = ();
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
+            if ctx.node() == NodeId::new(0) && ctx.round() == 0 {
+                let target = if self.to_bad_target { NodeId::new(3) } else { NodeId::new(1) };
+                ctx.send(target, Sized(self.bits));
+                if self.duplicate {
+                    ctx.send(target, Sized(self.bits));
+                }
+            }
+            Status::Halted
+        }
+        fn finish(self, _node: NodeId) {}
+    }
+
+    fn one_shot_net(
+        g: &Graph,
+        bits: usize,
+        bad: bool,
+        dup: bool,
+        policy: BandwidthPolicy,
+    ) -> Network<'_, OneShot> {
+        Network::new(g, Config::new(16).with_policy(policy), move |_| OneShot {
+            bits,
+            to_bad_target: bad,
+            duplicate: dup,
+        })
+    }
+
+    #[test]
+    fn bandwidth_enforced() {
+        let g = generators::path(3);
+        let mut net = one_shot_net(&g, 17, false, false, BandwidthPolicy::Enforce);
+        let err = net.run_until_quiescent(10).unwrap_err();
+        assert!(matches!(err, CongestError::BandwidthExceeded { bits: 17, budget: 16, .. }));
+    }
+
+    #[test]
+    fn bandwidth_tracked() {
+        let g = generators::path(3);
+        let mut net = one_shot_net(&g, 17, false, false, BandwidthPolicy::Track);
+        let stats = net.run_until_quiescent(10).unwrap();
+        assert_eq!(stats.bandwidth_violations, 1);
+        assert_eq!(stats.max_message_bits, 17);
+    }
+
+    #[test]
+    fn non_neighbor_send_is_rejected() {
+        let g = generators::path(4); // 0-1-2-3; 0 and 3 are not adjacent
+        let mut net = one_shot_net(&g, 1, true, false, BandwidthPolicy::Enforce);
+        let err = net.run_until_quiescent(10).unwrap_err();
+        assert_eq!(err, CongestError::NotANeighbor { from: NodeId::new(0), to: NodeId::new(3) });
+    }
+
+    #[test]
+    fn duplicate_directed_send_is_rejected() {
+        let g = generators::path(3);
+        let mut net = one_shot_net(&g, 1, false, true, BandwidthPolicy::Enforce);
+        let err = net.run_until_quiescent(10).unwrap_err();
+        assert!(matches!(err, CongestError::DuplicateSend { .. }));
+    }
+
+    #[test]
+    fn quiescence_counts_in_flight_messages() {
+        let g = generators::path(3);
+        let mut net = one_shot_net(&g, 8, false, false, BandwidthPolicy::Enforce);
+        // Round 0: all vote Halted but node 0's message is in flight, so the
+        // network must run one more round to deliver it.
+        let stats = net.run_until_quiescent(10).unwrap();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.total_bits, 8);
+    }
+
+    #[test]
+    fn round_limit_is_reported() {
+        struct Chatter;
+        impl NodeProgram for Chatter {
+            type Msg = Sized;
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
+                ctx.broadcast(Sized(1));
+                Status::Active
+            }
+            fn finish(self, _node: NodeId) {}
+        }
+        let g = generators::cycle(4);
+        let mut net = Network::new(&g, Config::new(8), |_| Chatter);
+        let err = net.run_until_quiescent(5).unwrap_err();
+        assert_eq!(err, CongestError::RoundLimitExceeded { limit: 5 });
+        assert_eq!(net.round(), 5);
+    }
+
+    #[test]
+    fn run_rounds_is_exact() {
+        struct Idle;
+        impl NodeProgram for Idle {
+            type Msg = ();
+            type Output = u64;
+            fn on_round(&mut self, _ctx: &mut RoundCtx<'_, ()>) -> Status {
+                Status::Halted
+            }
+            fn finish(self, node: NodeId) -> u64 {
+                node.index() as u64
+            }
+        }
+        let g = generators::complete(3);
+        let mut net = Network::new(&g, Config::for_graph(&g), |_| Idle);
+        let stats = net.run_rounds(7).unwrap();
+        assert_eq!(stats.rounds, 7);
+        assert_eq!(net.into_outputs(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn observer_sees_every_message() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let g = generators::path(3);
+        let mut net = one_shot_net(&g, 8, false, false, BandwidthPolicy::Enforce);
+        type Event = (Round, NodeId, NodeId, usize);
+        let log: Rc<RefCell<Vec<Event>>> = Rc::new(RefCell::new(Vec::new()));
+        let log2 = Rc::clone(&log);
+        net.set_observer(move |round, from, to, bits| {
+            log2.borrow_mut().push((round, from, to, bits));
+        });
+        net.run_until_quiescent(10).unwrap();
+        assert_eq!(*log.borrow(), vec![(0, NodeId::new(0), NodeId::new(1), 8)]);
+    }
+
+    /// Deterministic replay: two identical runs produce identical stats.
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::bits;
+
+        #[derive(Clone, Debug)]
+        struct Id(u32, usize);
+        impl Payload for Id {
+            fn size_bits(&self) -> usize {
+                bits::for_node(self.1)
+            }
+        }
+        /// Everyone floods the minimum id they have seen.
+        struct MinId {
+            best: u32,
+        }
+        impl NodeProgram for MinId {
+            type Msg = Id;
+            type Output = u32;
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, Id>) -> Status {
+                let mut improved = ctx.round() == 0;
+                for &(_, Id(v, _)) in ctx.inbox() {
+                    if v < self.best {
+                        self.best = v;
+                        improved = true;
+                    }
+                }
+                if improved {
+                    ctx.broadcast(Id(self.best, ctx.num_nodes()));
+                }
+                Status::Halted
+            }
+            fn finish(self, _node: NodeId) -> u32 {
+                self.best
+            }
+        }
+        let g = generators::random_connected(24, 0.15, 3);
+        let run = || {
+            let mut net =
+                Network::new(&g, Config::for_graph(&g), |v| MinId { best: u32::from(v) });
+            let stats = net.run_until_quiescent(1000).unwrap();
+            (stats, net.into_outputs())
+        };
+        let (s1, o1) = run();
+        let (s2, o2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(o1, o2);
+        assert!(o1.iter().all(|&b| b == 0), "min-id flood converged to 0");
+    }
+}

@@ -1,0 +1,151 @@
+use graphs::NodeId;
+
+use crate::{Payload, Round};
+
+/// A node's vote at the end of a round.
+///
+/// The network stops when *every* node voted [`Status::Halted`] in the most
+/// recent round **and** no messages are in flight. A node may vote `Halted`
+/// and later resume activity when new messages arrive — the vote is about
+/// the current round, not a permanent state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Status {
+    /// The node may still have work to do.
+    #[default]
+    Active,
+    /// The node has nothing to do unless new messages arrive.
+    Halted,
+}
+
+/// Per-round context handed to [`NodeProgram::on_round`]: the node's
+/// identity, the inbox of the current round, and the outbox.
+#[derive(Debug)]
+pub struct RoundCtx<'a, M: Payload> {
+    node: NodeId,
+    round: Round,
+    num_nodes: usize,
+    neighbors: &'a [NodeId],
+    inbox: &'a [(NodeId, M)],
+    outbox: Vec<(NodeId, M)>,
+}
+
+impl<'a, M: Payload> RoundCtx<'a, M> {
+    pub(crate) fn new(
+        node: NodeId,
+        round: Round,
+        num_nodes: usize,
+        neighbors: &'a [NodeId],
+        inbox: &'a [(NodeId, M)],
+    ) -> Self {
+        RoundCtx { node, round, num_nodes, neighbors, inbox, outbox: Vec::new() }
+    }
+
+    /// This node's identifier.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round, counted from 0.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Total number of nodes `n` (known to every node in the CONGEST model).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The node's neighbours, sorted by id.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// The node's degree.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Messages received this round, as `(sender, message)` pairs sorted by
+    /// sender id.
+    pub fn inbox(&self) -> &[(NodeId, M)] {
+        self.inbox
+    }
+
+    /// Queues `msg` for delivery to neighbour `to` at the start of the next
+    /// round.
+    ///
+    /// Validity (neighbour check, one message per directed edge per round,
+    /// bandwidth budget) is checked by the network when the round commits.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Queues `msg` to every neighbour.
+    pub fn broadcast(&mut self, msg: M) {
+        for &to in self.neighbors {
+            self.outbox.push((to, msg.clone()));
+        }
+    }
+
+    /// Queues `msg` to every neighbour except `skip`.
+    pub fn broadcast_except(&mut self, skip: NodeId, msg: M) {
+        for &to in self.neighbors {
+            if to != skip {
+                self.outbox.push((to, msg.clone()));
+            }
+        }
+    }
+
+    pub(crate) fn into_outbox(self) -> Vec<(NodeId, M)> {
+        self.outbox
+    }
+}
+
+/// The per-node state machine of a distributed algorithm.
+///
+/// One instance runs at every node. Each round the network calls
+/// [`on_round`](NodeProgram::on_round) with the messages delivered this
+/// round; the program queues outgoing messages on the context and returns its
+/// halting vote. When the run ends, [`finish`](NodeProgram::finish) extracts
+/// the node's local output.
+///
+/// See the [crate-level example](crate) for a complete program.
+pub trait NodeProgram: Sized {
+    /// Message type exchanged by this algorithm.
+    type Msg: Payload;
+    /// Local output extracted from each node when the run ends.
+    type Output;
+
+    /// Executes one synchronous round at this node.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> Status;
+
+    /// Consumes the program and returns the node's local output.
+    fn finish(self, node: NodeId) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_send_and_broadcast_fill_outbox() {
+        let neighbors = [NodeId::new(1), NodeId::new(2)];
+        let inbox: Vec<(NodeId, bool)> = vec![(NodeId::new(1), true)];
+        let mut ctx = RoundCtx::new(NodeId::new(0), 3, 5, &neighbors, &inbox);
+        assert_eq!(ctx.node(), NodeId::new(0));
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.num_nodes(), 5);
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.inbox().len(), 1);
+        ctx.send(NodeId::new(1), false);
+        ctx.broadcast(true);
+        ctx.broadcast_except(NodeId::new(2), false);
+        let outbox = ctx.into_outbox();
+        assert_eq!(outbox.len(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn status_default_is_active() {
+        assert_eq!(Status::default(), Status::Active);
+    }
+}

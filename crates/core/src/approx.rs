@@ -1,0 +1,336 @@
+//! The quantum `3/2`-approximation of the diameter — **Theorem 4**
+//! (Section 4, **Figure 3**): `Õ(∛(nD) + D)` rounds.
+//!
+//! Two phases:
+//!
+//! 1. **Preparation** (classical, `Õ(n/s + D)` rounds) — steps 1–3 of
+//!    Figure 3, shared verbatim with the classical HPRW algorithm
+//!    ([`classical::hprw::prepare`]): sample `S`, find the far node
+//!    `w = argmax_v d(v, S)`, grow `BFS(w)`, and let the `s` closest nodes
+//!    join `R`.
+//! 2. **Quantum optimization** (`Õ(√(sD) + D)` rounds) — the machinery of
+//!    Section 3 with `leader` replaced by `w` and windows taken over the
+//!    DFS tour of the `R`-subtree ("mod 2s" in Definition 2): maximize
+//!    `f(u) = max_{v ∈ S_R(u)} ecc(v)` over `u ∈ R`, with
+//!    `P_opt ≥ d/2s`.
+//!
+//! Choosing `s = Θ(n^{2/3} D^{-1/3})` balances `n/s` against `√(sD)`, giving
+//! `Õ(∛(nD) + D)` total — below the classical `Õ(√n + D)` whenever the
+//! diameter is small. The estimate `D̄` satisfies `D̄ ≤ D ≤ (3/2)D̄` w.h.p.
+//! (inherited from HPRW's analysis, since both compute
+//! `max_{v ∈ R} ecc(v)`).
+
+use classical::aggregate;
+use classical::hprw::{self, HprwParams};
+use classical::{bfs, leader};
+use congest::{bits, Config, RoundsLedger};
+use graphs::traversal::Bfs;
+use graphs::tree::{EulerTour, RootedTree};
+use graphs::{Dist, Graph, NodeId};
+use quantum::{MaximizeParams, OracleCost, SearchState};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dfs_window::Windows;
+use crate::evaluation;
+use crate::framework::{self, DistributedOracle, MemoryEstimate};
+use crate::QdError;
+
+/// Parameters of the quantum approximation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxParams {
+    /// Seed for sampling and measurement randomness.
+    pub seed: u64,
+    /// Allowed failure probability `δ` of the quantum phase.
+    pub failure_prob: f64,
+    /// Overrides the cluster size `s` (default: the paper's
+    /// `Θ(n^{2/3} d^{-1/3})`).
+    pub s_override: Option<usize>,
+    /// Number of random branches verified against the real distributed
+    /// Evaluation run.
+    pub verify_branches: usize,
+}
+
+impl ApproxParams {
+    /// Defaults: `δ = 0.01`, paper's `s`, one verified branch.
+    pub fn new(seed: u64) -> Self {
+        ApproxParams { seed, failure_prob: 0.01, s_override: None, verify_branches: 1 }
+    }
+
+    /// Replaces the cluster size.
+    pub fn with_s(mut self, s: usize) -> Self {
+        self.s_override = Some(s);
+        self
+    }
+
+    /// Replaces the failure probability.
+    pub fn with_failure_prob(mut self, delta: f64) -> Self {
+        self.failure_prob = delta;
+        self
+    }
+}
+
+/// Result of the quantum `3/2`-approximation.
+#[derive(Clone, Debug)]
+pub struct ApproxRun {
+    /// The estimate `D̄` (`D̄ ≤ D ≤ (3/2)D̄` w.h.p.).
+    pub estimate: Dist,
+    /// The cluster size `s` used.
+    pub s: usize,
+    /// `d = ecc(leader)` from the pre-pass.
+    pub d: Dist,
+    /// The far node `w`.
+    pub w: NodeId,
+    /// Classical accounting: pre-pass + Figure 3 steps 1–3.
+    pub prep_ledger: RoundsLedger,
+    /// Oracle-call accounting of the quantum phase.
+    pub oracle: OracleCost,
+    /// Rounds of the quantum phase.
+    pub quantum_rounds: u64,
+    /// Measured per-operator schedules of the quantum phase.
+    pub oracle_schedule: DistributedOracle,
+    /// Analytic qubit requirements of the quantum phase.
+    pub memory: MemoryEstimate,
+    /// Whether branch verification ran.
+    pub verified: bool,
+    /// Whether the optimization hit its resource cap.
+    pub aborted: bool,
+}
+
+impl ApproxRun {
+    /// Total rounds: classical preparation plus the quantum phase.
+    pub fn rounds(&self) -> u64 {
+        self.prep_ledger.total_rounds() + self.quantum_rounds
+    }
+}
+
+/// The paper's cluster size `s = ⌈n^{2/3} / d^{1/3}⌉`, clamped to `[1, n]`.
+pub fn paper_cluster_size(n: usize, d: Dist) -> usize {
+    let nf = n as f64;
+    let df = f64::from(d.max(1));
+    (nf.powf(2.0 / 3.0) / df.powf(1.0 / 3.0)).ceil().max(1.0).min(nf) as usize
+}
+
+/// Computes a `3/2`-approximation of the diameter with the
+/// `Õ(∛(nD) + D)`-round quantum algorithm of Theorem 4.
+///
+/// # Errors
+///
+/// As for [`exact::diameter`](crate::exact::diameter), plus
+/// [`classical::AlgoError::Aborted`] (wrapped) if the sampling guard of
+/// Figure 3 step 1 fires.
+///
+/// # Example
+///
+/// ```
+/// use diameter_quantum::approx::{self, ApproxParams};
+/// use congest::Config;
+/// use graphs::{generators, metrics};
+///
+/// let g = generators::grid(5, 5);
+/// let out = approx::diameter(&g, ApproxParams::new(3), Config::for_graph(&g))?;
+/// let d = metrics::diameter(&g).unwrap();
+/// assert!(out.estimate <= d && out.estimate >= (2 * d) / 3);
+/// # Ok::<(), diameter_quantum::QdError>(())
+/// ```
+pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<ApproxRun, QdError> {
+    if graph.is_empty() {
+        return Err(QdError::InvalidParameter { reason: "empty graph".into() });
+    }
+    let n = graph.len();
+    let mut prep_ledger = RoundsLedger::new();
+
+    // Pre-pass: leader + BFS(leader) to learn d = ecc(leader) (needed to
+    // pick s; costs O(D), absorbed in the Õ(D) term).
+    let elect = leader::elect(graph, config).map_err(QdError::from)?;
+    prep_ledger.add("pre-pass: leader election", elect.stats);
+    let bl = bfs::build(graph, elect.leader, config).map_err(QdError::from)?;
+    prep_ledger.add("pre-pass: bfs(leader)", bl.stats);
+    let d = bl.depth;
+
+    if n == 1 || d == 0 {
+        return Ok(ApproxRun {
+            estimate: 0,
+            s: 1,
+            d,
+            w: elect.leader,
+            prep_ledger,
+            oracle: OracleCost::new(),
+            quantum_rounds: 0,
+            oracle_schedule: DistributedOracle { setup_rounds: 0, evaluation_rounds: 0 },
+            memory: framework::memory_estimate(n, 1, 1.0),
+            verified: true,
+            aborted: false,
+        });
+    }
+
+    let s = params.s_override.unwrap_or_else(|| paper_cluster_size(n, d)).clamp(1, n);
+
+    // Phase 1: Figure 3 steps 1-3 (shared with classical HPRW).
+    let prep = hprw::prepare(graph, HprwParams::with_s(s, params.seed), config)
+        .map_err(QdError::from)?;
+    for (label, stats, reps) in prep.ledger.phases() {
+        prep_ledger.add_scaled(format!("figure 3: {label}"), *stats, reps);
+    }
+    let r_size = prep.r_set.len();
+
+    // Compact the R-subtree of BFS(w) for the window structure.
+    let r_index: Vec<usize> = prep.r_set.iter().map(|v| v.index()).collect();
+    let mut compact_of = vec![usize::MAX; n];
+    for (ci, &gi) in r_index.iter().enumerate() {
+        compact_of[gi] = ci;
+    }
+    let r_member = prep.r_member.clone();
+    let r_tree = prep.w_tree.restrict(|v| r_member[v.index()]).map_err(QdError::from)?;
+    let compact_parents: Vec<Option<NodeId>> = r_index
+        .iter()
+        .map(|&gi| r_tree.parent(NodeId::new(gi)).map(|p| NodeId::new(compact_of[p.index()])))
+        .collect();
+    let rooted = RootedTree::from_parents(&compact_parents)
+        .map_err(|e| QdError::InvalidParameter { reason: e.to_string() })?;
+    let tour = EulerTour::new(&rooted);
+    let windows = Windows::new(&tour, 2 * d as usize);
+
+    // Branch values: ecc of each R node (closed form), then window maxima.
+    let mut r_eccs = Vec::with_capacity(r_size);
+    for &gi in &r_index {
+        let e = Bfs::run(graph, NodeId::new(gi))
+            .eccentricity()
+            .ok_or(QdError::Classical(classical::AlgoError::Disconnected))?;
+        r_eccs.push(e);
+    }
+    let f_values = windows.window_max(&r_eccs);
+
+    // Measured schedules: Setup = broadcast over BFS(w); Evaluation = the
+    // windowed Figure 2 run (walk on the R-subtree, aggregation on BFS(w)).
+    let setup_probe = aggregate::broadcast(graph, &prep.w_tree, 0, bits::for_node(n), config)
+        .map_err(QdError::from)?;
+    let eval_probe = evaluation::run_windowed(graph, &r_tree, &prep.w_tree, d, prep.w, config)
+        .map_err(QdError::from)?;
+    let oracle_schedule = DistributedOracle {
+        setup_rounds: setup_probe.stats.rounds,
+        evaluation_rounds: eval_probe.forward_rounds(),
+    };
+
+    // P_opt ≥ d/2s (Section 4's Lemma-1 analogue); fall back to the exact
+    // optimum mass if the instance is worse than the promise (possible when
+    // the R-subtree is deeper than d).
+    let best = f_values.iter().copied().max().unwrap_or(0);
+    let popt_actual =
+        f_values.iter().filter(|&&v| v == best).count() as f64 / r_size as f64;
+    let promise = (f64::from(d) / (2.0 * r_size as f64)).clamp(1.0 / r_size as f64, 1.0);
+    let min_mass = promise.min(popt_actual);
+
+    let state = SearchState::uniform(r_size);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let opt = framework::optimize(
+        &state,
+        |u| u64::from(f_values[u]),
+        oracle_schedule,
+        MaximizeParams::with_min_mass(min_mass).with_failure_prob(params.failure_prob),
+        &mut rng,
+    )?;
+
+    // Verify sampled branches (and the winner) against the distributed run.
+    let mut branches: Vec<usize> =
+        (0..params.verify_branches).map(|_| rng.random_range(0..r_size)).collect();
+    branches.push(opt.argmax);
+    for ci in branches {
+        let u0 = NodeId::new(r_index[ci]);
+        let run = evaluation::run_windowed(graph, &r_tree, &prep.w_tree, d, u0, config)
+            .map_err(QdError::from)?;
+        if u64::from(run.value) != u64::from(f_values[ci]) {
+            return Err(QdError::VerificationFailed {
+                branch: ci,
+                distributed: u64::from(run.value),
+                reference: u64::from(f_values[ci]),
+            });
+        }
+    }
+
+    Ok(ApproxRun {
+        estimate: opt.value as Dist,
+        s,
+        d,
+        w: prep.w,
+        prep_ledger,
+        oracle: opt.oracle,
+        quantum_rounds: opt.quantum_rounds,
+        oracle_schedule,
+        memory: framework::memory_estimate(n, r_size, min_mass),
+        verified: true,
+        aborted: opt.aborted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{generators, metrics};
+
+    fn check(g: &Graph, seed: u64) -> ApproxRun {
+        let out =
+            diameter(g, ApproxParams::new(seed).with_failure_prob(1e-3), Config::for_graph(g))
+                .unwrap();
+        let d = metrics::diameter(g).unwrap();
+        assert!(out.estimate <= d, "estimate {} above diameter {d}", out.estimate);
+        // HPRW's guarantee is the floor form: ⌊2D/3⌋ ≤ D̄.
+        assert!(out.estimate >= (2 * d) / 3, "estimate {} below ⌊2D/3⌋ (D={d})", out.estimate);
+        out
+    }
+
+    #[test]
+    fn bounds_on_families() {
+        for (g, seed) in [
+            (generators::cycle(40), 1u64),
+            (generators::grid(6, 7), 2),
+            (generators::lollipop(10, 20), 3),
+            (generators::barbell(8, 16), 4),
+            (generators::balanced_tree(2, 5), 5),
+        ] {
+            check(&g, seed);
+        }
+    }
+
+    #[test]
+    fn bounds_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::random_connected(48, 0.08, seed);
+            check(&g, seed + 50);
+        }
+    }
+
+    /// The quantum estimate matches the classical HPRW estimate exactly —
+    /// both compute max_{v ∈ R} ecc(v) (with the same R when seeded alike).
+    #[test]
+    fn agrees_with_classical_hprw() {
+        let g = generators::random_connected(40, 0.1, 7);
+        let cfg = Config::for_graph(&g);
+        let q = diameter(&g, ApproxParams::new(11).with_s(9), cfg).unwrap();
+        let c = hprw::approx_diameter(&g, HprwParams::with_s(9, 11), cfg).unwrap();
+        assert_eq!(q.estimate, c.estimate);
+    }
+
+    #[test]
+    fn cluster_size_follows_the_paper() {
+        assert_eq!(paper_cluster_size(1000, 10), 47); // 1000^(2/3)/10^(1/3) = 100/2.154...
+        assert_eq!(paper_cluster_size(8, 1), 4);
+        assert!(paper_cluster_size(10, 1000) >= 1);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = Graph::from_edges(1, []).unwrap();
+        let out = diameter(&g, ApproxParams::new(0), Config::for_graph(&g)).unwrap();
+        assert_eq!(out.estimate, 0);
+        let g2 = generators::complete(2);
+        let out = diameter(&g2, ApproxParams::new(0), Config::for_graph(&g2)).unwrap();
+        assert_eq!(out.estimate, 1);
+    }
+
+    #[test]
+    fn disconnected_fails() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(diameter(&g, ApproxParams::new(0), Config::for_graph(&g)).is_err());
+    }
+}

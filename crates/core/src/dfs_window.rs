@@ -1,0 +1,288 @@
+//! DFS-numbering windows — Definitions 1–2, Lemma 1 and Equation (2) of the
+//! paper.
+//!
+//! The exact algorithm optimizes `f(u) = max_{v ∈ S(u)} ecc(v)` where
+//! `S(u)` is the set of nodes *visited by a `2d`-move walk* of the DFS tour
+//! starting at `τ(u)` (`d = ecc(leader)`) — exactly the set Figure 2 Step 1
+//! computes. This walk window is a superset of Definition 2's first-visit
+//! window, so Lemma 1's coverage bound (`Pr[v ∈ S(u₀)] ≥ d/2n`, which buys
+//! the algorithm its `√(n/d)`-iteration budget) carries over.
+//!
+//! This module computes the windows and `f` *centrally* (from the same tree
+//! the network built); the distributed procedure that evaluates `f(u₀)`
+//! inside the quantum superposition is [`evaluation`](crate::evaluation),
+//! and the two are checked against each other.
+
+use graphs::tree::EulerTour;
+use graphs::{Dist, NodeId};
+
+/// The window structure over a DFS tour: for each node `u`, the member set
+/// `S(u)` is the nodes first-visited within `width` tour moves of `τ(u)`.
+#[derive(Clone, Debug)]
+pub struct Windows<'t> {
+    tour: &'t EulerTour,
+    width: usize,
+}
+
+impl<'t> Windows<'t> {
+    /// Windows of the given `width` (the paper uses `width = 2d`).
+    pub fn new(tour: &'t EulerTour, width: usize) -> Self {
+        Windows { tour, width }
+    }
+
+    /// The window width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The member set `S(u)`, sorted by id.
+    pub fn members(&self, u: NodeId) -> Vec<NodeId> {
+        let mut m: Vec<NodeId> = self
+            .tour
+            .segment_first_visits(self.tour.tau(u), self.width)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        m.sort_unstable();
+        m
+    }
+
+    /// Whether `v ∈ S(u)`.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.members(u).binary_search(&v).is_ok()
+    }
+
+    /// The empirical coverage of `v`: the fraction of nodes `u` with
+    /// `v ∈ S(u)` — the probability bounded below by `d/2n` in Lemma 1
+    /// (for `width = 2d`).
+    pub fn coverage(&self, v: NodeId) -> f64 {
+        let n = self.tour.num_nodes();
+        let hits = (0..n).filter(|&u| self.contains(NodeId::new(u), v)).count();
+        hits as f64 / n as f64
+    }
+
+    /// Evaluates `f(u) = max_{v ∈ S(u)} values[v]` for **every** `u`, in
+    /// `O(L + n log n)`-ish time via a sliding-window maximum over the
+    /// cyclic tour (`L` = tour length).
+    ///
+    /// `values[v]` is typically `ecc(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of nodes.
+    pub fn window_max(&self, values: &[Dist]) -> Vec<Dist> {
+        let n = self.tour.num_nodes();
+        assert_eq!(values.len(), n, "values/nodes size mismatch");
+        let len = self.tour.len();
+        // Value occupying each tour position (a node contributes at every
+        // position it occupies — the walk semantics of Figure 2 Step 1).
+        let at_pos: Vec<Dist> =
+            (0..len).map(|t| values[self.tour.node_at(t).index()]).collect();
+        // A walk of `width` moves touches width+1 positions, cyclically; a
+        // window at least as long as the tour covers everything.
+        let w = (self.width + 1).min(len);
+        let mut out = vec![0; n];
+        if w >= len {
+            let global_max = values.iter().copied().max().unwrap_or(0);
+            for f in out.iter_mut() {
+                *f = global_max;
+            }
+            return out;
+        }
+        // Monotone deque over the doubled position array.
+        let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut max_at_start = vec![0; len];
+        for t in 0..(2 * len) {
+            let val = at_pos[t % len];
+            while let Some(&back) = deque.back() {
+                if at_pos[back % len] <= val {
+                    deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            deque.push_back(t);
+            // The window starting at s = t + 1 - w is complete at time t.
+            if t + 1 >= w {
+                let start = t + 1 - w;
+                while let Some(&front) = deque.front() {
+                    if front < start {
+                        deque.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if start < len {
+                    max_at_start[start] =
+                        at_pos[deque.front().expect("window is nonempty") % len];
+                }
+            }
+        }
+        for u in 0..n {
+            out[u] = max_at_start[self.tour.tau(NodeId::new(u))];
+        }
+        out
+    }
+}
+
+/// Lemma 1 (paper): with windows of width `2d` over the tour of a depth-`d`
+/// tree on `n` nodes, every node `v` is contained in `S(u)` for at least
+/// `⌈d/2⌉` choices of `u`, i.e. coverage at least `d/2n`.
+///
+/// Returns the worst (minimum) coverage over all `v`, for assertions.
+pub fn min_coverage(windows: &Windows<'_>) -> f64 {
+    let n = windows.tour.num_nodes();
+    (0..n)
+        .map(|v| windows.coverage(NodeId::new(v)))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::tree::RootedTree;
+    use graphs::traversal::Bfs;
+    use graphs::{generators, metrics, Graph};
+
+    fn tour_of(g: &Graph, root: usize) -> (EulerTour, Dist) {
+        let bfs = Bfs::run(g, NodeId::new(root));
+        let depth = bfs.eccentricity().unwrap();
+        let tree = RootedTree::from_bfs(&bfs).unwrap();
+        (EulerTour::new(&tree), depth)
+    }
+
+    #[test]
+    fn members_brute_force_agreement() {
+        let g = generators::random_connected(24, 0.12, 5);
+        let (tour, d) = tour_of(&g, 0);
+        let width = 2 * d as usize;
+        let windows = Windows::new(&tour, width);
+        for u in g.nodes() {
+            let members = windows.members(u);
+            // Brute force over the walk's positions (Figure 2 Step 1
+            // semantics: every node *occupied* within `width` moves).
+            let mut expect: Vec<NodeId> = g
+                .nodes()
+                .filter(|&v| {
+                    (0..=width.min(tour.len() - 1))
+                        .any(|o| tour.node_at(tour.tau(u) + o) == v)
+                })
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(members, expect, "window mismatch at {u}");
+        }
+    }
+
+    /// The walk window is a superset of the first-visit window of
+    /// Definition 2 — so Lemma 1's coverage bound transfers.
+    #[test]
+    fn walk_window_contains_definition2_window() {
+        let g = generators::random_tree(22, 4);
+        let (tour, d) = tour_of(&g, 0);
+        let width = 2 * d as usize;
+        let windows = Windows::new(&tour, width);
+        for u in g.nodes() {
+            let members = windows.members(u);
+            for v in g.nodes() {
+                let diff = (tour.tau(v) + tour.len() - tour.tau(u)) % tour.len();
+                if diff <= width {
+                    assert!(members.contains(&v), "Definition-2 member {v} missing from S({u})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_max_matches_brute_force() {
+        for seed in 0..5 {
+            let g = generators::random_connected(20, 0.15, seed);
+            let (tour, d) = tour_of(&g, 0);
+            let eccs = metrics::eccentricities(&g).unwrap();
+            for width in [1usize, 3, 2 * d as usize, 10 * g.len()] {
+                let windows = Windows::new(&tour, width);
+                let fast = windows.window_max(&eccs);
+                for u in g.nodes() {
+                    let brute = windows
+                        .members(u)
+                        .into_iter()
+                        .map(|v| eccs[v.index()])
+                        .max()
+                        .unwrap();
+                    assert_eq!(fast[u.index()], brute, "u={u} width={width} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maximizing_window_max_gives_diameter() {
+        for seed in 0..5 {
+            let g = generators::random_connected(26, 0.1, seed);
+            let (tour, d) = tour_of(&g, 0);
+            let eccs = metrics::eccentricities(&g).unwrap();
+            let windows = Windows::new(&tour, 2 * d as usize);
+            let f = windows.window_max(&eccs);
+            assert_eq!(
+                f.iter().copied().max().unwrap(),
+                metrics::diameter(&g).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma1_coverage_bound_holds() {
+        // Lemma 1: coverage(v) ≥ d/2n for every v, window width 2d.
+        let cases: Vec<Graph> = vec![
+            generators::path(31),
+            generators::cycle(20),
+            generators::star(12),
+            generators::grid(4, 6),
+            generators::balanced_tree(3, 3),
+            generators::random_connected(40, 0.08, 1),
+            generators::random_tree(35, 2),
+            generators::lollipop(8, 12),
+        ];
+        for g in cases {
+            let (tour, d) = tour_of(&g, 0);
+            if d == 0 {
+                continue;
+            }
+            let windows = Windows::new(&tour, 2 * d as usize);
+            let bound = d as f64 / (2.0 * g.len() as f64);
+            let cov = min_coverage(&windows);
+            assert!(
+                cov >= bound - 1e-12,
+                "Lemma 1 violated: min coverage {cov} < {bound} on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_window_contains_its_own_start() {
+        let g = generators::random_tree(18, 7);
+        let (tour, _) = tour_of(&g, 0);
+        let windows = Windows::new(&tour, 1);
+        for u in g.nodes() {
+            assert!(windows.contains(u, u));
+        }
+    }
+
+    #[test]
+    fn full_width_window_is_everything() {
+        let g = generators::grid(3, 4);
+        let (tour, _) = tour_of(&g, 0);
+        let windows = Windows::new(&tour, 2 * g.len());
+        assert_eq!(windows.members(NodeId::new(5)).len(), g.len());
+        assert!((min_coverage(&windows) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::from_edges(1, []).unwrap();
+        let (tour, _) = tour_of(&g, 0);
+        let windows = Windows::new(&tour, 4);
+        assert_eq!(windows.members(NodeId::new(0)), vec![NodeId::new(0)]);
+        assert_eq!(windows.window_max(&[0]), vec![0]);
+    }
+}

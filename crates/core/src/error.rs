@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use classical::AlgoError;
+use quantum::QuantumError;
+
+/// Errors raised by the quantum diameter algorithms.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum QdError {
+    /// A classical distributed sub-procedure failed.
+    Classical(AlgoError),
+    /// The quantum search machinery rejected its parameters.
+    Quantum(QuantumError),
+    /// The distributed Evaluation procedure disagreed with the closed-form
+    /// branch function — a broken invariant that would invalidate the run.
+    VerificationFailed {
+        /// The branch (candidate node index) that disagreed.
+        branch: usize,
+        /// Value returned by the distributed procedure.
+        distributed: u64,
+        /// Value of the closed form.
+        reference: u64,
+    },
+    /// A parameter is outside its documented domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QdError::Classical(e) => write!(f, "classical sub-procedure failed: {e}"),
+            QdError::Quantum(e) => write!(f, "quantum search failed: {e}"),
+            QdError::VerificationFailed { branch, distributed, reference } => write!(
+                f,
+                "evaluation verification failed on branch {branch}: distributed {distributed} vs reference {reference}"
+            ),
+            QdError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for QdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QdError::Classical(e) => Some(e),
+            QdError::Quantum(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgoError> for QdError {
+    fn from(e: AlgoError) -> Self {
+        QdError::Classical(e)
+    }
+}
+
+impl From<QuantumError> for QdError {
+    fn from(e: QuantumError) -> Self {
+        QdError::Quantum(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QdError::from(AlgoError::Disconnected);
+        assert!(e.to_string().contains("not connected"));
+        assert!(Error::source(&e).is_some());
+        let e = QdError::from(QuantumError::EmptyState);
+        assert!(Error::source(&e).is_some());
+        let e = QdError::VerificationFailed { branch: 3, distributed: 5, reference: 6 };
+        assert!(e.to_string().contains("branch 3"));
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! The simpler exact quantum algorithm of **Section 3.1**: `O(√n · D)`
+//! rounds.
+//!
+//! Here the optimized function is plainly `f(u) = ecc(u)` (Equation 1), so
+//! `P_opt ≥ 1/n` and the optimization needs `Õ(√n)` oracle calls of `Θ(d)`
+//! rounds each — a factor `√D` worse than the windowed algorithm of
+//! Theorem 1 ([`exact`](crate::exact)). Keeping both makes the paper's key
+//! design choice (the DFS windows of Section 3.2) an *ablatable* knob; the
+//! `ablation_window` bench measures exactly this gap.
+//!
+//! The Evaluation operator (Proposition 3) builds a BFS tree from `u₀` and
+//! convergecasts the maximum distance. Its raw round count would depend on
+//! `ecc(u₀)` — a branch-dependent quantity — so the superposed execution
+//! pads every branch to the worst case `ecc(u₀) ≤ 2d`, which is what the
+//! schedule below charges.
+
+use classical::{bfs, ecc, leader};
+use congest::{Config, RoundsLedger};
+use graphs::{metrics, Dist, Graph, NodeId};
+use quantum::{MaximizeParams, OracleCost, SearchState};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::exact::{DiameterRun, ExactParams};
+use crate::framework::{self, DistributedOracle};
+use crate::QdError;
+
+/// The padded round schedule of one *forward* Proposition-3 Evaluation: a
+/// BFS from `u₀` (worst case `2d + 2` rounds) plus a convergecast (worst
+/// case `2d + 1`). The uncompute pass is the inverse application, charged
+/// separately by [`quantum::OracleCost`].
+pub fn simple_schedule_rounds(d: Dist) -> u64 {
+    let d = u64::from(d);
+    (2 * d + 2) + (2 * d + 1)
+}
+
+/// Computes the exact diameter with the `O(√n · D)`-round algorithm of
+/// Section 3.1.
+///
+/// # Errors
+///
+/// As for [`exact::diameter`](crate::exact::diameter).
+///
+/// # Example
+///
+/// ```
+/// use diameter_quantum::{exact::ExactParams, exact_simple};
+/// use congest::Config;
+/// use graphs::generators;
+///
+/// let g = generators::grid(4, 4);
+/// let out = exact_simple::diameter(&g, ExactParams::new(1), Config::for_graph(&g))?;
+/// assert_eq!(out.value, 6);
+/// # Ok::<(), diameter_quantum::QdError>(())
+/// ```
+pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<DiameterRun, QdError> {
+    if graph.is_empty() {
+        return Err(QdError::InvalidParameter { reason: "empty graph".into() });
+    }
+    let n = graph.len();
+    let mut init_ledger = RoundsLedger::new();
+
+    let elect = leader::elect(graph, config).map_err(QdError::from)?;
+    init_ledger.add("leader election", elect.stats);
+    let b = bfs::build(graph, elect.leader, config).map_err(QdError::from)?;
+    init_ledger.add("bfs(leader) [Figure 1]", b.stats);
+    let d = b.depth;
+
+    let memory = framework::memory_estimate(n, n, 1.0 / n as f64);
+
+    if n == 1 || d == 0 {
+        return Ok(DiameterRun {
+            value: 0,
+            leader: elect.leader,
+            d,
+            argmax: elect.leader,
+            init_ledger,
+            oracle: OracleCost::new(),
+            quantum_rounds: 0,
+            oracle_schedule: DistributedOracle { setup_rounds: 0, evaluation_rounds: 0 },
+            memory,
+            verified: true,
+            aborted: false,
+        });
+    }
+
+    // Branch function f(u) = ecc(u) (Equation 1).
+    let eccs = metrics::eccentricities(graph)
+        .ok_or(QdError::Classical(classical::AlgoError::Disconnected))?;
+
+    let oracle_schedule = DistributedOracle {
+        setup_rounds: u64::from(d) + 1,
+        evaluation_rounds: simple_schedule_rounds(d),
+    };
+
+    let state = SearchState::uniform(n);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let opt = framework::optimize(
+        &state,
+        |u| u64::from(eccs[u]),
+        oracle_schedule,
+        MaximizeParams::with_min_mass(1.0 / n as f64).with_failure_prob(params.failure_prob),
+        &mut rng,
+    )?;
+
+    // Verify sampled branches against the real distributed eccentricity
+    // procedure (Proposition 3 = BFS + convergecast).
+    let mut branches: Vec<usize> =
+        (0..params.verify_branches).map(|_| rng.random_range(0..n)).collect();
+    branches.push(opt.argmax);
+    for u in branches {
+        let run = ecc::compute(graph, NodeId::new(u), config).map_err(QdError::from)?;
+        if u64::from(run.ecc) != u64::from(eccs[u]) {
+            return Err(QdError::VerificationFailed {
+                branch: u,
+                distributed: u64::from(run.ecc),
+                reference: u64::from(eccs[u]),
+            });
+        }
+    }
+
+    Ok(DiameterRun {
+        value: opt.value as Dist,
+        leader: elect.leader,
+        d,
+        argmax: NodeId::new(opt.argmax),
+        init_ledger,
+        oracle: opt.oracle,
+        quantum_rounds: opt.quantum_rounds,
+        oracle_schedule,
+        memory,
+        verified: true,
+        aborted: opt.aborted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+
+    fn check(g: &Graph, seed: u64) -> DiameterRun {
+        let out = diameter(g, ExactParams::new(seed).with_failure_prob(1e-3), Config::for_graph(g))
+            .unwrap();
+        assert_eq!(out.value, metrics::diameter(g).unwrap());
+        out
+    }
+
+    #[test]
+    fn correct_on_families_and_random_graphs() {
+        for g in [
+            generators::path(18),
+            generators::cycle(14),
+            generators::star(8),
+            generators::grid(4, 4),
+            generators::lollipop(5, 9),
+        ] {
+            check(&g, 2);
+        }
+        for seed in 0..4 {
+            let g = generators::random_connected(36, 0.1, seed);
+            check(&g, seed);
+        }
+    }
+
+    #[test]
+    fn argmax_is_a_peripheral_node() {
+        let g = generators::lollipop(6, 10);
+        let eccs = metrics::eccentricities(&g).unwrap();
+        let d = metrics::diameter(&g).unwrap();
+        let out = check(&g, 9);
+        assert_eq!(eccs[out.argmax.index()], d, "argmax must have maximum eccentricity");
+    }
+
+    /// The window trick of Section 3.2 buys a √D factor: on a path (D = n−1)
+    /// the final algorithm's evaluation count times schedule must beat the
+    /// simple algorithm by a growing margin.
+    #[test]
+    fn final_algorithm_wins_on_high_diameter() {
+        let g = generators::path(60);
+        let cfg = Config::for_graph(&g);
+        let simple: u64 = (0..5)
+            .map(|s| check(&g, s).quantum_rounds)
+            .sum::<u64>()
+            / 5;
+        let windowed: u64 = (0..5)
+            .map(|s| {
+                crate::exact::diameter(&g, ExactParams::new(s).with_failure_prob(1e-3), cfg)
+                    .unwrap()
+                    .quantum_rounds
+            })
+            .sum::<u64>()
+            / 5;
+        assert!(
+            windowed * 2 < simple,
+            "windowed {windowed} rounds should be well below simple {simple}"
+        );
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::from_edges(1, []).unwrap();
+        let out = diameter(&g, ExactParams::new(0), Config::for_graph(&g)).unwrap();
+        assert_eq!(out.value, 0);
+    }
+}

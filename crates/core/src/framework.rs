@@ -1,0 +1,178 @@
+//! Distributed quantum optimization — Section 2.4 / Theorem 7 of the paper.
+//!
+//! The leader node holds the `O(log n)`-qubit internal register and drives
+//! quantum maximum finding (Corollary 1, [`quantum::maximize`]). The
+//! `Setup` and `Evaluation` operators are *distributed* procedures: each
+//! application (or inverse application) runs a fixed round schedule over the
+//! whole network. Theorem 7 therefore converts oracle-call counts into
+//! CONGEST rounds:
+//!
+//! ```text
+//! rounds = T_init + (#Setup ops)·T_setup + (#Evaluation ops)·T_eval
+//! ```
+//!
+//! The schedules `T_setup`/`T_eval` handed to [`optimize`] are *measured*
+//! from real runs of the corresponding distributed programs (see
+//! [`exact`](crate::exact), [`exact_simple`](crate::exact_simple),
+//! [`approx`](crate::approx)); they are branch-independent by construction,
+//! which is what allows superposed execution.
+
+use quantum::{maximize, MaximizeParams, OracleCost, SearchState};
+use rand::Rng;
+
+use crate::QdError;
+
+/// The round schedules of the two distributed black-box operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistributedOracle {
+    /// Rounds for one application of `Setup` or `Setup⁻¹` (Proposition 2:
+    /// a broadcast along the BFS tree).
+    pub setup_rounds: u64,
+    /// Rounds for one application of `Evaluation` or `Evaluation⁻¹`
+    /// (Proposition 3/4: the Figure 2 schedule).
+    pub evaluation_rounds: u64,
+}
+
+impl DistributedOracle {
+    /// Converts an oracle-call count into CONGEST rounds (Theorem 7).
+    pub fn rounds_for(&self, cost: &OracleCost) -> u64 {
+        cost.setup_ops() * self.setup_rounds + cost.evaluation_ops() * self.evaluation_rounds
+    }
+}
+
+/// Analytic per-node quantum memory requirement (Theorem 1 claims
+/// `O((log n)²)` qubits per node; Theorem 7's proof gives the breakdown).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Qubits each ordinary node needs: the `|u₀⟩` data register plus the
+    /// Evaluation workspace (`τ'`, `t_v`, `d_v`, one kept message) —
+    /// `O(log n)`.
+    pub per_node_qubits: usize,
+    /// Qubits the leader needs: the per-node workspace plus the internal
+    /// register and the recorded amplification outcomes —
+    /// `O(log|X| · log(1/ε))` = `O((log n)²)`.
+    pub leader_qubits: usize,
+}
+
+/// Computes the memory breakdown for a domain of size `domain` on an
+/// `n`-node network, with optimum-mass promise `min_mass = ε`.
+pub fn memory_estimate(n: usize, domain: usize, min_mass: f64) -> MemoryEstimate {
+    let b = (usize::BITS - n.max(2).leading_zeros()) as usize; // ⌈log₂ n⌉ + O(1)
+    let bx = (usize::BITS - domain.max(2).leading_zeros()) as usize;
+    // Data register |u0> (bx) + tour offset (b+2) + last-wave t_v (b+2) +
+    // running max d_v (b) + one kept message (b+2+b).
+    let per_node_qubits = bx + 5 * b + 6;
+    // Leader: workspace + internal register (candidate + threshold) +
+    // O(log(1/ε)) recorded amplification outcomes of log|X| qubits each
+    // (Theorem 7's O(log|X|·log(1/ε)) term).
+    let stages = (1.0 / min_mass.clamp(f64::MIN_POSITIVE, 1.0)).log2().ceil().max(1.0) as usize;
+    let leader_qubits = per_node_qubits + 2 * bx + stages * bx;
+    MemoryEstimate { per_node_qubits, leader_qubits }
+}
+
+/// Result of a distributed quantum optimization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptimizeOutcome {
+    /// The element the search settled on (maximizer with probability
+    /// `≥ 1 − δ`).
+    pub argmax: usize,
+    /// `f(argmax)`.
+    pub value: u64,
+    /// Oracle-call accounting.
+    pub oracle: OracleCost,
+    /// CONGEST rounds consumed by the quantum phase (Theorem 7 conversion).
+    pub quantum_rounds: u64,
+    /// `true` if the search hit its worst-case resource cap.
+    pub aborted: bool,
+}
+
+/// Runs distributed quantum optimization (Theorem 7): maximum finding over
+/// `state`'s support, charging every oracle application its distributed
+/// round schedule.
+///
+/// # Errors
+///
+/// Propagates [`quantum::QuantumError`] for invalid parameters.
+pub fn optimize<R: Rng + ?Sized>(
+    state: &SearchState,
+    f: impl Fn(usize) -> u64,
+    oracle: DistributedOracle,
+    params: MaximizeParams,
+    rng: &mut R,
+) -> Result<OptimizeOutcome, QdError> {
+    let out = maximize(state, &f, params, rng)?;
+    Ok(OptimizeOutcome {
+        argmax: out.argmax,
+        value: f(out.argmax),
+        oracle: out.cost,
+        quantum_rounds: oracle.rounds_for(&out.cost),
+        aborted: out.aborted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rounds_conversion_matches_theorem7() {
+        let oracle = DistributedOracle { setup_rounds: 10, evaluation_rounds: 100 };
+        // 3 iterations = 6 setup + 6 evaluation ops, plus 1 prep + 1 verify.
+        let mut c = OracleCost::new();
+        c.charge_state_preparation();
+        c.charge_iterations(3);
+        c.charge_verification();
+        assert_eq!(oracle.rounds_for(&c), (1 + 6) * 10 + (6 + 1) * 100);
+    }
+
+    #[test]
+    fn optimize_finds_max_and_charges_rounds() {
+        let state = SearchState::uniform(64);
+        let f = |x: usize| ((x * 29) % 64) as u64;
+        let oracle = DistributedOracle { setup_rounds: 5, evaluation_rounds: 17 };
+        let params = MaximizeParams::with_min_mass(1.0 / 64.0).with_failure_prob(1e-3);
+        let mut rng = StdRng::seed_from_u64(12);
+        let out = optimize(&state, f, oracle, params, &mut rng).unwrap();
+        assert_eq!(out.value, 63);
+        assert_eq!(out.quantum_rounds, oracle.rounds_for(&out.oracle));
+        assert!(out.quantum_rounds > 0);
+    }
+
+    /// Optimization over a non-uniform initial state (the Section 4 Setup
+    /// distributes mass only over R).
+    #[test]
+    fn optimize_over_restricted_support() {
+        let n = 60;
+        let state = SearchState::uniform_over(n, |x| x >= 40).unwrap();
+        let oracle = DistributedOracle { setup_rounds: 3, evaluation_rounds: 11 };
+        let params = MaximizeParams::with_min_mass(1.0 / 20.0).with_failure_prob(1e-3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = optimize(&state, |x| (100 - x) as u64, oracle, params, &mut rng).unwrap();
+        // Max of 100 - x over the support {40..59} is at x = 40 — the global
+        // max at x = 0 is outside the support and must not be returned.
+        assert_eq!(out.argmax, 40);
+        assert_eq!(out.value, 60);
+    }
+
+    #[test]
+    fn memory_is_polylog() {
+        let m1 = memory_estimate(1 << 10, 1 << 10, 0.001);
+        let m2 = memory_estimate(1 << 20, 1 << 20, 0.001);
+        // Doubling log n should roughly double per-node memory…
+        assert!(m2.per_node_qubits < 3 * m1.per_node_qubits);
+        // …and leader memory grows like log², far below linear in n.
+        assert!(m2.leader_qubits < 4 * m1.leader_qubits);
+        assert!(m2.leader_qubits < 1 << 10);
+        assert!(m1.leader_qubits > m1.per_node_qubits);
+    }
+
+    #[test]
+    fn memory_grows_with_smaller_mass() {
+        let loose = memory_estimate(1024, 1024, 0.5);
+        let tight = memory_estimate(1024, 1024, 1.0 / 1024.0);
+        assert!(tight.leader_qubits > loose.leader_qubits);
+        assert_eq!(tight.per_node_qubits, loose.per_node_qubits);
+    }
+}

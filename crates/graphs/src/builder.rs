@@ -1,0 +1,162 @@
+use crate::{Graph, GraphError, NodeId};
+
+/// Incremental constructor for [`Graph`].
+///
+/// The builder validates every edge (no self-loops, no duplicates, endpoints
+/// in range), so a built graph is always simple.
+///
+/// # Example
+///
+/// ```
+/// use graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.try_edge(0, 1)?;
+/// b.try_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), graphs::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    /// Number of nodes of the graph under construction.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` if the graph under construction has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Appends `count` fresh isolated nodes and returns the id of the first.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = self.adj.len();
+        self.adj.resize(self.adj.len() + count, Vec::new());
+        NodeId::new(first)
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`] or
+    /// [`GraphError::DuplicateEdge`] on invalid input.
+    pub fn try_edge(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        let n = self.adj.len();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, len: n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, len: n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.adj[u].contains(&NodeId::new(v)) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        self.adj[u].push(NodeId::new(v));
+        self.adj[v].push(NodeId::new(u));
+        self.num_edges += 1;
+        Ok(self)
+    }
+
+    /// Adds the undirected edge `{u, v}`, panicking on invalid input.
+    ///
+    /// Convenient for generators whose edges are correct by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is invalid (see [`GraphBuilder::try_edge`]).
+    pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.try_edge(u, v).expect("invalid edge in generator");
+        self
+    }
+
+    /// Adds the edge `{u, v}` if it is not already present.
+    ///
+    /// Returns `true` if the edge was added.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn edge_if_absent(&mut self, u: usize, v: usize) -> bool {
+        match self.try_edge(u, v) {
+            Ok(_) => true,
+            Err(GraphError::DuplicateEdge { .. }) => false,
+            Err(e) => panic!("invalid edge: {e}"),
+        }
+    }
+
+    /// Returns `true` if `{u, v}` has been added.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj.get(u).is_some_and(|row| row.contains(&NodeId::new(v)))
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_adjacency(self.adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_nodes_returns_first_fresh_id() {
+        let mut b = GraphBuilder::new(2);
+        let first = b.add_nodes(3);
+        assert_eq!(first.index(), 2);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn edge_if_absent_reports_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.edge_if_absent(0, 1));
+        assert!(!b.edge_if_absent(1, 0));
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn edge_if_absent_panics_on_self_loop() {
+        let mut b = GraphBuilder::new(3);
+        b.edge_if_absent(1, 1);
+    }
+
+    #[test]
+    fn has_edge_tracks_insertions() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 3);
+        assert!(b.has_edge(0, 3));
+        assert!(b.has_edge(3, 0));
+        assert!(!b.has_edge(1, 2));
+        assert!(!b.has_edge(9, 0));
+    }
+
+    #[test]
+    fn chaining() {
+        let mut b = GraphBuilder::new(4);
+        b.try_edge(0, 1).unwrap().try_edge(1, 2).unwrap();
+        assert_eq!(b.num_edges(), 2);
+        assert!(!b.is_empty());
+    }
+}

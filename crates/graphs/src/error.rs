@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint is not a valid node of the graph being built.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// A self-loop was supplied; the CONGEST model uses simple graphs.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
+    /// The graph is not connected but the operation requires connectivity.
+    Disconnected,
+    /// A parameter is outside its documented domain.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node index {node} out of range for graph with {len} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, len: 4 };
+        assert_eq!(e.to_string(), "node index 9 out of range for graph with 4 nodes");
+        let e = GraphError::SelfLoop { node: 2 };
+        assert_eq!(e.to_string(), "self-loop at node 2");
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert_eq!(e.to_string(), "duplicate edge {1, 2}");
+        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,227 @@
+use std::fmt;
+
+use crate::{GraphBuilder, GraphError, NodeId};
+
+/// An immutable, simple, undirected graph in CSR (compressed sparse row)
+/// form.
+///
+/// Nodes are the dense indices `0..n`. Neighbour lists are sorted, which
+/// makes iteration deterministic — important because the CONGEST simulator
+/// and all experiments must be reproducible from a seed.
+///
+/// Use [`GraphBuilder`] to construct a graph, or one of the family
+/// constructors in [`generators`](crate::generators).
+///
+/// # Example
+///
+/// ```
+/// use graphs::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// # Ok::<(), graphs::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR row offsets; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour lists; length `2 * num_edges`.
+    neighbors: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an iterator of undirected edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, an edge is a
+    /// self-loop, or an edge appears twice.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut builder = GraphBuilder::new(n);
+        for (u, v) in edges {
+            builder.try_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    pub(crate) fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for mut row in adj {
+            row.sort_unstable();
+            neighbors.extend_from_slice(&row);
+            offsets.push(u32::try_from(neighbors.len()).expect("graph too large"));
+        }
+        Graph { offsets, neighbors }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// The sorted neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    ///
+    /// Runs in `O(log deg(u))`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId::new)
+    }
+
+    /// Iterates over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all nodes, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The bandwidth `⌈log₂(n+1)⌉` in bits that the CONGEST model grants per
+    /// edge per round for this graph (at least 1).
+    pub fn congest_bandwidth_bits(&self) -> usize {
+        let n = self.len().max(1) as u64;
+        (u64::BITS - n.leading_zeros()).max(1) as usize
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.len())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(4, [(2, 0), (2, 3), (2, 1)]).unwrap();
+        let ns: Vec<usize> = g.neighbors(NodeId::new(2)).iter().map(|v| v.index()).collect();
+        assert_eq!(ns, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle();
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(0)));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = Graph::from_edges(2, [(0, 0)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 0 });
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Graph::from_edges(2, [(0, 5)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 5, len: 2 });
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let err = Graph::from_edges(3, [(0, 1), (1, 0)]).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge { u: 1, v: 0 });
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn bandwidth_grows_logarithmically() {
+        let g = Graph::from_edges(1024, []).unwrap();
+        assert_eq!(g.congest_bandwidth_bits(), 11); // ceil(log2(1025))
+        let g1 = Graph::from_edges(1, []).unwrap();
+        assert!(g1.congest_bandwidth_bits() >= 1);
+    }
+}

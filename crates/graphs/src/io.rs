@@ -1,0 +1,191 @@
+//! Plain-text edge-list serialization, for loading real topologies into the
+//! simulator and exporting generated instances.
+//!
+//! The primary format has an explicit `n m` header:
+//!
+//! ```text
+//! # comments (and % lines, and blanks) are ignored
+//! 5 4        <- header: nodes edges
+//! 0 1
+//! 1 2
+//! 2 3
+//! 3 4
+//! ```
+//!
+//! [`parse_edges_only`] accepts headerless lists (node count inferred as
+//! `max endpoint + 1`). Duplicate edges and self-loops are rejected in both
+//! (the CONGEST model uses simple graphs).
+
+use std::fmt::Write as _;
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Parses a headered edge list (see the [module docs](self)).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] on malformed lines, a missing
+/// header, or an edge-count mismatch, and the usual builder errors on
+/// invalid edges.
+///
+/// # Example
+///
+/// ```
+/// let g = graphs::io::parse_edge_list("3 2\n0 1\n1 2\n")?;
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), graphs::GraphError>(())
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut lines = data_lines(text);
+    let (n, m) = match lines.next() {
+        Some((lineno, raw)) => parse_pair(lineno, raw)?,
+        None => {
+            return Err(GraphError::InvalidParameter {
+                reason: "missing 'n m' header line".into(),
+            });
+        }
+    };
+    let mut builder = GraphBuilder::new(n);
+    let mut count = 0usize;
+    for (lineno, raw) in lines {
+        let (u, v) = parse_pair(lineno, raw)?;
+        builder.try_edge(u, v)?;
+        count += 1;
+    }
+    if count != m {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("header declares {m} edges, found {count}"),
+        });
+    }
+    Ok(builder.build())
+}
+
+/// Parses a headerless edge list; the node count is inferred as
+/// `max endpoint + 1` (0 for empty input).
+///
+/// # Errors
+///
+/// As for [`parse_edge_list`], minus the header conditions.
+pub fn parse_edges_only(text: &str) -> Result<Graph, GraphError> {
+    let mut edges = Vec::new();
+    for (lineno, raw) in data_lines(text) {
+        edges.push(parse_pair(lineno, raw)?);
+    }
+    let n = edges.iter().map(|&(a, b)| a.max(b) + 1).max().unwrap_or(0);
+    let mut builder = GraphBuilder::new(n);
+    for (u, v) in edges {
+        builder.try_edge(u, v)?;
+    }
+    Ok(builder.build())
+}
+
+/// Renders a graph as a headered edge list (round-trips through
+/// [`parse_edge_list`]).
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", graph.len(), graph.num_edges());
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "{} {}", u.index(), v.index());
+    }
+    out
+}
+
+/// Iterates `(line_number, content)` over non-comment, non-blank lines.
+fn data_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter(|(_, raw)| {
+        let t = raw.trim();
+        !t.is_empty() && !t.starts_with('#') && !t.starts_with('%')
+    })
+}
+
+fn parse_pair(lineno: usize, raw: &str) -> Result<(usize, usize), GraphError> {
+    let bad = || GraphError::InvalidParameter {
+        reason: format!("line {}: expected two integers, got '{raw}'", lineno + 1),
+    };
+    let mut fields = raw.split_whitespace();
+    let a = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+    let b = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+    if fields.next().is_some() {
+        return Err(bad());
+    }
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn parse_with_header() {
+        let g = parse_edge_list("4 3\n0 1\n1 2\n2 3\n").unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_headerless_infers_node_count() {
+        let g = parse_edges_only("0 1\n1 5\n").unwrap();
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.num_edges(), 2);
+        assert!(parse_edges_only("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let g = parse_edge_list("# topology\n% matrix-market style\n\n3 2\n0 1\n\n1 2\n").unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn header_with_isolated_nodes() {
+        let g = parse_edge_list("10 1\n0 1\n").unwrap();
+        assert_eq!(g.len(), 10);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_edge_list("").is_err()); // missing header
+        assert!(parse_edge_list("3\n").is_err());
+        assert!(parse_edge_list("3 1\n0 1 2\n").is_err());
+        assert!(parse_edge_list("a b\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            parse_edge_list("2 1\n0 0\n"),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("2 2\n0 1\n1 0\n"),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("3 2\n0 1\n1 9\n"),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn header_edge_count_mismatch() {
+        let err = parse_edge_list("4 3\n0 1\n").unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn round_trips_generated_graphs() {
+        for g in [
+            generators::cycle(9),
+            generators::grid(3, 4),
+            generators::random_connected(20, 0.2, 3),
+            crate::Graph::from_edges(1, []).unwrap(),
+        ] {
+            let text = to_edge_list(&g);
+            let back = parse_edge_list(&text).unwrap();
+            assert_eq!(back, g, "round-trip failed:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Distance metrics: eccentricities, diameter, radius.
+//!
+//! These are the centralized ground-truth quantities the paper's distributed
+//! algorithms compute. They run one BFS per node (`O(n·m)` total), which is
+//! fine at experiment scale.
+
+use crate::traversal::Bfs;
+use crate::{Dist, Graph, NodeId};
+
+/// Eccentricity of `v`: the largest distance from `v` to any node.
+///
+/// Returns `None` if the graph is disconnected (the eccentricity is then
+/// infinite) or empty.
+pub fn eccentricity(graph: &Graph, v: NodeId) -> Option<Dist> {
+    Bfs::run(graph, v).eccentricity()
+}
+
+/// Eccentricities of all nodes, or `None` if the graph is disconnected or
+/// empty.
+pub fn eccentricities(graph: &Graph) -> Option<Vec<Dist>> {
+    graph.nodes().map(|v| eccentricity(graph, v)).collect()
+}
+
+/// Diameter: the maximum eccentricity.
+///
+/// Returns `None` if the graph is disconnected or empty. The single-node
+/// graph has diameter 0.
+///
+/// # Example
+///
+/// ```
+/// use graphs::{generators, metrics};
+///
+/// assert_eq!(metrics::diameter(&generators::path(10)), Some(9));
+/// assert_eq!(metrics::diameter(&generators::complete(10)), Some(1));
+/// ```
+pub fn diameter(graph: &Graph) -> Option<Dist> {
+    eccentricities(graph)?.into_iter().max()
+}
+
+/// Radius: the minimum eccentricity.
+///
+/// Returns `None` if the graph is disconnected or empty.
+pub fn radius(graph: &Graph) -> Option<Dist> {
+    eccentricities(graph)?.into_iter().min()
+}
+
+/// A node of maximum eccentricity (a "peripheral" node) together with the
+/// diameter, or `None` if disconnected/empty.
+///
+/// Ties break toward the smallest node id.
+pub fn peripheral_node(graph: &Graph) -> Option<(NodeId, Dist)> {
+    let eccs = eccentricities(graph)?;
+    let (idx, &max) = eccs.iter().enumerate().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+    Some((NodeId::new(idx), max))
+}
+
+/// Girth: the length of a shortest cycle, or `None` for forests.
+///
+/// Uses the standard edge-removal characterization: the shortest cycle
+/// through an edge `{u, v}` has length `d_{G−uv}(u, v) + 1`, so the girth
+/// is the minimum over edges. `O(m · (n + m))`.
+///
+/// # Example
+///
+/// ```
+/// use graphs::{generators, metrics};
+///
+/// assert_eq!(metrics::girth(&generators::cycle(7)), Some(7));
+/// assert_eq!(metrics::girth(&generators::path(7)), None);
+/// assert_eq!(metrics::girth(&generators::complete(5)), Some(3));
+/// ```
+pub fn girth(graph: &Graph) -> Option<Dist> {
+    use std::collections::VecDeque;
+    let mut best: Option<Dist> = None;
+    for (u, v) in graph.edges() {
+        // BFS from u avoiding the edge {u, v}.
+        let mut dist = vec![crate::INFINITY; graph.len()];
+        let mut queue = VecDeque::new();
+        dist[u.index()] = 0;
+        queue.push_back(u);
+        'bfs: while let Some(a) = queue.pop_front() {
+            let da = dist[a.index()];
+            if let Some(b) = best {
+                // Cycles through this edge can no longer beat the best.
+                if da + 1 >= b {
+                    break 'bfs;
+                }
+            }
+            for &c in graph.neighbors(a) {
+                if (a == u && c == v) || (a == v && c == u) {
+                    continue;
+                }
+                if dist[c.index()] == crate::INFINITY {
+                    dist[c.index()] = da + 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+        if dist[v.index()] != crate::INFINITY {
+            let cycle = dist[v.index()] + 1;
+            best = Some(best.map_or(cycle, |b| b.min(cycle)));
+        }
+    }
+    best
+}
+
+/// The largest distance between a node of `left` and a node of `right` —
+/// the quantity `Δ(G)` of the paper's Section 5 (used by the
+/// disjointness-to-diameter reductions, Definition 3).
+///
+/// Returns `None` if some pair is disconnected or either side is empty.
+pub fn bipartite_delta(graph: &Graph, left: &[NodeId], right: &[NodeId]) -> Option<Dist> {
+    if left.is_empty() || right.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for &u in left {
+        let bfs = Bfs::run(graph, u);
+        for &v in right {
+            best = best.max(bfs.dist(v)?);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::Graph;
+
+    #[test]
+    fn path_metrics() {
+        let g = generators::path(9);
+        assert_eq!(diameter(&g), Some(8));
+        assert_eq!(radius(&g), Some(4));
+        assert_eq!(eccentricity(&g, NodeId::new(4)), Some(4));
+        assert_eq!(eccentricity(&g, NodeId::new(0)), Some(8));
+    }
+
+    #[test]
+    fn cycle_metrics() {
+        let g = generators::cycle(10);
+        assert_eq!(diameter(&g), Some(5));
+        assert_eq!(radius(&g), Some(5));
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = generators::complete(6);
+        assert_eq!(diameter(&g), Some(1));
+        assert_eq!(radius(&g), Some(1));
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::from_edges(1, []).unwrap();
+        assert_eq!(diameter(&g), Some(0));
+        assert_eq!(radius(&g), Some(0));
+        assert_eq!(peripheral_node(&g), Some((NodeId::new(0), 0)));
+    }
+
+    #[test]
+    fn disconnected_metrics_are_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(radius(&g), None);
+        assert_eq!(eccentricities(&g), None);
+        assert_eq!(peripheral_node(&g), None);
+    }
+
+    #[test]
+    fn peripheral_node_on_star() {
+        let g = generators::star(5);
+        let (v, ecc) = peripheral_node(&g).unwrap();
+        assert_eq!(ecc, 2);
+        assert_ne!(v, NodeId::new(0)); // the hub has eccentricity 1
+        assert_eq!(v, NodeId::new(1)); // smallest id among the leaves
+    }
+
+    #[test]
+    fn girth_on_families() {
+        assert_eq!(girth(&generators::cycle(3)), Some(3));
+        assert_eq!(girth(&generators::cycle(11)), Some(11));
+        assert_eq!(girth(&generators::complete(4)), Some(3));
+        assert_eq!(girth(&generators::grid(3, 4)), Some(4));
+        assert_eq!(girth(&generators::hypercube(4)), Some(4));
+        assert_eq!(girth(&generators::path(9)), None);
+        assert_eq!(girth(&generators::star(6)), None);
+        assert_eq!(girth(&generators::random_tree(30, 1)), None);
+        // Subdividing multiplies the girth.
+        let g = generators::subdivide(&generators::cycle(4), 2);
+        assert_eq!(girth(&g), Some(12));
+        // Barbell: the cliques contain triangles.
+        assert_eq!(girth(&generators::barbell(4, 6)), Some(3));
+    }
+
+    #[test]
+    fn girth_of_disconnected_graph_sees_each_component() {
+        // Triangle plus a separate path: girth 3 despite disconnection.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]).unwrap();
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn bipartite_delta_on_path() {
+        let g = generators::path(6);
+        let left = [NodeId::new(0), NodeId::new(1)];
+        let right = [NodeId::new(4), NodeId::new(5)];
+        assert_eq!(bipartite_delta(&g, &left, &right), Some(5));
+        assert_eq!(bipartite_delta(&g, &left, &[]), None);
+    }
+
+    #[test]
+    fn diameter_equals_max_bipartite_delta_over_all_nodes() {
+        let g = generators::grid(3, 4);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(bipartite_delta(&g, &all, &all), diameter(&g));
+    }
+}

@@ -1,0 +1,223 @@
+use rand::{Rng, RngExt};
+
+use crate::{OracleCost, QuantumError, SearchState};
+
+/// Parameters for [`amplify`] (Theorem 6 of the paper).
+///
+/// `min_mass` is the promise `ε`: either the marked set is empty or its
+/// probability mass under the initial state is at least `ε`. `failure_prob`
+/// is `δ`, the allowed probability of a wrong answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmplifyParams {
+    /// Promised lower bound `ε` on the marked mass when nonempty.
+    pub min_mass: f64,
+    /// Allowed failure probability `δ`.
+    pub failure_prob: f64,
+}
+
+impl AmplifyParams {
+    /// Parameters with the given `ε` and the default `δ = 0.01`.
+    pub fn with_min_mass(min_mass: f64) -> Self {
+        AmplifyParams { min_mass, failure_prob: 0.01 }
+    }
+
+    /// Replaces the failure probability.
+    pub fn with_failure_prob(mut self, delta: f64) -> Self {
+        self.failure_prob = delta;
+        self
+    }
+
+    fn validate(&self) -> Result<(), QuantumError> {
+        if !(self.min_mass > 0.0 && self.min_mass <= 1.0) {
+            return Err(QuantumError::InvalidParameter {
+                reason: format!("min_mass must be in (0, 1], got {}", self.min_mass),
+            });
+        }
+        if !(self.failure_prob > 0.0 && self.failure_prob < 1.0) {
+            return Err(QuantumError::InvalidParameter {
+                reason: format!("failure_prob must be in (0, 1), got {}", self.failure_prob),
+            });
+        }
+        Ok(())
+    }
+
+    /// Total Grover iteration budget: `Θ(√(log(1/δ)/ε))` — the Theorem 6
+    /// cost form. Each full-length trial (`j` drawn up to the `1/√ε` cap)
+    /// succeeds with probability ≈ 1/2 whenever the marked mass is at least
+    /// `ε`, so a budget of `(1 + log₂(1/δ)/2)/√ε` iterations drives the
+    /// failure probability below `δ`.
+    fn iteration_budget(&self) -> u64 {
+        let log_term = (1.0 / self.failure_prob).log2().max(1.0);
+        ((1.0 + 0.5 * log_term) / self.min_mass.sqrt()).ceil() as u64
+    }
+}
+
+/// Result of an [`amplify`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AmplifyOutcome {
+    /// A marked element if one was found (`None` ⇒ declare `M = ∅`).
+    pub found: Option<usize>,
+    /// Black-box operator accounting for the whole call.
+    pub cost: OracleCost,
+}
+
+/// Amplitude amplification with unknown marked mass (Theorem 6, following
+/// Brassard–Høyer–Tapp): decides whether the marked set `M` is empty, and if
+/// not returns a random element of `M` (with probability proportional to its
+/// squared amplitude), using `O(√(log(1/δ)/ε))` applications of the
+/// state-preparation and checking oracles.
+///
+/// The simulation is exact: each trial applies `j` real Grover iterations to
+/// the amplitude vector and samples the measurement outcome.
+///
+/// # Errors
+///
+/// Returns [`QuantumError::InvalidParameter`] if `params` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use quantum::{amplify, AmplifyParams, SearchState};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let init = SearchState::uniform(256);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let params = AmplifyParams::with_min_mass(1.0 / 256.0);
+/// let out = amplify(&init, |x| x == 99, params, &mut rng)?;
+/// assert_eq!(out.found, Some(99));
+/// # Ok::<(), quantum::QuantumError>(())
+/// ```
+pub fn amplify<R: Rng + ?Sized>(
+    init: &SearchState,
+    marked: impl Fn(usize) -> bool,
+    params: AmplifyParams,
+    rng: &mut R,
+) -> Result<AmplifyOutcome, QuantumError> {
+    params.validate()?;
+    let mut cost = OracleCost::new();
+    let budget = params.iteration_budget();
+    let mut spent: u64 = 0;
+    // The BBHT schedule: sample j uniformly below a growing bound m.
+    let mut m: f64 = 1.0;
+    while spent < budget {
+        let bound = (m.ceil() as u64).max(1);
+        let j = rng.random_range(0..bound);
+        let mut state = init.clone();
+        cost.charge_state_preparation();
+        state.grover_iterations(init, &marked, j);
+        cost.charge_iterations(j);
+        spent += j.max(1);
+        let x = state.measure(rng);
+        cost.charge_measurement();
+        cost.charge_verification();
+        if marked(x) {
+            return Ok(AmplifyOutcome { found: Some(x), cost });
+        }
+        // Grow the iteration bound, capped at the critical 1/√ε scale.
+        m = (m * 1.5).min(1.0 / params.min_mass.sqrt() + 1.0);
+    }
+    Ok(AmplifyOutcome { found: None, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_unique_marked_element() {
+        let n = 512;
+        let init = SearchState::uniform(n);
+        let params = AmplifyParams::with_min_mass(1.0 / n as f64).with_failure_prob(1e-4);
+        let mut rng = StdRng::seed_from_u64(11);
+        for target in [0usize, 255, 511] {
+            let out = amplify(&init, |x| x == target, params, &mut rng).unwrap();
+            assert_eq!(out.found, Some(target));
+        }
+    }
+
+    #[test]
+    fn declares_empty_when_nothing_is_marked() {
+        let init = SearchState::uniform(128);
+        let params = AmplifyParams::with_min_mass(1.0 / 128.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = amplify(&init, |_| false, params, &mut rng).unwrap();
+        assert_eq!(out.found, None);
+        assert!(out.cost.iterations > 0);
+    }
+
+    #[test]
+    fn cost_scales_like_inverse_sqrt_mass() {
+        // With nothing marked the full budget is always consumed, making the
+        // cost deterministic up to the random j draws; compare ε and ε/16.
+        let init = SearchState::uniform(1 << 14);
+        let mut rng = StdRng::seed_from_u64(9);
+        let run = |eps: f64, rng: &mut StdRng| {
+            amplify(&init, |_| false, AmplifyParams::with_min_mass(eps), rng).unwrap().cost
+        };
+        let c1 = run(1.0 / 1024.0, &mut rng);
+        let c2 = run(1.0 / (16.0 * 1024.0), &mut rng);
+        let ratio = c2.iterations as f64 / c1.iterations as f64;
+        assert!(
+            (2.0..=8.0).contains(&ratio),
+            "expected ≈4x iteration growth for 16x smaller mass, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn success_rate_exceeds_promise() {
+        let n = 256;
+        let init = SearchState::uniform(n);
+        let params = AmplifyParams::with_min_mass(4.0 / n as f64).with_failure_prob(0.05);
+        let mut rng = StdRng::seed_from_u64(42);
+        let marked = |x: usize| x.is_multiple_of(64); // 4 marked elements
+        let mut hits = 0;
+        for _ in 0..100 {
+            if amplify(&init, marked, params, &mut rng).unwrap().found.is_some() {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 95, "only {hits}/100 successes");
+    }
+
+    #[test]
+    fn found_element_is_random_over_marked_set() {
+        let n = 64;
+        let init = SearchState::uniform(n);
+        let params = AmplifyParams::with_min_mass(2.0 / n as f64);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..40 {
+            if let Some(x) = amplify(&init, |x| x == 7 || x == 21, params, &mut rng).unwrap().found
+            {
+                seen.insert(x);
+            }
+        }
+        assert_eq!(seen, [7usize, 21].into_iter().collect());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let init = SearchState::uniform(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        for params in [
+            AmplifyParams { min_mass: 0.0, failure_prob: 0.1 },
+            AmplifyParams { min_mass: 1.5, failure_prob: 0.1 },
+            AmplifyParams { min_mass: 0.5, failure_prob: 0.0 },
+            AmplifyParams { min_mass: 0.5, failure_prob: 1.0 },
+        ] {
+            assert!(amplify(&init, |_| true, params, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn full_mass_returns_immediately() {
+        let init = SearchState::uniform(16);
+        let params = AmplifyParams::with_min_mass(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = amplify(&init, |_| true, params, &mut rng).unwrap();
+        assert!(out.found.is_some());
+        assert_eq!(out.cost.measurements, 1);
+    }
+}

@@ -1,0 +1,662 @@
+//! A small dense state-vector simulator.
+//!
+//! This module grounds the amplitude-level search machinery of
+//! [`SearchState`](crate::SearchState) in first principles: the test suite
+//! runs Grover's algorithm gate by gate on a [`Register`] and checks that
+//! the evolution matches both the closed-form rotation and the higher-level
+//! simulation. It is deliberately minimal — dense amplitudes, a handful of
+//! gates — because the paper's algorithms only need reflections and
+//! reversible classical arithmetic.
+//!
+//! Qubit `0` is the least significant bit of the basis-state index.
+//!
+//! # Example: a Bell pair
+//!
+//! ```
+//! use quantum::circuit::Register;
+//!
+//! let mut reg = Register::new(2);
+//! reg.h(0);
+//! reg.cnot(0, 1);
+//! assert!((reg.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((reg.probability(0b11) - 0.5).abs() < 1e-12);
+//! assert!(reg.probability(0b01) < 1e-12);
+//! ```
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use rand::{Rng, RngExt};
+
+/// A complex amplitude. Minimal on purpose: only the operations the
+/// simulator needs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.6}{:+.6}i", self.re, self.im)
+    }
+}
+
+/// A register of up to 24 qubits with dense complex amplitudes, initialized
+/// to `|0…0⟩`.
+#[derive(Clone, Debug)]
+pub struct Register {
+    n_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl Register {
+    /// Creates an `n`-qubit register in the all-zero state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 24` (dense simulation limit).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n <= 24, "register size must be in 1..=24 qubits");
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        amps[0] = Complex::ONE;
+        Register { n_qubits: n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Dimension `2^n` of the state space.
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Amplitude of basis state `i`.
+    pub fn amplitude(&self, i: usize) -> Complex {
+        self.amps[i]
+    }
+
+    /// Probability of measuring basis state `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.amps[i].norm_sqr()
+    }
+
+    /// Total probability mass on basis states satisfying `pred`.
+    pub fn probability_where(&self, pred: impl Fn(usize) -> bool) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| pred(i))
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Squared norm of the state (1 up to rounding).
+    pub fn norm_squared(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    fn check_qubit(&self, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range for {}-qubit register", self.n_qubits);
+    }
+
+    /// Hadamard gate on qubit `q`.
+    pub fn h(&mut self, q: usize) {
+        self.check_qubit(q);
+        let mask = 1usize << q;
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let a = self.amps[i];
+                let b = self.amps[i | mask];
+                self.amps[i] = (a + b).scale(inv_sqrt2);
+                self.amps[i | mask] = (a - b).scale(inv_sqrt2);
+            }
+        }
+    }
+
+    /// Pauli-X (NOT) gate on qubit `q`.
+    pub fn x(&mut self, q: usize) {
+        self.check_qubit(q);
+        let mask = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                self.amps.swap(i, i | mask);
+            }
+        }
+    }
+
+    /// Pauli-Z gate on qubit `q`.
+    pub fn z(&mut self, q: usize) {
+        self.check_qubit(q);
+        let mask = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *a = -*a;
+            }
+        }
+    }
+
+    /// Phase gate `diag(1, e^{iθ})` on qubit `q`.
+    pub fn phase(&mut self, q: usize, theta: f64) {
+        self.check_qubit(q);
+        let mask = 1usize << q;
+        let rot = Complex::new(theta.cos(), theta.sin());
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *a = *a * rot;
+            }
+        }
+    }
+
+    /// Phase-S gate `diag(1, i)` on qubit `q` (`S² = Z`).
+    pub fn s(&mut self, q: usize) {
+        self.phase(q, std::f64::consts::FRAC_PI_2);
+    }
+
+    /// T gate `diag(1, e^{iπ/4})` on qubit `q` (`T² = S`).
+    pub fn t(&mut self, q: usize) {
+        self.phase(q, std::f64::consts::FRAC_PI_4);
+    }
+
+    /// Real Y-rotation `R_y(θ)` on qubit `q`.
+    pub fn ry(&mut self, q: usize, theta: f64) {
+        self.check_qubit(q);
+        let mask = 1usize << q;
+        let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let a = self.amps[i];
+                let b = self.amps[i | mask];
+                self.amps[i] = a.scale(c) - b.scale(s);
+                self.amps[i | mask] = a.scale(s) + b.scale(c);
+            }
+        }
+    }
+
+    /// Swaps qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either is out of range.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        assert_ne!(a, b, "swap requires distinct qubits");
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        for i in 0..self.amps.len() {
+            // Swap only the (a=1, b=0) half against its (a=0, b=1) partner.
+            if i & am != 0 && i & bm == 0 {
+                self.amps.swap(i, i ^ am ^ bm);
+            }
+        }
+    }
+
+    /// Toffoli (CCX): flips `t` when both `c1` and `c2` are set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three qubits are not distinct or out of range.
+    pub fn toffoli(&mut self, c1: usize, c2: usize, t: usize) {
+        self.check_qubit(c1);
+        self.check_qubit(c2);
+        self.check_qubit(t);
+        assert!(c1 != c2 && c1 != t && c2 != t, "toffoli requires distinct qubits");
+        let m1 = 1usize << c1;
+        let m2 = 1usize << c2;
+        let mt = 1usize << t;
+        for i in 0..self.amps.len() {
+            if i & m1 != 0 && i & m2 != 0 && i & mt == 0 {
+                self.amps.swap(i, i | mt);
+            }
+        }
+    }
+
+    /// Measures qubit `q` in the computational basis, **collapsing** the
+    /// state and renormalizing. Returns the observed bit.
+    pub fn measure_qubit<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> bool {
+        self.check_qubit(q);
+        let mask = 1usize << q;
+        let p_one: f64 = self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        let outcome = rng.random::<f64>() < p_one;
+        let keep_mask_set = outcome;
+        let norm = if outcome { p_one.sqrt() } else { (1.0 - p_one).sqrt() };
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if (i & mask != 0) == keep_mask_set {
+                *a = a.scale(1.0 / norm);
+            } else {
+                *a = Complex::ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// Samples `shots` full measurements (without collapsing) and returns
+    /// outcome counts indexed by basis state.
+    pub fn sample_counts<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> Vec<usize> {
+        let mut counts = vec![0usize; self.amps.len()];
+        for _ in 0..shots {
+            counts[self.measure(rng)] += 1;
+        }
+        counts
+    }
+
+    /// Controlled-NOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t` or either is out of range.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        self.check_qubit(c);
+        self.check_qubit(t);
+        assert_ne!(c, t, "control and target must differ");
+        let cm = 1usize << c;
+        let tm = 1usize << t;
+        for i in 0..self.amps.len() {
+            if i & cm != 0 && i & tm == 0 {
+                self.amps.swap(i, i | tm);
+            }
+        }
+    }
+
+    /// Controlled-Z between qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either is out of range.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        assert_ne!(a, b, "control and target must differ");
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & am != 0 && i & bm != 0 {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// A phase oracle: flips the sign of every basis state satisfying
+    /// `pred`. This is the gate-level form of
+    /// [`SearchState::reflect_marked`](crate::SearchState::reflect_marked);
+    /// in hardware it would be compiled from the reversible classical
+    /// circuit for `pred`.
+    pub fn phase_flip_where(&mut self, pred: impl Fn(usize) -> bool) {
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if pred(i) {
+                *a = -*a;
+            }
+        }
+    }
+
+    /// The Grover diffusion operator `2|s⟩⟨s| − I` (reflection about the
+    /// uniform state), implemented as `H^{⊗n} · (2|0⟩⟨0| − I) · H^{⊗n}`.
+    pub fn diffusion(&mut self) {
+        for q in 0..self.n_qubits {
+            self.h(q);
+        }
+        // 2|0⟩⟨0| − I: flip the sign of everything except |0…0⟩.
+        self.phase_flip_where(|i| i != 0);
+        for q in 0..self.n_qubits {
+            self.h(q);
+        }
+    }
+
+    /// Prepares the uniform superposition from `|0…0⟩` (applies `H` to every
+    /// qubit).
+    pub fn prepare_uniform(&mut self) {
+        for q in 0..self.n_qubits {
+            self.h(q);
+        }
+    }
+
+    /// Runs `k` Grover iterations (oracle + diffusion) for the given marked
+    /// predicate.
+    pub fn grover(&mut self, marked: impl Fn(usize) -> bool, k: u64) {
+        for _ in 0..k {
+            self.phase_flip_where(&marked);
+            self.diffusion();
+        }
+    }
+
+    /// Samples a measurement of all qubits in the computational basis,
+    /// returning the basis index. The state is not collapsed.
+    pub fn measure<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = self.norm_squared();
+        let mut target = rng.random::<f64>() * total;
+        for (i, a) in self.amps.iter().enumerate() {
+            target -= a.norm_sqr();
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchState;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn hadamard_creates_superposition() {
+        let mut r = Register::new(1);
+        r.h(0);
+        assert!((r.probability(0) - 0.5).abs() < EPS);
+        assert!((r.probability(1) - 0.5).abs() < EPS);
+        r.h(0); // H is self-inverse
+        assert!((r.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn x_and_cnot_truth_table() {
+        let mut r = Register::new(2);
+        r.x(0); // |01⟩ (qubit 0 set)
+        r.cnot(0, 1); // |11⟩
+        assert!((r.probability(0b11) - 1.0).abs() < EPS);
+        r.cnot(0, 1); // back to |01⟩
+        assert!((r.probability(0b01) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let mut a = Register::new(1);
+        a.h(0);
+        a.z(0);
+        a.h(0);
+        let mut b = Register::new(1);
+        b.x(0);
+        for i in 0..2 {
+            assert!((a.amplitude(i) - b.amplitude(i)).norm_sqr() < EPS);
+        }
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_conditional() {
+        let mut r = Register::new(2);
+        r.h(0);
+        r.h(1);
+        r.cz(0, 1);
+        // Only |11⟩ picks up the minus sign.
+        assert!((r.amplitude(0b11).re + 0.5).abs() < EPS);
+        assert!((r.amplitude(0b01).re - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn phase_gate_rotates() {
+        let mut r = Register::new(1);
+        r.x(0);
+        r.phase(0, std::f64::consts::FRAC_PI_2);
+        let a = r.amplitude(1);
+        assert!(a.re.abs() < EPS && (a.im - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut r = Register::new(3);
+        r.h(0);
+        r.cnot(0, 1);
+        r.cnot(1, 2);
+        assert!((r.probability(0b000) - 0.5).abs() < EPS);
+        assert!((r.probability(0b111) - 0.5).abs() < EPS);
+        assert!(r.probability_where(|i| i != 0 && i != 7) < EPS);
+    }
+
+    #[test]
+    fn grover_matches_closed_form_and_search_state() {
+        let n_qubits = 5;
+        let n = 1usize << n_qubits;
+        let marked = |i: usize| i == 19;
+        let p = 1.0 / n as f64;
+
+        let mut reg = Register::new(n_qubits);
+        reg.prepare_uniform();
+        let init = SearchState::uniform(n);
+        let mut amp_state = init.clone();
+
+        for k in 0..=8u64 {
+            let expect = SearchState::grover_success_probability(p, k);
+            let reg_p = reg.probability_where(marked);
+            let amp_p = amp_state.probability_of(marked);
+            assert!((reg_p - expect).abs() < 1e-9, "gate-level k={k}: {reg_p} vs {expect}");
+            assert!((amp_p - expect).abs() < 1e-9, "amplitude k={k}: {amp_p} vs {expect}");
+            // Full per-amplitude equivalence (gate-level state stays real).
+            for i in 0..n {
+                let g = reg.amplitude(i);
+                assert!(g.im.abs() < 1e-9);
+                assert!((g.re - amp_state.amplitude(i)).abs() < 1e-9);
+            }
+            reg.grover(marked, 1);
+            amp_state.grover_iteration(&init, marked);
+        }
+    }
+
+    #[test]
+    fn grover_optimal_iterations_find_the_needle() {
+        let n_qubits = 6;
+        let n = 1usize << n_qubits;
+        let target = 45usize;
+        let k = ((std::f64::consts::FRAC_PI_4) * (n as f64).sqrt()).floor() as u64;
+        let mut reg = Register::new(n_qubits);
+        reg.prepare_uniform();
+        reg.grover(|i| i == target, k);
+        assert!(reg.probability(target) > 0.99);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(reg.measure(&mut rng), target);
+    }
+
+    #[test]
+    fn diffusion_preserves_uniform_state() {
+        let mut r = Register::new(4);
+        r.prepare_uniform();
+        let before: Vec<Complex> = (0..16).map(|i| r.amplitude(i)).collect();
+        r.diffusion();
+        for (i, b) in before.iter().enumerate() {
+            assert!((r.amplitude(i) - *b).norm_sqr() < EPS);
+        }
+    }
+
+    #[test]
+    fn norm_preserved_by_all_gates() {
+        let mut r = Register::new(3);
+        r.h(0);
+        r.cnot(0, 1);
+        r.phase(2, 1.234);
+        r.z(1);
+        r.cz(0, 2);
+        r.x(2);
+        r.diffusion();
+        assert!((r.norm_squared() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qubit_bounds_checked() {
+        let mut r = Register::new(2);
+        r.h(5);
+    }
+
+    #[test]
+    fn s_and_t_gate_algebra() {
+        // S² = Z and T⁴ = Z on a superposed state.
+        let mut a = Register::new(1);
+        a.h(0);
+        a.s(0);
+        a.s(0);
+        let mut b = Register::new(1);
+        b.h(0);
+        b.z(0);
+        for i in 0..2 {
+            assert!((a.amplitude(i) - b.amplitude(i)).norm_sqr() < EPS);
+        }
+        let mut c = Register::new(1);
+        c.h(0);
+        for _ in 0..4 {
+            c.t(0);
+        }
+        for i in 0..2 {
+            assert!((c.amplitude(i) - b.amplitude(i)).norm_sqr() < EPS);
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut r = Register::new(3);
+        r.x(0); // |001⟩
+        r.swap(0, 2); // |100⟩
+        assert!((r.probability(0b100) - 1.0).abs() < EPS);
+        // Swap on a superposition: H(0) then swap(0,1) == H(1).
+        let mut a = Register::new(2);
+        a.h(0);
+        a.swap(0, 1);
+        let mut b = Register::new(2);
+        b.h(1);
+        for i in 0..4 {
+            assert!((a.amplitude(i) - b.amplitude(i)).norm_sqr() < EPS);
+        }
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for (c1, c2, expect_flip) in
+            [(false, false, false), (true, false, false), (false, true, false), (true, true, true)]
+        {
+            let mut r = Register::new(3);
+            if c1 {
+                r.x(0);
+            }
+            if c2 {
+                r.x(1);
+            }
+            r.toffoli(0, 1, 2);
+            let expected = usize::from(c1) | usize::from(c2) << 1 | usize::from(expect_flip) << 2;
+            assert!((r.probability(expected) - 1.0).abs() < EPS, "inputs {c1}/{c2}");
+        }
+    }
+
+    #[test]
+    fn ry_rotates_bloch_vector() {
+        let mut r = Register::new(1);
+        r.ry(0, std::f64::consts::FRAC_PI_2); // |0⟩ → (|0⟩+|1⟩)/√2
+        assert!((r.probability(0) - 0.5).abs() < EPS);
+        r.ry(0, std::f64::consts::FRAC_PI_2); // → |1⟩
+        assert!((r.probability(1) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn partial_measurement_collapses_bell_pair() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut ones = 0;
+        for _ in 0..40 {
+            let mut r = Register::new(2);
+            r.h(0);
+            r.cnot(0, 1);
+            let first = r.measure_qubit(0, &mut rng);
+            // Perfect correlation: the second qubit must agree.
+            let second = r.measure_qubit(1, &mut rng);
+            assert_eq!(first, second, "Bell pair correlation broken");
+            assert!((r.norm_squared() - 1.0).abs() < EPS, "collapse must renormalize");
+            ones += usize::from(first);
+        }
+        assert!((10..=30).contains(&ones), "outcomes far from 50/50: {ones}/40");
+    }
+
+    #[test]
+    fn sample_counts_match_distribution() {
+        let mut r = Register::new(2);
+        r.ry(0, 2.0 * (0.25_f64.sqrt()).asin()); // P(qubit0 = 1) = 1/4
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts = r.sample_counts(4000, &mut rng);
+        let p1 = counts[1] as f64 / 4000.0;
+        assert!((p1 - 0.25).abs() < 0.05, "sampled {p1} vs 0.25");
+        assert_eq!(counts.iter().sum::<usize>(), 4000);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.norm_sqr() - 5.0).abs() < EPS);
+        assert_eq!(format!("{}", Complex::ONE), "+1.000000+0.000000i");
+    }
+}

@@ -1,0 +1,145 @@
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counts applications of the black-box unitaries consumed by a quantum
+/// search, in the accounting of Theorem 6 / Corollary 1 / Theorem 7 of the
+/// paper.
+///
+/// One Grover iteration applies the checking/evaluation oracle once
+/// (phase-flip form: the classical procedure, the phase, and the uncompute
+/// are one `Evaluation`+`Evaluation⁻¹` pair) and the diffusion once (one
+/// `Setup`+`Setup⁻¹` pair). Theorem 7 charges each unitary *or its inverse*
+/// its full distributed round schedule, so the conversion to CONGEST rounds
+/// is
+///
+/// `rounds = T_init + setup_ops() · T_setup + evaluation_ops() · T_eval`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleCost {
+    /// Applications of `Setup` (counting inverses separately).
+    pub setup: u64,
+    /// Applications of the checking/evaluation oracle (counting inverses
+    /// separately).
+    pub evaluation: u64,
+    /// Grover iterations performed.
+    pub iterations: u64,
+    /// Measurements of the internal register.
+    pub measurements: u64,
+}
+
+impl OracleCost {
+    /// The zero cost.
+    pub fn new() -> Self {
+        OracleCost::default()
+    }
+
+    /// Cost of preparing the initial superposition once.
+    pub fn charge_state_preparation(&mut self) {
+        self.setup += 1;
+    }
+
+    /// Cost of `k` Grover iterations.
+    pub fn charge_iterations(&mut self, k: u64) {
+        self.iterations += k;
+        // Oracle applied forward and uncomputed; diffusion uses Setup and
+        // its inverse.
+        self.evaluation += 2 * k;
+        self.setup += 2 * k;
+    }
+
+    /// Cost of one classical verification of a measured candidate (one
+    /// evaluation of `f` outside superposition).
+    pub fn charge_verification(&mut self) {
+        self.evaluation += 1;
+    }
+
+    /// Cost of one measurement.
+    pub fn charge_measurement(&mut self) {
+        self.measurements += 1;
+    }
+
+    /// Total `Setup`/`Setup⁻¹` applications.
+    pub fn setup_ops(&self) -> u64 {
+        self.setup
+    }
+
+    /// Total `Evaluation`/`Evaluation⁻¹` applications.
+    pub fn evaluation_ops(&self) -> u64 {
+        self.evaluation
+    }
+
+    /// Total black-box operator applications (the quantity bounded by
+    /// `O(√(log(1/δ)/ε))` in Theorem 6).
+    pub fn total_ops(&self) -> u64 {
+        self.setup + self.evaluation
+    }
+}
+
+impl Add for OracleCost {
+    type Output = OracleCost;
+    fn add(self, rhs: OracleCost) -> OracleCost {
+        OracleCost {
+            setup: self.setup + rhs.setup,
+            evaluation: self.evaluation + rhs.evaluation,
+            iterations: self.iterations + rhs.iterations,
+            measurements: self.measurements + rhs.measurements,
+        }
+    }
+}
+
+impl AddAssign for OracleCost {
+    fn add_assign(&mut self, rhs: OracleCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for OracleCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "setup={} evaluation={} iterations={} measurements={}",
+            self.setup, self.evaluation, self.iterations, self.measurements
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut c = OracleCost::new();
+        c.charge_state_preparation();
+        c.charge_iterations(3);
+        c.charge_measurement();
+        c.charge_verification();
+        assert_eq!(c.setup, 1 + 6);
+        assert_eq!(c.evaluation, 6 + 1);
+        assert_eq!(c.iterations, 3);
+        assert_eq!(c.measurements, 1);
+        assert_eq!(c.total_ops(), 14);
+    }
+
+    #[test]
+    fn add_combines_fields() {
+        let mut a = OracleCost::new();
+        a.charge_iterations(1);
+        let mut b = OracleCost::new();
+        b.charge_iterations(2);
+        b.charge_measurement();
+        let c = a + b;
+        assert_eq!(c.iterations, 3);
+        assert_eq!(c.measurements, 1);
+        a += b;
+        assert_eq!(a.iterations, 3);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let c = OracleCost::new();
+        let s = c.to_string();
+        for field in ["setup", "evaluation", "iterations", "measurements"] {
+            assert!(s.contains(field));
+        }
+    }
+}

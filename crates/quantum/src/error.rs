@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the quantum search primitives.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum QuantumError {
+    /// The search domain is empty or all amplitudes are zero.
+    EmptyState,
+    /// A parameter is outside its documented domain.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QuantumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantumError::EmptyState => write!(f, "search state is empty or has zero norm"),
+            QuantumError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for QuantumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(QuantumError::EmptyState.to_string(), "search state is empty or has zero norm");
+        let e = QuantumError::InvalidParameter { reason: "eps must be positive".into() };
+        assert!(e.to_string().contains("eps"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuantumError>();
+    }
+}

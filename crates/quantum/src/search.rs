@@ -1,0 +1,265 @@
+use rand::{Rng, RngExt};
+
+use crate::QuantumError;
+
+/// A real amplitude vector over a finite search domain `X = {0, …, N-1}`,
+/// together with the two Grover reflections.
+///
+/// All states arising in the paper's algorithms have real nonnegative
+/// initial amplitudes and evolve only under the two reflections, so real
+/// arithmetic simulates them exactly.
+///
+/// # Example
+///
+/// ```
+/// use quantum::SearchState;
+///
+/// let mut s = SearchState::uniform(4);
+/// let marked = |x: usize| x == 2;
+/// // One Grover iteration on N=4 with one marked item boosts the success
+/// // probability from 1/4 to exactly 1.
+/// s.grover_iteration(&SearchState::uniform(4), marked);
+/// assert!((s.probability_of(marked) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchState {
+    amps: Vec<f64>,
+}
+
+impl SearchState {
+    /// The uniform superposition over `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "domain must be nonempty");
+        SearchState { amps: vec![1.0 / (n as f64).sqrt(); n] }
+    }
+
+    /// A state with the given amplitudes, normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::EmptyState`] if the vector is empty or has
+    /// zero norm.
+    pub fn from_amplitudes(amps: Vec<f64>) -> Result<Self, QuantumError> {
+        let norm2: f64 = amps.iter().map(|a| a * a).sum();
+        if amps.is_empty() || norm2 <= 0.0 {
+            return Err(QuantumError::EmptyState);
+        }
+        let norm = norm2.sqrt();
+        Ok(SearchState { amps: amps.into_iter().map(|a| a / norm).collect() })
+    }
+
+    /// The uniform superposition over the items selected by `support`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::EmptyState`] if no item is selected.
+    pub fn uniform_over(n: usize, support: impl Fn(usize) -> bool) -> Result<Self, QuantumError> {
+        let amps: Vec<f64> = (0..n).map(|x| if support(x) { 1.0 } else { 0.0 }).collect();
+        SearchState::from_amplitudes(amps)
+    }
+
+    /// Domain size `N`.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The amplitude of item `x`.
+    pub fn amplitude(&self, x: usize) -> f64 {
+        self.amps[x]
+    }
+
+    /// The probability of measuring item `x`.
+    pub fn probability(&self, x: usize) -> f64 {
+        self.amps[x] * self.amps[x]
+    }
+
+    /// Total probability mass on items satisfying `marked`.
+    pub fn probability_of(&self, marked: impl Fn(usize) -> bool) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|&(x, _)| marked(x))
+            .map(|(_, a)| a * a)
+            .sum()
+    }
+
+    /// Squared norm (should stay 1 up to rounding; exposed for tests).
+    pub fn norm_squared(&self) -> f64 {
+        self.amps.iter().map(|a| a * a).sum()
+    }
+
+    /// The oracle reflection: negates the amplitude of marked items.
+    pub fn reflect_marked(&mut self, marked: impl Fn(usize) -> bool) {
+        for (x, a) in self.amps.iter_mut().enumerate() {
+            if marked(x) {
+                *a = -*a;
+            }
+        }
+    }
+
+    /// Reflection about `axis`: `ψ ← 2⟨axis|ψ⟩·axis − ψ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states have different domain sizes.
+    pub fn reflect_about(&mut self, axis: &SearchState) {
+        assert_eq!(self.len(), axis.len(), "domain size mismatch");
+        let inner: f64 = self.amps.iter().zip(&axis.amps).map(|(a, b)| a * b).sum();
+        for (a, b) in self.amps.iter_mut().zip(&axis.amps) {
+            *a = 2.0 * inner * b - *a;
+        }
+    }
+
+    /// One Grover iteration: oracle reflection followed by reflection about
+    /// the initial state `init`.
+    pub fn grover_iteration(&mut self, init: &SearchState, marked: impl Fn(usize) -> bool) {
+        self.reflect_marked(marked);
+        self.reflect_about(init);
+    }
+
+    /// Applies `k` Grover iterations.
+    pub fn grover_iterations(
+        &mut self,
+        init: &SearchState,
+        marked: impl Fn(usize) -> bool,
+        k: u64,
+    ) {
+        for _ in 0..k {
+            self.grover_iteration(init, &marked);
+        }
+    }
+
+    /// Samples a measurement outcome in the computational basis.
+    ///
+    /// Uses the exact probabilities `|amp|²`; the state is *not* collapsed
+    /// (callers in this workspace always re-prepare).
+    pub fn measure<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = self.norm_squared();
+        let mut target = rng.random::<f64>() * total;
+        for (x, a) in self.amps.iter().enumerate() {
+            target -= a * a;
+            if target <= 0.0 {
+                return x;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// The closed-form success probability of running `k` Grover iterations
+    /// from the uniform superposition with marked mass `p`:
+    /// `sin²((2k+1)·asin(√p))`.
+    ///
+    /// Used by tests to validate the simulated evolution.
+    pub fn grover_success_probability(p: f64, k: u64) -> f64 {
+        let theta = p.clamp(0.0, 1.0).sqrt().asin();
+        ((2 * k + 1) as f64 * theta).sin().powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_is_normalized() {
+        let s = SearchState::uniform(10);
+        assert!((s.norm_squared() - 1.0).abs() < 1e-12);
+        assert!((s.probability(3) - 0.1).abs() < 1e-12);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = SearchState::from_amplitudes(vec![3.0, 4.0]).unwrap();
+        assert!((s.amplitude(0) - 0.6).abs() < 1e-12);
+        assert!((s.amplitude(1) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_zero_norm() {
+        assert_eq!(SearchState::from_amplitudes(vec![]), Err(QuantumError::EmptyState));
+        assert_eq!(SearchState::from_amplitudes(vec![0.0, 0.0]), Err(QuantumError::EmptyState));
+    }
+
+    #[test]
+    fn uniform_over_support() {
+        let s = SearchState::uniform_over(6, |x| x % 2 == 0).unwrap();
+        assert!((s.probability_of(|x| x % 2 == 0) - 1.0).abs() < 1e-12);
+        assert_eq!(s.amplitude(1), 0.0);
+        assert!(SearchState::uniform_over(6, |_| false).is_err());
+    }
+
+    #[test]
+    fn grover_matches_closed_form() {
+        let n = 64;
+        let marked = |x: usize| x < 3; // p = 3/64
+        let init = SearchState::uniform(n);
+        let mut s = init.clone();
+        let p = 3.0 / 64.0;
+        for k in 0..20u64 {
+            let expect = SearchState::grover_success_probability(p, k);
+            let got = s.probability_of(marked);
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "k={k}: closed form {expect} vs simulated {got}"
+            );
+            s.grover_iteration(&init, marked);
+        }
+    }
+
+    #[test]
+    fn norm_is_preserved_by_reflections() {
+        let init = SearchState::uniform(37);
+        let mut s = init.clone();
+        s.grover_iterations(&init, |x| x % 5 == 0, 50);
+        assert!((s.norm_squared() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reflect_about_is_involution() {
+        let axis = SearchState::uniform(8);
+        let mut s = SearchState::from_amplitudes((0..8).map(|x| x as f64).collect()).unwrap();
+        let orig = s.clone();
+        s.reflect_about(&axis);
+        s.reflect_about(&axis);
+        for x in 0..8 {
+            assert!((s.amplitude(x) - orig.amplitude(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn measure_respects_distribution() {
+        let s = SearchState::from_amplitudes(vec![0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(s.measure(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn measure_is_roughly_uniform_on_uniform_state() {
+        let s = SearchState::uniform(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[s.measure(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?} far from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain size mismatch")]
+    fn reflect_about_size_mismatch_panics() {
+        let mut s = SearchState::uniform(4);
+        s.reflect_about(&SearchState::uniform(5));
+    }
+}

@@ -1,0 +1,107 @@
+//! The lower-bound constructions of Sections 5–6: build the disjointness
+//! gadgets, watch the diameter encode `DISJ(x, y)`, and price the two-party
+//! simulation.
+//!
+//! Run with: `cargo run --release --example lower_bound_gadgets`
+
+use congest_diameter::prelude::*;
+
+use commcc::bit_gadget::BitGadgetReduction;
+use commcc::hw::HwReduction;
+use commcc::simulation::{decide_disj_via_diameter, TwoPartyPlan};
+use commcc::stretch::StretchedReduction;
+use commcc::{bounds, disj};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Theorem 8 / Figure 4: diameter 2 vs 3 encodes DISJ on Θ(n²) bits.
+    println!("Theorem 8 (HW12 gadget, Figure 4): k = s², b = Θ(n), gap 2 vs 3");
+    let red = HwReduction::new(8);
+    for disjoint in [true, false] {
+        let (x, y) = disj::random_instance(red.k(), disjoint, 3);
+        let g = red.build(&x, &y);
+        println!(
+            "  DISJ = {:<5} → diameter {}  (n = {}, cut = {} edges)",
+            disjoint,
+            g.diameter().unwrap(),
+            red.num_nodes(),
+            red.b()
+        );
+    }
+    println!(
+        "  ⇒ Theorem 2 lower bound: Ω̃(√(k/b)) = Ω̃(√n) ≈ {:.0} rounds at n = {}\n",
+        bounds::theorem10_rounds_lower_bound((red.k()) as u64, red.b() as u64),
+        red.num_nodes()
+    );
+
+    // --- Theorem 9 gadget: sparse cut.
+    println!("Theorem 9 (bit gadget): k = Θ(n), b = Θ(log n), gap 4 vs 5");
+    let base = BitGadgetReduction::new(32);
+    for disjoint in [true, false] {
+        let (x, y) = disj::random_instance(base.k(), disjoint, 9);
+        let g = base.build(&x, &y);
+        println!(
+            "  DISJ = {:<5} → diameter {}  (n = {}, cut = {} edges)",
+            disjoint,
+            g.diameter().unwrap(),
+            base.num_nodes(),
+            base.b()
+        );
+    }
+
+    // --- Figure 8: stretch the cut to dial the diameter up.
+    println!("\nFigure 8: stretching each cut edge through d dummies → gap d+4 vs d+5");
+    for d in [2usize, 6, 12] {
+        let red = StretchedReduction::new(base, d);
+        let (x0, y0) = disj::random_instance(base.k(), true, 1);
+        let (x1, y1) = disj::random_instance(base.k(), false, 1);
+        let g0 = red.build(&x0, &y0);
+        let g1 = red.build(&x1, &y1);
+        println!(
+            "  d = {d:>2}: n' = {:>4}, diameters {} (disjoint) vs {} (intersecting)",
+            red.num_nodes(),
+            g0.diameter().unwrap(),
+            g1.diameter().unwrap(),
+        );
+    }
+
+    // --- Theorems 10/11 end to end: decide DISJ by *running* a real
+    // distributed diameter computation on G'(x, y) and pricing its
+    // two-party simulation.
+    println!("\nTheorem 10/11 pipeline on G'(x, y) (d = 6):");
+    let red = StretchedReduction::new(base, 6);
+    for disjoint in [true, false] {
+        let (x, y) = disj::random_instance(base.k(), disjoint, 4);
+        let g = red.build(&x, &y);
+        let cfg = Config::for_graph(&g.graph);
+        let out = decide_disj_via_diameter(&red, &x, &y, 64, cfg)?;
+        println!(
+            "  DISJ = {:<5} recovered: {:<5} | r = {} rounds → {} messages, {} qubits",
+            disjoint,
+            out.answer,
+            out.distributed_rounds,
+            out.plan.messages(),
+            out.plan.total_qubits()
+        );
+    }
+
+    // --- The Theorem 3 landscape: Ω̃(√(nD)/s) for s-qubit-memory nodes.
+    println!("\nTheorem 3: round lower bounds Ω̃(√(nD)/s) at n = 4096:");
+    println!("  {:>6} {:>8} {:>14}", "D", "s (mem)", "LB rounds");
+    for &(d, s) in &[(16u64, 16u64), (16, 256), (256, 16), (256, 256)] {
+        println!(
+            "  {:>6} {:>8} {:>14.0}",
+            d,
+            s,
+            bounds::theorem3_rounds_lower_bound(4096, d, s)
+        );
+    }
+
+    // Show the block schedule shape of the simulation (Figures 6-7).
+    let plan = TwoPartyPlan::new(600, 100, 12, 64);
+    println!(
+        "\nFigure 6/7 schedule for r = 600, d = 100: {} alternating blocks → {} messages",
+        plan.turns(),
+        plan.messages()
+    );
+    Ok(())
+}

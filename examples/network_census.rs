@@ -1,0 +1,74 @@
+//! Network census: one pass over a topology zoo computing every structural
+//! quantity this workspace can produce distributedly — diameter, radius,
+//! girth (the full PRT12 pair), a 3/2-approximation, and per-node source
+//! detection — with round costs side by side.
+//!
+//! Run with: `cargo run --release --example network_census`
+
+use congest_diameter::prelude::*;
+
+use classical::hprw::{self, HprwParams};
+use classical::{apsp, girth, source_detection};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let zoo: Vec<(&str, graphs::Graph)> = vec![
+        ("ring (64)", graphs::generators::cycle(64)),
+        ("grid 8x8", graphs::generators::grid(8, 8)),
+        ("hypercube 6", graphs::generators::hypercube(6)),
+        ("torus 8x8", graphs::generators::torus(8, 8)),
+        ("barbell 20+24", graphs::generators::barbell(20, 24)),
+        ("sparse random", graphs::generators::random_sparse(64, 5.0, 3)),
+        ("random tree", graphs::generators::random_tree(64, 9)),
+    ];
+
+    println!(
+        "{:>15} {:>4} {:>4} {:>6} {:>5} {:>9} {:>9} {:>10}",
+        "topology", "D", "rad", "girth", "D̄", "exact rds", "girth rds", "approx rds"
+    );
+    for (name, g) in &zoo {
+        let cfg = Config::for_graph(g);
+        let exact = apsp::exact_diameter(g, cfg)?;
+        let gir = girth::compute(g, cfg)?;
+        let approx = hprw::approx_diameter(g, HprwParams::classical(g.len(), 1), cfg)?;
+
+        // Cross-check against centralized references.
+        assert_eq!(Some(exact.diameter), graphs::metrics::diameter(g));
+        assert_eq!(Some(exact.radius), graphs::metrics::radius(g));
+        assert_eq!(gir.girth, graphs::metrics::girth(g));
+
+        println!(
+            "{:>15} {:>4} {:>4} {:>6} {:>5} {:>9} {:>9} {:>10}",
+            name,
+            exact.diameter,
+            exact.radius,
+            gir.girth.map_or("—".into(), |x| x.to_string()),
+            approx.estimate,
+            exact.rounds(),
+            gir.rounds(),
+            approx.rounds(),
+        );
+    }
+
+    // Source detection (LP13): landmark distances for compact routing.
+    println!("\nLP13 (S, γ, σ)-source detection on the 8x8 grid:");
+    let g = graphs::generators::grid(8, 8);
+    let cfg = Config::for_graph(&g);
+    let landmarks = [NodeId::new(0), NodeId::new(7), NodeId::new(56), NodeId::new(63)];
+    let out = source_detection::detect(&g, &landmarks, 2, 14, cfg)?;
+    println!(
+        "  every node knows its 2 nearest corners in {} rounds (γ + σ + 2)",
+        out.stats.rounds
+    );
+    let center = 3 * 8 + 3; // node (3,3)
+    println!(
+        "  e.g. node (3,3): {:?}",
+        out.lists[center]
+            .iter()
+            .map(|&(d, s)| format!("corner {s} at distance {d}"))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(out.lists, source_detection::reference(&g, &landmarks, 2, 14));
+
+    println!("\nall quantities verified against centralized references.");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: compute a network's diameter classically and quantumly, and
+//! compare round counts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use congest_diameter::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 200-node sparse random network (average degree ≈ 6).
+    let g = graphs::generators::random_sparse(200, 6.0, 42);
+    let cfg = Config::for_graph(&g);
+    println!("network: {} nodes, {} edges", g.len(), g.num_edges());
+
+    // Ground truth from the centralized reference algorithm.
+    let reference = graphs::metrics::diameter(&g).expect("graph is connected");
+    println!("reference diameter: {reference}");
+
+    // Classical exact computation: Θ(n) rounds (PRT12/HW12 baseline).
+    let classical = classical::apsp::exact_diameter(&g, cfg)?;
+    println!("\nclassical exact (Table 1 row 1):");
+    println!("{}", classical.ledger);
+    assert_eq!(classical.diameter, reference);
+
+    // Quantum exact computation: Õ(√(nD)) rounds (Theorem 1).
+    let quantum = quantum_diameter::exact::diameter(&g, ExactParams::new(7), cfg)?;
+    assert_eq!(quantum.value, reference);
+    println!("\nquantum exact (Theorem 1):");
+    println!("  initialization rounds: {}", quantum.init_ledger.total_rounds());
+    println!(
+        "  oracle calls: {} (setup {}, evaluation {})",
+        quantum.oracle.total_ops(),
+        quantum.oracle.setup_ops(),
+        quantum.oracle.evaluation_ops()
+    );
+    println!(
+        "  per-op schedule: setup {} rounds, evaluation {} rounds",
+        quantum.oracle_schedule.setup_rounds, quantum.oracle_schedule.evaluation_rounds
+    );
+    println!("  quantum-phase rounds: {}", quantum.quantum_rounds);
+    println!(
+        "  memory: {} qubits/node, {} at the leader",
+        quantum.memory.per_node_qubits, quantum.memory.leader_qubits
+    );
+
+    println!(
+        "\nTOTAL: classical {} rounds vs quantum {} rounds",
+        classical.rounds(),
+        quantum.rounds()
+    );
+
+    // The classical cost grows like n, the quantum like √(nD); with the real
+    // constants of Dürr–Høyer search the curves cross at large n.
+    // Extrapolate both (the classical schedule is deterministic; the quantum
+    // cost scales as √n at fixed D).
+    let n = g.len() as f64;
+    let d = quantum.d as u64;
+    let q_const = quantum.rounds() as f64 / n.sqrt();
+    println!("\nExtrapolation at fixed D = {}:", 2 * d);
+    println!("{:>10} {:>14} {:>14}", "n", "classical", "quantum (fit)");
+    for scale in [1u64, 8, 64, 512, 4096] {
+        let big_n = (n as u64) * scale;
+        let c = classical::apsp::predicted_rounds(big_n, d as u64);
+        let q = q_const * (big_n as f64).sqrt();
+        println!("{:>10} {:>14} {:>14.0}{}", big_n, c, q, if q < c as f64 { "  ← quantum wins" } else { "" });
+    }
+    Ok(())
+}

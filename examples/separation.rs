@@ -1,0 +1,61 @@
+//! The quantum–classical separation of Table 1: sweep the network size at
+//! near-constant diameter and watch classical `Θ(n)` rounds diverge from
+//! quantum `Õ(√(nD))`.
+//!
+//! Run with: `cargo run --release --example separation`
+
+use congest_diameter::prelude::*;
+
+fn mean_quantum_rounds(g: &graphs::Graph, cfg: Config, seeds: std::ops::Range<u64>) -> f64 {
+    let len = (seeds.end - seeds.start) as f64;
+    let total: u64 = seeds
+        .map(|s| {
+            quantum_diameter::exact::diameter(g, ExactParams::new(s), cfg)
+                .expect("quantum run")
+                .rounds()
+        })
+        .sum();
+    total as f64 / len
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Sparse random networks, average degree 8 (diameter stays small):\n");
+    println!(
+        "{:>6} {:>4} {:>12} {:>14} {:>14} {:>9}",
+        "n", "D", "classical", "quantum (avg)", "LB Ω̃(√n)", "speedup"
+    );
+
+    let mut prev: Option<(f64, f64, f64)> = None;
+    for &n in &[64usize, 128, 256, 512, 1024] {
+        let g = graphs::generators::random_sparse(n, 8.0, 1);
+        let cfg = Config::for_graph(&g);
+        let d = graphs::metrics::diameter(&g).expect("connected");
+        let classical = classical::apsp::exact_diameter(&g, cfg)?.rounds() as f64;
+        let quantum = mean_quantum_rounds(&g, cfg, 0..5);
+        let lb = commcc::bounds::theorem2_rounds_lower_bound(n as u64);
+        println!(
+            "{:>6} {:>4} {:>12.0} {:>14.0} {:>14.0} {:>8.1}x",
+            n,
+            d,
+            classical,
+            quantum,
+            lb,
+            classical / quantum
+        );
+        if let Some((pn, pc, pq)) = prev {
+            let growth = (n as f64 / pn).ln();
+            let c_slope = (classical / pc).ln() / growth;
+            let q_slope = (quantum / pq).ln() / growth;
+            println!(
+                "{:>6} local log-log slope: classical {:.2} (≈1), quantum {:.2} (≈0.5)",
+                "", c_slope, q_slope
+            );
+        }
+        prev = Some((n as f64, classical, quantum));
+    }
+
+    println!("\nThe classical curve grows like n (slope ≈ 1); the quantum curve like");
+    println!("√(nD) (slope ≈ 0.5 at constant D) — the Theorem 1 separation, bounded");
+    println!("below by the unconditional Ω̃(√n) of Theorem 2.");
+    Ok(())
+}

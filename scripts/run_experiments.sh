@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure experiment and collects the outputs under
+# results/. Scale up the sweeps with: QD_SCALE=4 scripts/run_experiments.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p bench --bins
+for bin in table1_exact table1_approx table1_lower_bounds \
+           fig1_bfs fig2_evaluation fig3_approx_phases fig4_hw_gadget \
+           fig5_7_simulation fig8_stretched_gadget \
+           ablation_window memory_scaling qdisj_protocol; do
+  echo "=== $bin ==="
+  ./target/release/$bin | tee "results/$bin.txt"
+done
+echo "all experiment outputs written to results/"

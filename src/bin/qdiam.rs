@@ -1,0 +1,31 @@
+//! `qdiam` — command-line front end for the CONGEST diameter algorithms.
+//!
+//! ```text
+//! qdiam exact --family sparse --n 256 --seed 7 --verbose
+//! qdiam classical --family cycle --n 64
+//! qdiam approx --family er --n 200 --p 0.05 --s 20
+//! ```
+
+use congest_diameter::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Ok(opts) => match cli::run(&opts) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", cli::USAGE);
+            } else {
+                eprintln!("error: {msg}\n");
+                eprint!("{}", cli::USAGE);
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Argument parsing and dispatch for the `qdiam` command-line tool.
+//!
+//! Kept separate from the binary so the parsing and report logic is unit
+//! tested. No external argument-parsing dependency: the grammar is small.
+
+use std::fmt::Write as _;
+
+use classical::hprw::HprwParams;
+use congest::Config;
+use diameter_quantum::approx::{self, ApproxParams};
+use diameter_quantum::exact::ExactParams;
+use diameter_quantum::{exact, exact_simple};
+use graphs::Graph;
+
+/// Which algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Theorem 1: quantum exact diameter in `Õ(√(nD))` rounds.
+    Exact,
+    /// Section 3.1: the simpler quantum exact algorithm, `O(√n·D)` rounds.
+    Simple,
+    /// Theorem 4: quantum 3/2-approximation, `Õ(∛(nD) + D)` rounds.
+    Approx,
+    /// The classical `Θ(n)`-round exact baseline (PRT12/HW12).
+    Classical,
+    /// The classical HPRW 3/2-approximation, `Õ(√n + D)` rounds.
+    ClassicalApprox,
+    /// The trivial 2-approximation (`ecc(leader)`), `O(D)` rounds.
+    TwoApprox,
+    /// The classical `Θ(n)`-round girth computation (PRT12).
+    Girth,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "exact" => Ok(Algorithm::Exact),
+            "simple" => Ok(Algorithm::Simple),
+            "approx" => Ok(Algorithm::Approx),
+            "classical" => Ok(Algorithm::Classical),
+            "classical-approx" => Ok(Algorithm::ClassicalApprox),
+            "two-approx" => Ok(Algorithm::TwoApprox),
+            "girth" => Ok(Algorithm::Girth),
+            other => Err(format!("unknown algorithm '{other}'")),
+        }
+    }
+}
+
+/// Which graph family to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// `P_n` — diameter `n − 1`.
+    Path,
+    /// `C_n` — diameter `⌊n/2⌋`.
+    Cycle,
+    /// Near-square grid with `n` nodes.
+    Grid,
+    /// Uniform random tree.
+    Tree,
+    /// Sparse random graph (average degree from `--degree`).
+    Sparse,
+    /// Erdős–Rényi `G(n, p)` (probability from `--p`), connected.
+    Er,
+    /// Barbell: two cliques and a bridge.
+    Barbell,
+    /// Lollipop: clique with a pendant path.
+    Lollipop,
+    /// Hypercube with at least `n` nodes.
+    Hypercube,
+    /// Load an edge-list file given with `--file` (ignores `--n`).
+    File,
+}
+
+impl Family {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "path" => Ok(Family::Path),
+            "cycle" => Ok(Family::Cycle),
+            "grid" => Ok(Family::Grid),
+            "tree" => Ok(Family::Tree),
+            "sparse" => Ok(Family::Sparse),
+            "er" => Ok(Family::Er),
+            "barbell" => Ok(Family::Barbell),
+            "lollipop" => Ok(Family::Lollipop),
+            "hypercube" => Ok(Family::Hypercube),
+            "file" => Ok(Family::File),
+            other => Err(format!("unknown family '{other}'")),
+        }
+    }
+}
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Graph family.
+    pub family: Family,
+    /// Number of nodes (approximate for grid/hypercube).
+    pub n: usize,
+    /// RNG seed (graph construction and quantum measurement).
+    pub seed: u64,
+    /// Average degree for `--family sparse`.
+    pub degree: f64,
+    /// Edge probability for `--family er`.
+    pub p: f64,
+    /// Cluster-size override for the approximation algorithms.
+    pub s: Option<usize>,
+    /// Quantum failure probability `δ`.
+    pub delta: f64,
+    /// Edge-list file for `--family file`.
+    pub file: Option<String>,
+    /// Print per-phase ledgers.
+    pub verbose: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            algorithm: Algorithm::Exact,
+            family: Family::Sparse,
+            n: 128,
+            seed: 0,
+            degree: 6.0,
+            p: 0.1,
+            s: None,
+            delta: 0.01,
+            file: None,
+            verbose: false,
+        }
+    }
+}
+
+/// Usage text printed on `--help` or a parse error.
+pub const USAGE: &str = "\
+qdiam — quantum CONGEST diameter computation (Le Gall & Magniez, PODC 2018)
+
+USAGE: qdiam <ALGORITHM> [OPTIONS]
+
+ALGORITHMS:
+  exact             quantum exact diameter, Õ(√(nD)) rounds   (Theorem 1)
+  simple            quantum exact, O(√n·D) rounds             (Section 3.1)
+  approx            quantum 3/2-approximation, Õ(∛(nD)+D)     (Theorem 4)
+  classical         classical exact baseline, Θ(n) rounds     (PRT12/HW12)
+  classical-approx  classical 3/2-approximation, Õ(√n+D)      (HPRW14)
+  two-approx        eccentricity of a leader, O(D) rounds
+  girth             classical girth computation, Θ(n) rounds  (PRT12)
+
+OPTIONS:
+  --family F   path|cycle|grid|tree|sparse|er|barbell|lollipop|hypercube|file
+               (default: sparse)
+  --file PATH  edge-list file ('n m' header + 'u v' lines) for --family file
+  --n N        number of nodes (default: 128)
+  --seed S     RNG seed (default: 0)
+  --degree D   average degree for --family sparse (default: 6)
+  --p P        edge probability for --family er (default: 0.1)
+  --s S        cluster-size override for the approximations
+  --delta D    quantum failure probability (default: 0.01)
+  --verbose    print per-phase round ledgers
+  --help       this message
+";
+
+/// Parses arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input; the caller prints
+/// it together with [`USAGE`].
+pub fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut iter = args.iter().peekable();
+    let first = iter.next().ok_or("missing algorithm")?;
+    if first == "--help" || first == "-h" {
+        return Err(String::new()); // caller prints usage
+    }
+    opts.algorithm = Algorithm::parse(first)?;
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            iter.next().ok_or(format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--family" => opts.family = Family::parse(value("--family")?)?,
+            "--n" => {
+                opts.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
+                if opts.n == 0 {
+                    return Err("--n must be positive".into());
+                }
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--degree" => {
+                opts.degree = value("--degree")?.parse().map_err(|e| format!("--degree: {e}"))?
+            }
+            "--p" => opts.p = value("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
+            "--s" => opts.s = Some(value("--s")?.parse().map_err(|e| format!("--s: {e}"))?),
+            "--delta" => {
+                opts.delta = value("--delta")?.parse().map_err(|e| format!("--delta: {e}"))?;
+                if !(opts.delta > 0.0 && opts.delta < 1.0) {
+                    return Err("--delta must be in (0, 1)".into());
+                }
+            }
+            "--file" => opts.file = Some(value("--file")?.clone()),
+            "--verbose" => opts.verbose = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Builds the requested graph.
+///
+/// # Errors
+///
+/// Returns a message for parameter combinations the family rejects.
+pub fn build_graph(opts: &Options) -> Result<Graph, String> {
+    let n = opts.n;
+    let g = match opts.family {
+        Family::Path => graphs::generators::path(n),
+        Family::Cycle => {
+            if n < 3 {
+                return Err("cycle needs --n >= 3".into());
+            }
+            graphs::generators::cycle(n)
+        }
+        Family::Grid => {
+            let rows = (n as f64).sqrt().round().max(1.0) as usize;
+            graphs::generators::grid(rows, n.div_ceil(rows))
+        }
+        Family::Tree => graphs::generators::random_tree(n, opts.seed),
+        Family::Sparse => {
+            if n < 2 {
+                return Err("sparse needs --n >= 2".into());
+            }
+            graphs::generators::random_sparse(n, opts.degree, opts.seed)
+        }
+        Family::Er => graphs::generators::random_connected(n, opts.p, opts.seed),
+        Family::Barbell => {
+            if n < 5 {
+                return Err("barbell needs --n >= 5".into());
+            }
+            graphs::generators::barbell(n / 3, n - 2 * (n / 3))
+        }
+        Family::Lollipop => {
+            if n < 3 {
+                return Err("lollipop needs --n >= 3".into());
+            }
+            graphs::generators::lollipop(n / 2, n - n / 2)
+        }
+        Family::Hypercube => {
+            let dim = (n.max(2) as f64).log2().ceil() as usize;
+            graphs::generators::hypercube(dim.clamp(1, 20))
+        }
+        Family::File => {
+            let path = opts.file.as_ref().ok_or("--family file requires --file PATH")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read '{path}': {e}"))?;
+            graphs::io::parse_edge_list(&text).map_err(|e| format!("'{path}': {e}"))?
+        }
+    };
+    Ok(g)
+}
+
+/// Runs the selected algorithm and renders a report.
+///
+/// # Errors
+///
+/// Propagates algorithm errors as strings.
+pub fn run(opts: &Options) -> Result<String, String> {
+    let g = build_graph(opts)?;
+    let cfg = Config::for_graph(&g);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "graph: {:?} family, {} nodes, {} edges",
+        opts.family,
+        g.len(),
+        g.num_edges()
+    );
+    match opts.algorithm {
+        Algorithm::Exact | Algorithm::Simple => {
+            let params = ExactParams::new(opts.seed).with_failure_prob(opts.delta);
+            let run = if opts.algorithm == Algorithm::Exact {
+                exact::diameter(&g, params, cfg)
+            } else {
+                exact_simple::diameter(&g, params, cfg)
+            }
+            .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "diameter: {}", run.value);
+            let _ = writeln!(
+                out,
+                "rounds: {} (init {} + quantum {})",
+                run.rounds(),
+                run.init_ledger.total_rounds(),
+                run.quantum_rounds
+            );
+            let _ = writeln!(
+                out,
+                "oracle calls: {} | memory: {} qubits/node, {} at leader",
+                run.oracle.total_ops(),
+                run.memory.per_node_qubits,
+                run.memory.leader_qubits
+            );
+            if opts.verbose {
+                let _ = writeln!(out, "--- initialization ledger ---\n{}", run.init_ledger);
+            }
+        }
+        Algorithm::Approx => {
+            let mut params = ApproxParams::new(opts.seed).with_failure_prob(opts.delta);
+            if let Some(s) = opts.s {
+                params = params.with_s(s);
+            }
+            let run = approx::diameter(&g, params, cfg).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "estimate D̄: {} (⌊2D/3⌋ ≤ D̄ ≤ D)", run.estimate);
+            let _ = writeln!(
+                out,
+                "rounds: {} (prep {} + quantum {}) | s = {}",
+                run.rounds(),
+                run.prep_ledger.total_rounds(),
+                run.quantum_rounds,
+                run.s
+            );
+            if opts.verbose {
+                let _ = writeln!(out, "--- preparation ledger ---\n{}", run.prep_ledger);
+            }
+        }
+        Algorithm::Classical => {
+            let run = classical::apsp::exact_diameter(&g, cfg).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "diameter: {} | radius: {}", run.diameter, run.radius);
+            let _ = writeln!(out, "rounds: {}", run.rounds());
+            if opts.verbose {
+                let _ = writeln!(out, "--- ledger ---\n{}", run.ledger);
+            }
+        }
+        Algorithm::ClassicalApprox => {
+            let params = match opts.s {
+                Some(s) => HprwParams::with_s(s, opts.seed),
+                None => HprwParams::classical(g.len(), opts.seed),
+            };
+            let run =
+                classical::hprw::approx_diameter(&g, params, cfg).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "estimate D̄: {} (⌊2D/3⌋ ≤ D̄ ≤ D)", run.estimate);
+            let _ = writeln!(out, "rounds: {} | |R| = {}", run.rounds(), run.r_size);
+            if opts.verbose {
+                let _ = writeln!(out, "--- ledger ---\n{}", run.ledger);
+            }
+        }
+        Algorithm::TwoApprox => {
+            let run = classical::ecc::two_approx(&g, cfg).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "estimate: {} (E ≤ D ≤ 2E) from ecc({})",
+                run.estimate, run.node
+            );
+            let _ = writeln!(out, "rounds: {}", run.stats.rounds);
+        }
+        Algorithm::Girth => {
+            let run = classical::girth::compute(&g, cfg).map_err(|e| e.to_string())?;
+            match run.girth {
+                Some(girth) => {
+                    let _ = writeln!(out, "girth: {girth}");
+                }
+                None => {
+                    let _ = writeln!(out, "girth: none (the network is a tree)");
+                }
+            }
+            let _ = writeln!(out, "rounds: {}", run.rounds());
+            if opts.verbose {
+                let _ = writeln!(out, "--- ledger ---\n{}", run.ledger);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = parse(&args("exact")).unwrap();
+        assert_eq!(o, Options::default());
+        let o = parse(&args(
+            "approx --family cycle --n 64 --seed 9 --s 12 --delta 0.001 --verbose",
+        ))
+        .unwrap();
+        assert_eq!(o.algorithm, Algorithm::Approx);
+        assert_eq!(o.family, Family::Cycle);
+        assert_eq!(o.n, 64);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.s, Some(12));
+        assert_eq!(o.delta, 0.001);
+        assert!(o.verbose);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&args("warp-drive")).is_err());
+        assert!(parse(&args("exact --n")).is_err());
+        assert!(parse(&args("exact --n zero")).is_err());
+        assert!(parse(&args("exact --n 0")).is_err());
+        assert!(parse(&args("exact --delta 2")).is_err());
+        assert!(parse(&args("exact --what 3")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn build_graph_families() {
+        for family in ["path", "cycle", "grid", "tree", "sparse", "er", "barbell", "lollipop"] {
+            let o = parse(&args(&format!("exact --family {family} --n 24"))).unwrap();
+            let g = build_graph(&o).unwrap();
+            assert!(graphs::traversal::is_connected(&g), "{family}");
+            assert!(g.len() >= 20, "{family} built only {} nodes", g.len());
+        }
+        let o = parse(&args("exact --family hypercube --n 30")).unwrap();
+        assert_eq!(build_graph(&o).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn file_family_loads_edge_lists() {
+        let dir = std::env::temp_dir().join("qdiam-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring.edges");
+        std::fs::write(&path, graphs::io::to_edge_list(&graphs::generators::cycle(12))).unwrap();
+        let o = parse(&args(&format!("classical --family file --file {}", path.display())))
+            .unwrap();
+        let report = run(&o).unwrap();
+        assert!(report.contains("diameter: 6"), "{report}");
+        // Missing --file is a clear error.
+        let o = parse(&args("classical --family file")).unwrap();
+        assert!(run(&o).unwrap_err().contains("--file"));
+    }
+
+    #[test]
+    fn run_each_algorithm_end_to_end() {
+        for algo in
+            ["exact", "simple", "approx", "classical", "classical-approx", "two-approx", "girth"]
+        {
+            let o = parse(&args(&format!("{algo} --family cycle --n 16 --verbose"))).unwrap();
+            let report = run(&o).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(report.contains("rounds"), "{algo} report missing rounds:\n{report}");
+        }
+    }
+
+    #[test]
+    fn reports_are_consistent_with_each_other() {
+        let exact = run(&parse(&args("classical --family grid --n 25")).unwrap()).unwrap();
+        let quantum = run(&parse(&args("exact --family grid --n 25")).unwrap()).unwrap();
+        // Both must state the same diameter (8 for a 5x5 grid).
+        assert!(exact.contains("diameter: 8"), "{exact}");
+        assert!(quantum.contains("diameter: 8"), "{quantum}");
+    }
+}

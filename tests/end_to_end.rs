@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: every algorithm in the workspace run
+//! against every other and against centralized ground truth.
+
+use congest_diameter::prelude::*;
+
+use classical::hprw::{self, HprwParams};
+use commcc::bit_gadget::BitGadgetReduction;
+use commcc::hw::HwReduction;
+use commcc::reduction::Reduction;
+use commcc::simulation::decide_disj_via_diameter;
+use commcc::stretch::StretchedReduction;
+use commcc::{bounds, disj};
+use quantum_diameter::{approx, evaluation, exact, exact_simple};
+
+fn families() -> Vec<(&'static str, graphs::Graph)> {
+    vec![
+        ("path", graphs::generators::path(24)),
+        ("cycle", graphs::generators::cycle(21)),
+        ("star", graphs::generators::star(12)),
+        ("grid", graphs::generators::grid(4, 7)),
+        ("torus", graphs::generators::torus(4, 5)),
+        ("tree", graphs::generators::balanced_tree(2, 4)),
+        ("hypercube", graphs::generators::hypercube(4)),
+        ("barbell", graphs::generators::barbell(6, 9)),
+        ("lollipop", graphs::generators::lollipop(6, 11)),
+        ("ring-of-cliques", graphs::generators::ring_of_cliques(5, 4)),
+        ("er", graphs::generators::random_connected(36, 0.1, 5)),
+        ("sparse", graphs::generators::random_sparse(48, 5.0, 8)),
+        ("random-tree", graphs::generators::random_tree(28, 9)),
+    ]
+}
+
+/// Every diameter algorithm in the workspace agrees with the centralized
+/// reference on every family.
+#[test]
+fn all_exact_algorithms_agree_everywhere() {
+    for (name, g) in families() {
+        let cfg = Config::for_graph(&g);
+        let truth = graphs::metrics::diameter(&g).expect("connected");
+        let c = classical::apsp::exact_diameter(&g, cfg).expect("classical");
+        assert_eq!(c.diameter, truth, "classical wrong on {name}");
+        let q = exact::diameter(&g, ExactParams::new(3).with_failure_prob(1e-3), cfg)
+            .expect("quantum");
+        assert_eq!(q.value, truth, "quantum (Theorem 1) wrong on {name}");
+        let qs = exact_simple::diameter(&g, ExactParams::new(3).with_failure_prob(1e-3), cfg)
+            .expect("quantum simple");
+        assert_eq!(qs.value, truth, "quantum (Section 3.1) wrong on {name}");
+    }
+}
+
+/// Both 3/2-approximations respect the guarantee on every family.
+#[test]
+fn approximations_respect_the_guarantee() {
+    for (name, g) in families() {
+        let n = g.len();
+        let cfg = Config::for_graph(&g);
+        let truth = graphs::metrics::diameter(&g).expect("connected");
+        let c = hprw::approx_diameter(&g, HprwParams::classical(n, 4), cfg)
+            .unwrap_or_else(|e| panic!("classical approx failed on {name}: {e}"));
+        assert!(
+            c.estimate <= truth && c.estimate >= (2 * truth) / 3,
+            "classical approx on {name}"
+        );
+        let q = approx::diameter(&g, ApproxParams::new(4).with_failure_prob(1e-3), cfg)
+            .unwrap_or_else(|e| panic!("quantum approx failed on {name}: {e}"));
+        assert!(
+            q.estimate <= truth && q.estimate >= (2 * truth) / 3,
+            "quantum approx on {name}"
+        );
+    }
+}
+
+/// The distributed Figure 2 evaluation agrees with the closed-form window
+/// maximum on every family, for several branch inputs.
+#[test]
+fn figure2_evaluation_is_consistent_across_families() {
+    for (name, g) in families() {
+        let cfg = Config::for_graph(&g);
+        let b = classical::bfs::build(&g, NodeId::new(0), cfg).expect("bfs");
+        let tree = classical::TreeView::from(&b);
+        let rooted = graphs::tree::RootedTree::from_parents(&b.parents).unwrap();
+        let tour = graphs::tree::EulerTour::new(&rooted);
+        let windows = quantum_diameter::dfs_window::Windows::new(&tour, 2 * b.depth as usize);
+        let eccs = graphs::metrics::eccentricities(&g).unwrap();
+        let reference = windows.window_max(&eccs);
+        for u0 in [0usize, g.len() / 2, g.len() - 1] {
+            let run = evaluation::run_figure2(&g, &tree, b.depth, NodeId::new(u0), cfg)
+                .expect("figure 2 run");
+            assert_eq!(
+                u64::from(run.value),
+                u64::from(reference[u0]),
+                "figure-2 mismatch on {name} at u0={u0}"
+            );
+        }
+    }
+}
+
+/// Quantum rounds scale sublinearly: quadrupling n (at roughly constant D)
+/// must grow quantum rounds far less than classical rounds.
+#[test]
+fn scaling_separation_is_visible() {
+    let small = graphs::generators::random_sparse(64, 8.0, 2);
+    let big = graphs::generators::random_sparse(256, 8.0, 2);
+    let runs = 3;
+    let mean_q = |g: &graphs::Graph| -> f64 {
+        let cfg = Config::for_graph(g);
+        (0..runs)
+            .map(|s| exact::diameter(g, ExactParams::new(s), cfg).unwrap().rounds())
+            .sum::<u64>() as f64
+            / runs as f64
+    };
+    let q_growth = mean_q(&big) / mean_q(&small);
+    let c_small = classical::apsp::exact_diameter(&small, Config::for_graph(&small)).unwrap();
+    let c_big = classical::apsp::exact_diameter(&big, Config::for_graph(&big)).unwrap();
+    let c_growth = c_big.rounds() as f64 / c_small.rounds() as f64;
+    assert!(
+        q_growth < c_growth,
+        "quantum growth {q_growth:.2} should be below classical growth {c_growth:.2}"
+    );
+}
+
+/// Full lower-bound pipeline: gadgets encode DISJ in the diameter, real
+/// distributed runs recover it, and the simulation accounting matches
+/// Theorem 11.
+#[test]
+fn lower_bound_pipeline_end_to_end() {
+    // Theorem 8 gadget.
+    let hw = HwReduction::new(3);
+    for seed in 0..3 {
+        for disjoint in [true, false] {
+            let (x, y) = disj::random_instance(hw.k(), disjoint, seed);
+            let g = hw.build(&x, &y);
+            let cfg = Config::for_graph(&g.graph);
+            let run = classical::apsp::exact_diameter(&g.graph, cfg).unwrap();
+            assert_eq!(run.diameter <= 2, disjoint, "HW gadget seed {seed}");
+        }
+    }
+    // Stretched Theorem 9 gadget through the full two-party pipeline.
+    let base = BitGadgetReduction::new(6);
+    let red = StretchedReduction::new(base, 4);
+    for disjoint in [true, false] {
+        let (x, y) = disj::random_instance(6, disjoint, 1);
+        let g = red.build(&x, &y);
+        let cfg = Config::for_graph(&g.graph);
+        let out = decide_disj_via_diameter(&red, &x, &y, 64, cfg).unwrap();
+        assert_eq!(out.answer, disjoint);
+        // Theorem 11 shape: messages ≈ r/d + 1, qubits = O(r(bw+s)).
+        assert_eq!(out.plan.messages(), out.distributed_rounds.div_ceil(4) + 1);
+        let qubit_bound = out.distributed_rounds * (cfg.bandwidth_bits() as u64 + 64) + 4 * 100;
+        assert!(out.plan.total_qubits() <= qubit_bound + 1);
+    }
+}
+
+/// The measured quantum upper bound respects the paper's own lower bounds:
+/// Ω̃(√n) rounds (Theorem 2) and Ω̃(√(nD)/s) for the actual per-node memory
+/// (Theorem 3).
+#[test]
+fn upper_bounds_respect_lower_bounds() {
+    let g = graphs::generators::random_sparse(128, 6.0, 4);
+    let cfg = Config::for_graph(&g);
+    let q = exact::diameter(&g, ExactParams::new(1), cfg).unwrap();
+    let n = g.len() as u64;
+    let d = graphs::metrics::diameter(&g).unwrap() as u64;
+    assert!(q.rounds() as f64 >= bounds::theorem2_rounds_lower_bound(n));
+    let t3 = bounds::theorem3_rounds_lower_bound(n, d, q.memory.per_node_qubits as u64);
+    assert!(q.rounds() as f64 >= t3, "rounds {} below Theorem 3 bound {t3}", q.rounds());
+}
+
+/// Quantum memory stays polylogarithmic while the domain grows.
+#[test]
+fn memory_scaling_is_polylog() {
+    let mut last = 0usize;
+    for &n in &[64usize, 256, 1024] {
+        let g = graphs::generators::random_sparse(n, 6.0, 3);
+        let cfg = Config::for_graph(&g);
+        let q = exact::diameter(&g, ExactParams::new(0), cfg).unwrap();
+        assert!(
+            q.memory.leader_qubits < 40 * (n.ilog2() as usize).pow(2),
+            "leader memory not O(log² n) at n={n}"
+        );
+        assert!(q.memory.leader_qubits >= last, "memory should grow gently");
+        last = q.memory.per_node_qubits;
+    }
+}

@@ -1,0 +1,132 @@
+//! Failure-injection and edge-case tests: every driver must fail *loudly
+//! and typed* on broken inputs, never return garbage.
+
+use congest_diameter::prelude::*;
+
+use classical::hprw::{self, HprwParams};
+use congest::{BandwidthPolicy, CongestError};
+use quantum_diameter::{approx, exact};
+
+/// With a bandwidth budget far below O(log n), every algorithm must abort
+/// with a bandwidth error instead of silently widening its messages.
+#[test]
+fn starved_bandwidth_is_detected() {
+    let g = graphs::generators::random_connected(24, 0.15, 1);
+    let tight = Config::new(2); // 2 bits per edge per round: hopeless
+    let err = classical::apsp::exact_diameter(&g, tight).unwrap_err();
+    assert!(
+        matches!(err, AlgoError::Congest(CongestError::BandwidthExceeded { .. })),
+        "expected bandwidth error, got {err:?}"
+    );
+    let err = exact::diameter(&g, ExactParams::new(0), tight).unwrap_err();
+    assert!(matches!(
+        err,
+        QdError::Classical(AlgoError::Congest(CongestError::BandwidthExceeded { .. }))
+    ));
+}
+
+/// Under the Track policy the same runs complete and report violations.
+#[test]
+fn tracked_bandwidth_reports_violations() {
+    let g = graphs::generators::cycle(12);
+    let tight = Config::new(2).with_policy(BandwidthPolicy::Track);
+    let out = classical::apsp::exact_diameter(&g, tight).unwrap();
+    assert_eq!(out.diameter, 6);
+    let violations: u64 =
+        out.ledger.phases().map(|(_, s, reps)| s.bandwidth_violations * reps).sum();
+    assert!(violations > 0, "starved run must report violations");
+}
+
+/// The algorithms actually fit the canonical O(log n) budget: the largest
+/// message ever sent stays within Config::for_graph.
+#[test]
+fn algorithms_fit_the_congest_budget() {
+    let g = graphs::generators::random_connected(40, 0.1, 3);
+    let cfg = Config::for_graph(&g);
+    // Enforce policy: completing at all proves the fit; also check headroom.
+    let out = classical::apsp::exact_diameter(&g, cfg).unwrap();
+    let max_bits = out.ledger.max_message_bits();
+    assert!(max_bits <= cfg.bandwidth_bits());
+    assert!(max_bits >= 2, "stats should have recorded messages");
+    let girth = classical::girth::compute(&g, cfg).unwrap();
+    assert!(girth.ledger.max_message_bits() <= cfg.bandwidth_bits());
+}
+
+/// Disconnected networks: every driver returns the typed error.
+#[test]
+fn disconnection_is_typed_everywhere() {
+    let g = graphs::Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+    let cfg = Config::for_graph(&g);
+    assert!(matches!(
+        classical::apsp::exact_diameter(&g, cfg),
+        Err(AlgoError::Disconnected)
+    ));
+    assert!(matches!(classical::girth::compute(&g, cfg), Err(AlgoError::Disconnected)));
+    assert!(matches!(classical::ecc::two_approx(&g, cfg), Err(AlgoError::Disconnected)));
+    assert!(matches!(
+        hprw::approx_diameter(&g, HprwParams::classical(6, 0), cfg),
+        Err(AlgoError::Disconnected)
+    ));
+    assert!(matches!(
+        exact::diameter(&g, ExactParams::new(0), cfg),
+        Err(QdError::Classical(AlgoError::Disconnected))
+    ));
+    assert!(matches!(
+        approx::diameter(&g, ApproxParams::new(0), cfg),
+        Err(QdError::Classical(AlgoError::Disconnected))
+    ));
+}
+
+/// Degenerate parameters are rejected, not mangled.
+#[test]
+fn degenerate_parameters_are_rejected() {
+    let g = graphs::generators::cycle(8);
+    let cfg = Config::for_graph(&g);
+    // δ outside (0, 1).
+    assert!(exact::diameter(&g, ExactParams::new(0).with_failure_prob(0.0), cfg).is_err());
+    assert!(exact::diameter(&g, ExactParams::new(0).with_failure_prob(1.5), cfg).is_err());
+    // Empty graph.
+    let empty = graphs::Graph::from_edges(0, []).unwrap();
+    assert!(exact::diameter(&empty, ExactParams::new(0), Config::new(8)).is_err());
+    assert!(classical::apsp::exact_diameter(&empty, Config::new(8)).is_err());
+}
+
+/// Tiny networks (n = 1, 2) are exact and never panic across all drivers.
+#[test]
+fn tiny_networks_everywhere() {
+    for n in [1usize, 2] {
+        let g = if n == 1 {
+            graphs::Graph::from_edges(1, []).unwrap()
+        } else {
+            graphs::Graph::from_edges(2, [(0, 1)]).unwrap()
+        };
+        let cfg = Config::for_graph(&g);
+        let expect = (n - 1) as graphs::Dist;
+        assert_eq!(classical::apsp::exact_diameter(&g, cfg).unwrap().diameter, expect);
+        assert_eq!(exact::diameter(&g, ExactParams::new(0), cfg).unwrap().value, expect);
+        assert_eq!(
+            quantum_diameter::exact_simple::diameter(&g, ExactParams::new(0), cfg)
+                .unwrap()
+                .value,
+            expect
+        );
+        assert_eq!(approx::diameter(&g, ApproxParams::new(0), cfg).unwrap().estimate, expect);
+        assert_eq!(classical::girth::compute(&g, cfg).unwrap().girth, None);
+    }
+}
+
+/// The quantum maximize resource cap aborts gracefully: the run completes,
+/// flags `aborted`, and still returns a valid (if possibly suboptimal)
+/// eccentricity window value.
+#[test]
+fn quantum_abort_is_graceful() {
+    use quantum::{maximize, MaximizeParams, SearchState};
+    use rand::{rngs::StdRng, SeedableRng};
+    let n = 4096;
+    let state = SearchState::uniform(n);
+    let params = MaximizeParams::with_min_mass(1.0 / n as f64).with_cap_factor(1.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = maximize(&state, |x| x, params, &mut rng).unwrap();
+    assert!(out.aborted);
+    assert!(out.argmax < n);
+}

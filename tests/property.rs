@@ -1,0 +1,270 @@
+//! Property-based tests (proptest) over randomized graph and input spaces:
+//! the paper's lemmas and guarantees as machine-checked invariants.
+
+use congest_diameter::prelude::*;
+use proptest::prelude::*;
+
+use commcc::bit_gadget::BitGadgetReduction;
+use commcc::hw::HwReduction;
+use commcc::reduction::{check_instance, Reduction};
+use commcc::stretch::StretchedReduction;
+use graphs::tree::{EulerTour, RootedTree};
+use quantum_diameter::dfs_window::{min_coverage, Windows};
+
+/// A connected random graph described by (n, density, seed).
+fn arb_graph() -> impl Strategy<Value = graphs::Graph> {
+    (3usize..28, 0usize..3, 0u64..1_000_000).prop_map(|(n, density, seed)| {
+        let p = [0.08, 0.15, 0.3][density];
+        graphs::generators::random_connected(n, p, seed)
+    })
+}
+
+/// A random connected tree.
+fn arb_tree() -> impl Strategy<Value = graphs::Graph> {
+    (2usize..30, 0u64..1_000_000)
+        .prop_map(|(n, seed)| graphs::generators::random_tree(n, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distributed BFS (Figure 1) matches the centralized reference on
+    /// arbitrary connected graphs and roots.
+    #[test]
+    fn distributed_bfs_matches_reference(g in arb_graph(), root_sel in 0usize..1000) {
+        let root = NodeId::new(root_sel % g.len());
+        let cfg = Config::for_graph(&g);
+        let out = classical::bfs::build(&g, root, cfg).unwrap();
+        let reference = graphs::traversal::Bfs::run(&g, root);
+        for v in g.nodes() {
+            prop_assert_eq!(Some(out.dists[v.index()]), reference.dist(v));
+        }
+        prop_assert_eq!(u64::from(out.depth) + 2, out.stats.rounds);
+    }
+
+    /// Lemma 1: with window width 2d over the Euler tour of a depth-d BFS
+    /// tree, every node is covered by at least a d/2n fraction of windows.
+    #[test]
+    fn lemma1_coverage(g in arb_graph()) {
+        let bfs = graphs::traversal::Bfs::run(&g, NodeId::new(0));
+        let d = bfs.eccentricity().unwrap();
+        prop_assume!(d >= 1);
+        let tree = RootedTree::from_bfs(&bfs).unwrap();
+        let tour = EulerTour::new(&tree);
+        let windows = Windows::new(&tour, 2 * d as usize);
+        let bound = f64::from(d) / (2.0 * g.len() as f64);
+        prop_assert!(min_coverage(&windows) >= bound - 1e-12);
+    }
+
+    /// Maximizing the window function always yields the diameter
+    /// (Equation 2's key property).
+    #[test]
+    fn window_max_peaks_at_diameter(g in arb_graph()) {
+        let bfs = graphs::traversal::Bfs::run(&g, NodeId::new(0));
+        let d = bfs.eccentricity().unwrap();
+        let tree = RootedTree::from_bfs(&bfs).unwrap();
+        let tour = EulerTour::new(&tree);
+        let windows = Windows::new(&tour, 2 * d as usize);
+        let eccs = graphs::metrics::eccentricities(&g).unwrap();
+        let f = windows.window_max(&eccs);
+        prop_assert_eq!(
+            f.into_iter().max().unwrap(),
+            graphs::metrics::diameter(&g).unwrap()
+        );
+    }
+
+    /// The classical exact-diameter pipeline is correct on arbitrary
+    /// connected graphs.
+    #[test]
+    fn classical_exact_diameter_correct(g in arb_graph()) {
+        let cfg = Config::for_graph(&g);
+        let out = classical::apsp::exact_diameter(&g, cfg).unwrap();
+        prop_assert_eq!(Some(out.diameter), graphs::metrics::diameter(&g));
+    }
+
+    /// The quantum exact algorithm (Theorem 1) is correct on arbitrary
+    /// connected graphs (δ = 10⁻³; a proptest run has ~24 cases so the
+    /// expected number of quantum failures is ≪ 1).
+    #[test]
+    fn quantum_exact_diameter_correct(g in arb_graph(), seed in 0u64..1000) {
+        let cfg = Config::for_graph(&g);
+        let out = quantum_diameter::exact::diameter(
+            &g,
+            ExactParams::new(seed).with_failure_prob(1e-3),
+            cfg,
+        ).unwrap();
+        prop_assert_eq!(Some(out.value), graphs::metrics::diameter(&g));
+    }
+
+    /// Trees: the DFS tour is an Euler tour (every edge visited exactly
+    /// twice) and the distributed walk reproduces it from any start.
+    #[test]
+    fn dfs_walk_reproduces_tour_on_trees(g in arb_tree(), start_sel in 0usize..1000) {
+        let cfg = Config::for_graph(&g);
+        let b = classical::bfs::build(&g, NodeId::new(0), cfg).unwrap();
+        let view = classical::TreeView::from(&b);
+        let rooted = RootedTree::from_parents(&b.parents).unwrap();
+        let tour = EulerTour::new(&rooted);
+        let start = NodeId::new(start_sel % g.len());
+        let steps = (tour.len() as u64).min(2 * u64::from(b.depth)).max(1);
+        let walk = classical::dfs_walk::walk(&g, &view, start, steps, cfg).unwrap();
+        let expected = tour.segment_first_visits(tour.tau(start), steps as usize);
+        for (v, offset) in expected {
+            prop_assert_eq!(walk.tau[v.index()], Some(offset as u64));
+        }
+    }
+
+    /// The HW reduction (Theorem 8) satisfies Definition 3 on arbitrary
+    /// inputs.
+    #[test]
+    fn hw_reduction_contract(s in 1usize..5, xm in any::<u64>(), ym in any::<u64>()) {
+        let red = HwReduction::new(s);
+        let k = red.k();
+        let x: Vec<bool> = (0..k).map(|i| xm >> (i % 64) & 1 == 1).collect();
+        let y: Vec<bool> = (0..k).map(|i| ym >> (i % 64) & 1 == 1).collect();
+        prop_assert!(check_instance(&red, &x, &y).is_ok());
+    }
+
+    /// The bit-gadget reduction (Theorem 9 class) satisfies Definition 3 on
+    /// arbitrary inputs, including non-power-of-two k.
+    #[test]
+    fn bit_gadget_contract(k in 2usize..24, xm in any::<u64>(), ym in any::<u64>()) {
+        let red = BitGadgetReduction::new(k);
+        let x: Vec<bool> = (0..k).map(|i| xm >> i & 1 == 1).collect();
+        let y: Vec<bool> = (0..k).map(|i| ym >> i & 1 == 1).collect();
+        prop_assert!(check_instance(&red, &x, &y).is_ok());
+    }
+
+    /// Figure 8: stretching preserves the reduction contract with the gap
+    /// shifted by d.
+    #[test]
+    fn stretched_reduction_contract(
+        k in 2usize..10,
+        d in 1usize..7,
+        xm in any::<u32>(),
+        ym in any::<u32>(),
+    ) {
+        let red = StretchedReduction::new(BitGadgetReduction::new(k), d);
+        let x: Vec<bool> = (0..k).map(|i| xm >> i & 1 == 1).collect();
+        let y: Vec<bool> = (0..k).map(|i| ym >> i & 1 == 1).collect();
+        prop_assert!(check_instance(&red, &x, &y).is_ok());
+        prop_assert_eq!(red.num_nodes(), red.base().num_nodes() + red.b() * d);
+    }
+
+    /// Amplitude amplification finds a planted element whenever one exists
+    /// (δ = 10⁻³ per call).
+    #[test]
+    fn amplify_finds_planted_elements(n in 8usize..256, target_sel in 0usize..1000, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let target = target_sel % n;
+        let init = SearchState::uniform(n);
+        let params = quantum::AmplifyParams::with_min_mass(1.0 / n as f64)
+            .with_failure_prob(1e-3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = quantum::amplify(&init, |x| x == target, params, &mut rng).unwrap();
+        prop_assert_eq!(out.found, Some(target));
+    }
+
+    /// Grover evolution preserves the norm and matches the closed form for
+    /// arbitrary marked fractions.
+    #[test]
+    fn grover_closed_form(n in 4usize..128, marked_count in 1usize..4, k in 0u64..12) {
+        let init = SearchState::uniform(n);
+        let mut s = init.clone();
+        let m = marked_count.min(n);
+        let marked = |x: usize| x < m;
+        s.grover_iterations(&init, marked, k);
+        let expect = SearchState::grover_success_probability(m as f64 / n as f64, k);
+        prop_assert!((s.probability_of(marked) - expect).abs() < 1e-9);
+        prop_assert!((s.norm_squared() - 1.0).abs() < 1e-9);
+    }
+
+    /// LP13 source detection matches the centralized reference for
+    /// arbitrary source sets and parameters.
+    #[test]
+    fn source_detection_matches_reference(
+        g in arb_graph(),
+        src_mask in any::<u32>(),
+        gamma in 1usize..5,
+        sigma in 1u32..12,
+    ) {
+        let sources: Vec<NodeId> = (0..g.len())
+            .filter(|&i| src_mask >> (i % 32) & 1 == 1)
+            .map(NodeId::new)
+            .collect();
+        let cfg = Config::for_graph(&g);
+        let out = classical::source_detection::detect(&g, &sources, gamma, sigma, cfg).unwrap();
+        let expect = classical::source_detection::reference(&g, &sources, gamma, sigma);
+        prop_assert_eq!(out.lists, expect);
+    }
+
+    /// The distributed girth computation (PRT12) matches the centralized
+    /// edge-removal reference on arbitrary connected graphs.
+    #[test]
+    fn distributed_girth_matches_reference(g in arb_graph()) {
+        let cfg = Config::for_graph(&g);
+        let out = classical::girth::compute(&g, cfg).unwrap();
+        prop_assert_eq!(out.girth, graphs::metrics::girth(&g));
+    }
+
+    /// The BCW98 quantum disjointness protocol is correct and its
+    /// transcript respects the BGK lower bound on arbitrary inputs.
+    #[test]
+    fn qdisj_protocol_correct(k in 4usize..128, xm in any::<u128>(), ym in any::<u128>(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let x: Vec<bool> = (0..k).map(|i| xm >> (i % 128) & 1 == 1).collect();
+        let y: Vec<bool> = (0..k).map(|i| ym >> (i % 128) & 1 == 1).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = commcc::qdisj::run(&x, &y, 1e-3, &mut rng).unwrap();
+        prop_assert_eq!(out.disjoint, commcc::disj::eval(&x, &y));
+        if let Some(w) = out.witness {
+            prop_assert!(x[w] && y[w]);
+        }
+        // The BGK bound constrains worst-case transcripts; only disjoint
+        // inputs exercise the full budget (intersecting ones may finish
+        // after a lucky early measurement).
+        if out.disjoint {
+            let lb = commcc::bounds::bgk_qubits_lower_bound(k as u64, out.messages);
+            prop_assert!(out.qubits as f64 >= lb);
+        }
+    }
+
+    /// The CONGEST simulator is deterministic: identical runs produce
+    /// identical stats on arbitrary graphs.
+    #[test]
+    fn simulator_determinism(g in arb_graph()) {
+        let cfg = Config::for_graph(&g);
+        let run = || classical::apsp::exact_diameter(&g, cfg).unwrap();
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.diameter, b.diameter);
+        prop_assert_eq!(a.ledger.total_rounds(), b.ledger.total_rounds());
+        prop_assert_eq!(a.ledger.total_bits(), b.ledger.total_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both 3/2-approximations stay within their guarantee on random
+    /// graphs (w.h.p. statement checked across the proptest corpus).
+    #[test]
+    fn approx_guarantees(g in arb_graph(), seed in 0u64..1000) {
+        prop_assume!(g.len() >= 6);
+        let cfg = Config::for_graph(&g);
+        let truth = graphs::metrics::diameter(&g).unwrap();
+        let c = classical::hprw::approx_diameter(
+            &g,
+            classical::hprw::HprwParams::classical(g.len(), seed),
+            cfg,
+        ).unwrap();
+        // The HPRW guarantee is the floor form: ⌊2D/3⌋ ≤ D̄ ≤ D.
+        prop_assert!(c.estimate <= truth && c.estimate >= (2 * truth) / 3);
+        let q = quantum_diameter::approx::diameter(
+            &g,
+            ApproxParams::new(seed).with_failure_prob(1e-3),
+            cfg,
+        ).unwrap();
+        prop_assert!(q.estimate <= truth && q.estimate >= (2 * truth) / 3);
+    }
+}
