@@ -32,12 +32,16 @@ fn bench_evaluation(c: &mut Criterion) {
         let rooted = RootedTree::from_parents(&b.parents).unwrap();
         let tour = EulerTour::new(&rooted);
         let eccs = graphs::metrics::eccentricities(&g).unwrap();
-        group.bench_with_input(BenchmarkId::new("closed_form_all_branches", n), &g, |bench, _| {
-            bench.iter(|| {
-                let windows = Windows::new(&tour, 2 * d as usize);
-                black_box(windows.window_max(&eccs))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("closed_form_all_branches", n),
+            &g,
+            |bench, _| {
+                bench.iter(|| {
+                    let windows = Windows::new(&tour, 2 * d as usize);
+                    black_box(windows.window_max(&eccs))
+                })
+            },
+        );
     }
     group.finish();
 }

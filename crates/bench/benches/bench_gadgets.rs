@@ -5,10 +5,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use commcc::bit_gadget::BitGadgetReduction;
+use commcc::disj;
 use commcc::hw::HwReduction;
 use commcc::reduction::Reduction;
 use commcc::stretch::StretchedReduction;
-use commcc::disj;
 
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("gadget_build");
@@ -26,9 +26,11 @@ fn bench_build(c: &mut Criterion) {
             b.iter(|| black_box(red.build(&x, &y)).graph.len())
         });
         let stretched = StretchedReduction::new(red, 16);
-        group.bench_with_input(BenchmarkId::new("stretched_fig8", k), &stretched, |b, red| {
-            b.iter(|| black_box(red.build(&x, &y)).graph.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stretched_fig8", k),
+            &stretched,
+            |b, red| b.iter(|| black_box(red.build(&x, &y)).graph.len()),
+        );
     }
     group.finish();
 }

@@ -1,8 +1,10 @@
 //! Criterion benches for the PRT12/LP13 substrate extensions: distributed
-//! girth and (S, γ, σ)-source detection.
+//! girth and (S, γ, σ)-source detection — plus the tracing-overhead
+//! comparison guarding the telemetry layer's opt-in contract.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use congest::Config;
 use graphs::NodeId;
@@ -34,14 +36,8 @@ fn bench_source_detection(c: &mut Criterion) {
         let sources: Vec<NodeId> = (0..n / 16).map(|i| NodeId::new(i * 16)).collect();
         group.bench_with_input(BenchmarkId::new("gamma4_sigma16", n), &g, |b, g| {
             b.iter(|| {
-                let out = classical::source_detection::detect(
-                    black_box(g),
-                    &sources,
-                    4,
-                    16,
-                    cfg,
-                )
-                .unwrap();
+                let out = classical::source_detection::detect(black_box(g), &sources, 4, 16, cfg)
+                    .unwrap();
                 black_box(out.lists.len())
             })
         });
@@ -49,5 +45,80 @@ fn bench_source_detection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_girth, bench_source_detection);
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// The telemetry layer must be strictly opt-in: with no sink installed,
+/// `Network::step` only pays one `trace::current()` thread-local lookup per
+/// round (the per-message paths just branch on the resulting `None`). This
+/// bench compares the round loop with and without a sink, then bounds the
+/// disabled-path overhead directly: rounds × cost(`current()`) must stay
+/// under 5% of the whole run.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let g = graphs::generators::random_sparse(96, 5.0, 4);
+    let cfg = Config::for_graph(&g);
+
+    let mut group = c.benchmark_group("tracing_overhead");
+    group.sample_size(10);
+    group.bench_function("bfs_tracing_disabled", |b| {
+        b.iter(|| {
+            let out = classical::bfs::build(black_box(&g), NodeId::new(0), cfg).unwrap();
+            black_box(out.depth)
+        })
+    });
+    group.bench_function("bfs_recorder_sink", |b| {
+        b.iter(|| {
+            let recorder = trace::Recorder::shared();
+            let _guard = trace::install(recorder.clone());
+            let out = classical::bfs::build(black_box(&g), NodeId::new(0), cfg).unwrap();
+            let recorded = recorder.borrow().events().len();
+            black_box((out.depth, recorded))
+        })
+    });
+    group.finish();
+
+    let samples = 30;
+    let mut run_times = Vec::with_capacity(samples);
+    let mut rounds = 0;
+    for _ in 0..samples {
+        let t = Instant::now();
+        let out = classical::bfs::build(&g, NodeId::new(0), cfg).unwrap();
+        run_times.push(t.elapsed().as_secs_f64());
+        rounds = out.stats.rounds;
+    }
+    let run_med = median(run_times);
+
+    let calls_per_sample = 10_000u32;
+    let mut call_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..calls_per_sample {
+            black_box(trace::current().is_some());
+        }
+        call_times.push(t.elapsed().as_secs_f64());
+    }
+    let call_med = median(call_times) / f64::from(calls_per_sample);
+
+    let overhead = (rounds as f64 * call_med) / run_med;
+    println!(
+        "tracing disabled-path overhead: {:.4}% of the round loop \
+         ({rounds} rounds x {:.1} ns per current() lookup)",
+        overhead * 100.0,
+        call_med * 1e9
+    );
+    assert!(
+        overhead < 0.05,
+        "disabled tracing costs {:.2}% of the round loop (budget: 5%)",
+        overhead * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_girth,
+    bench_source_detection,
+    bench_tracing_overhead
+);
 criterion_main!(benches);

@@ -7,8 +7,8 @@
 
 use bench::{loglog_slope, mean, rule, scale};
 use congest::Config;
-use diameter_quantum::{exact, exact_simple};
 use diameter_quantum::exact::ExactParams;
+use diameter_quantum::{exact, exact_simple};
 
 fn main() {
     let scale = scale();
@@ -37,8 +37,9 @@ fn main() {
         let windowed = mean(
             &(0..seeds)
                 .map(|s| {
-                    exact::diameter(&g, ExactParams::new(s), cfg).expect("windowed").quantum_rounds
-                        as f64
+                    exact::diameter(&g, ExactParams::new(s), cfg)
+                        .expect("windowed")
+                        .quantum_rounds as f64
                 })
                 .collect::<Vec<_>>(),
         );

@@ -20,15 +20,25 @@ fn main() {
         ("grid", graphs::generators::grid(16, 16 * scale)),
         ("star", graphs::generators::star(255 * scale)),
         ("balanced tree", graphs::generators::balanced_tree(2, 8)),
-        ("sparse random", graphs::generators::random_sparse(256 * scale, 8.0, 2)),
-        ("dense random", graphs::generators::random_connected(256, 0.2, 2)),
+        (
+            "sparse random",
+            graphs::generators::random_sparse(256 * scale, 8.0, 2),
+        ),
+        (
+            "dense random",
+            graphs::generators::random_connected(256, 0.2, 2),
+        ),
     ];
     for (name, g) in families {
         let cfg = Config::for_graph(&g);
         let root = NodeId::new(0);
         let ecc = graphs::metrics::eccentricity(&g, root).expect("connected");
         let out = classical::bfs::build(&g, root, cfg).expect("bfs");
-        assert_eq!(out.stats.rounds, u64::from(ecc) + 2, "rounds must be ecc + 2");
+        assert_eq!(
+            out.stats.rounds,
+            u64::from(ecc) + 2,
+            "rounds must be ecc + 2"
+        );
         assert_eq!(out.depth, ecc);
         println!(
             "{:>18} {:>6} {:>10} {:>10} {:>12} {:>14}",

@@ -4,22 +4,24 @@
 //! (Lemmas 2–4 are runtime-asserted inside the wave program), and exact
 //! (checked against the closed form on every branch).
 
-use bench::{rule, scale};
+use bench::{rule, scale, write_results_json};
 use classical::TreeView;
 use congest::Config;
 use diameter_quantum::dfs_window::Windows;
 use diameter_quantum::evaluation;
 use graphs::tree::{EulerTour, RootedTree};
 use graphs::NodeId;
+use trace::Json;
 
 fn main() {
     let scale = scale();
 
     rule("Figure 2: schedule grows with d, not n; all branches identical");
     println!(
-        "{:>6} {:>4} {:>14} {:>12} {:>16}",
-        "n", "d", "rounds/branch", "8d+depth+6", "branches checked"
+        "{:>6} {:>4} {:>14} {:>12} {:>16} {:>10}",
+        "n", "d", "rounds/branch", "8d+depth+6", "branches checked", "max wave"
     );
+    let mut n_rows = Vec::new();
     for &n in &[64usize, 128, 256, 512].map(|n| n * scale) {
         let g = graphs::generators::random_sparse(n, 8.0, 5);
         let cfg = Config::for_graph(&g);
@@ -32,33 +34,62 @@ fn main() {
         let eccs = graphs::metrics::eccentricities(&g).unwrap();
         let reference = windows.window_max(&eccs);
 
-        // Check a spread of branches: value correct, schedule identical.
+        // Check a spread of branches under a trace recorder: value correct,
+        // schedule identical, and the Lemma 2–4 wave invariant (at most one
+        // distinct surviving message per round) observed on every delivery.
+        let recorder = trace::Recorder::shared();
         let mut rounds_seen = None;
         let branches = [0usize, n / 4, n / 2, 3 * n / 4, n - 1];
-        for &u0 in &branches {
-            let run =
-                evaluation::run_figure2(&g, &tree, d, NodeId::new(u0), cfg).expect("figure 2");
-            assert_eq!(run.value, reference[u0], "value mismatch at branch {u0}");
-            match rounds_seen {
-                None => rounds_seen = Some(run.rounds()),
-                Some(r) => assert_eq!(r, run.rounds(), "schedule differs across branches"),
+        {
+            let _guard = trace::install(recorder.clone());
+            for &u0 in &branches {
+                let run =
+                    evaluation::run_figure2(&g, &tree, d, NodeId::new(u0), cfg).expect("figure 2");
+                assert_eq!(run.value, reference[u0], "value mismatch at branch {u0}");
+                match rounds_seen {
+                    None => rounds_seen = Some(run.rounds()),
+                    Some(r) => assert_eq!(r, run.rounds(), "schedule differs across branches"),
+                }
             }
         }
+        let events = recorder.borrow_mut().take();
+        let summary = trace::Summary::from_events(&events);
+        assert_eq!(summary.wave_max_distinct, 1, "wave uniqueness violated");
         let rounds = rounds_seen.unwrap();
         assert_eq!(rounds, evaluation::figure2_schedule_rounds(d, d));
         println!(
-            "{:>6} {:>4} {:>14} {:>12} {:>16}",
+            "{:>6} {:>4} {:>14} {:>12} {:>16} {:>10}",
             n,
             d,
             rounds,
             2 * (8 * u64::from(d) + u64::from(d) + 3),
-            branches.len()
+            branches.len(),
+            summary.wave_max_distinct,
         );
+        n_rows.push(Json::obj([
+            ("n", Json::Int(n as i128)),
+            ("d", Json::Int(i128::from(d))),
+            ("rounds_per_branch", Json::Int(rounds as i128)),
+            ("branches_checked", Json::Int(branches.len() as i128)),
+            (
+                "messages_delivered",
+                Json::Int(summary.messages_delivered as i128),
+            ),
+            (
+                "wave_observations",
+                Json::Int(summary.wave_observations as i128),
+            ),
+            (
+                "wave_max_distinct",
+                Json::Int(summary.wave_max_distinct as i128),
+            ),
+        ]));
     }
 
     rule("Figure 2: rounds scale linearly in d at fixed n");
     println!("{:>6} {:>6} {:>14}", "n", "d", "rounds/branch");
     let n = 256 * scale;
+    let mut d_rows = Vec::new();
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, _) = bench::dialed_diameter_instance(n, target, 3);
         let cfg = Config::for_graph(&g);
@@ -66,8 +97,23 @@ fn main() {
         let tree = TreeView::from(&b);
         let run = evaluation::run_figure2(&g, &tree, b.depth, NodeId::new(1), cfg).unwrap();
         println!("{:>6} {:>6} {:>14}", n, b.depth, run.rounds());
+        d_rows.push(Json::obj([
+            ("n", Json::Int(n as i128)),
+            ("d", Json::Int(i128::from(b.depth))),
+            ("rounds_per_branch", Json::Int(run.rounds() as i128)),
+        ]));
     }
     println!("\nthe schedule is 2·((2d+1) + (6d+1) + (depth+1)) — Proposition 4's O(D),");
     println!("measured from real runs; Lemma 3's arrival identity and Lemma 4's");
     println!("message uniqueness are asserted on every delivered wave message.");
+
+    write_results_json(
+        "fig2_evaluation",
+        Json::obj([
+            ("experiment", Json::Str("fig2_evaluation".into())),
+            ("sweep_n", Json::Arr(n_rows)),
+            ("sweep_d", Json::Arr(d_rows)),
+        ]),
+    )
+    .expect("write results JSON");
 }

@@ -15,7 +15,10 @@ fn main() {
     let d = graphs::metrics::diameter(&g).expect("connected");
 
     rule("Figure 3: phase costs across the cluster-size sweep");
-    println!("n = {n}, D = {d}, paper's s* = {}", approx::paper_cluster_size(n, d));
+    println!(
+        "n = {n}, D = {d}, paper's s* = {}",
+        approx::paper_cluster_size(n, d)
+    );
     println!(
         "{:>6} {:>14} {:>16} {:>12} {:>8}",
         "s", "prep rounds", "quantum rounds", "total", "D̄ ok?"

@@ -47,7 +47,10 @@ fn main() {
     }
 
     rule("Theorem 2 via Theorem 10: the implied round lower bound");
-    println!("{:>8} {:>10} {:>10} {:>16} {:>12}", "n", "k", "b", "Ω̃(√(k/b))", "Ω̃(√n)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>16} {:>12}",
+        "n", "k", "b", "Ω̃(√(k/b))", "Ω̃(√n)"
+    );
     for &s in &[16u64, 64, 256, 1024, 4096] {
         let n = 4 * s + 2;
         let k = s * s;

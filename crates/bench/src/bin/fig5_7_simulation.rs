@@ -5,9 +5,9 @@
 
 use bench::{rule, scale};
 use commcc::bit_gadget::BitGadgetReduction;
+use commcc::disj;
 use commcc::simulation::{attach_cut_meter, Owner, Partition, TwoPartyPlan};
 use commcc::stretch::{self, StretchedReduction};
-use commcc::disj;
 use congest::{Config, Network};
 
 fn main() {
@@ -39,7 +39,10 @@ fn main() {
             plan.qubits_per_turn()
         );
     }
-    println!("+ 1 final output message → {} messages total", plan.messages());
+    println!(
+        "+ 1 final output message → {} messages total",
+        plan.messages()
+    );
 
     rule("Theorem 11 accounting: messages = ⌈r/d⌉ + 1, qubits = O(r(bw+s))");
     println!(
@@ -47,7 +50,13 @@ fn main() {
         "r", "d", "messages", "total qubits", "r·(bw+s)"
     );
     let (bw, s) = (16u64, 64u64);
-    for &(r, d) in &[(100u64, 10u64), (1000, 10), (1000, 100), (10000, 100), (10000, 1000)] {
+    for &(r, d) in &[
+        (100u64, 10u64),
+        (1000, 10),
+        (1000, 100),
+        (10000, 100),
+        (10000, 1000),
+    ] {
         let plan = TwoPartyPlan::new(r, d, bw, s);
         assert_eq!(plan.messages(), r.div_ceil(d) + 1);
         println!(

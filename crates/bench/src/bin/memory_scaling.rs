@@ -32,7 +32,11 @@ fn main() {
             run.memory.per_node_qubits as f64 / log_n,
             run.memory.leader_qubits as f64 / (log_n * log_n)
         );
-        rows.push((log_n, run.memory.per_node_qubits as f64, run.memory.leader_qubits as f64));
+        rows.push((
+            log_n,
+            run.memory.per_node_qubits as f64,
+            run.memory.leader_qubits as f64,
+        ));
     }
     // The normalized columns should be flat (constants), not growing.
     let first = rows.first().unwrap();
@@ -45,5 +49,8 @@ fn main() {
     println!("both stay Θ(1): memory is polylogarithmic, far below the Ω(n) a");
     println!("classical node would need to buffer n distances — and the quantity");
     println!("whose boundedness Theorem 3 exploits for its lower bound.");
-    assert!(node_ratio < 2.0 && leader_ratio < 2.0, "memory drifting superpolylog");
+    assert!(
+        node_ratio < 2.0 && leader_ratio < 2.0,
+        "memory drifting superpolylog"
+    );
 }

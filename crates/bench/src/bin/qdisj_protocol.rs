@@ -67,7 +67,10 @@ fn main() {
         }
     }
     println!("{correct}/{total} correct at δ = 0.01");
-    assert!(correct as f64 >= 0.97 * total as f64, "error rate above promise");
+    assert!(
+        correct as f64 >= 0.97 * total as f64,
+        "error rate above promise"
+    );
 
     println!("\nthe protocol realizes the √k side of Section 2.2's Θ(√k); BGK+15's");
     println!("k/r + r trade-off (Theorem 5) shows no protocol with few messages can");

@@ -11,9 +11,10 @@
 //! one) is extrapolated from the fits, because the unhidden constants of
 //! real Dürr–Høyer search put it beyond direct-simulation sizes.
 
-use bench::{loglog_slope, mean, rule, scale, sparse_instance};
+use bench::{loglog_slope, mean, rule, scale, sparse_instance, write_results_json};
 use congest::Config;
 use diameter_quantum::exact::{self, ExactParams};
+use trace::Json;
 
 fn main() {
     let scale = scale();
@@ -24,18 +25,26 @@ fn main() {
         "{:>6} {:>4} {:>12} {:>14} {:>10}",
         "n", "D", "classical", "quantum mean", "q/c ratio"
     );
-    let sizes: Vec<usize> = [64, 128, 256, 512, 1024].iter().map(|&n| n * scale).collect();
+    let sizes: Vec<usize> = [64, 128, 256, 512, 1024]
+        .iter()
+        .map(|&n| n * scale)
+        .collect();
     let mut ns = Vec::new();
     let mut classical_rounds = Vec::new();
     let mut quantum_rounds = Vec::new();
+    let mut n_rows = Vec::new();
     for &n in &sizes {
         let (g, cfg) = sparse_instance(n, 1);
         let d = graphs::metrics::diameter(&g).expect("connected");
-        let c = classical::apsp::exact_diameter(&g, cfg).expect("classical").rounds() as f64;
+        let c = classical::apsp::exact_diameter(&g, cfg)
+            .expect("classical")
+            .rounds() as f64;
         let q = mean(
             &(0..seeds_per_point)
                 .map(|s| {
-                    exact::diameter(&g, ExactParams::new(s), cfg).expect("quantum").rounds() as f64
+                    exact::diameter(&g, ExactParams::new(s), cfg)
+                        .expect("quantum")
+                        .rounds() as f64
                 })
                 .collect::<Vec<_>>(),
         );
@@ -43,6 +52,12 @@ fn main() {
         ns.push(n as f64);
         classical_rounds.push(c);
         quantum_rounds.push(q);
+        n_rows.push(Json::obj([
+            ("n", Json::Int(n as i128)),
+            ("d", Json::Int(i128::from(d))),
+            ("classical_rounds", Json::Float(c)),
+            ("quantum_rounds_mean", Json::Float(q)),
+        ]));
     }
     let c_slope = loglog_slope(&ns, &classical_rounds);
     let q_slope = loglog_slope(&ns, &quantum_rounds);
@@ -71,25 +86,53 @@ fn main() {
 
     rule("Table 1 / exact: rounds vs D (n fixed)");
     let n = 512 * scale;
-    println!("{:>6} {:>6} {:>12} {:>14}", "n", "D", "classical", "quantum mean");
+    println!(
+        "{:>6} {:>6} {:>12} {:>14}",
+        "n", "D", "classical", "quantum mean"
+    );
     let mut ds = Vec::new();
     let mut q_by_d = Vec::new();
+    let mut d_rows = Vec::new();
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, d) = bench::dialed_diameter_instance(n, target, 7);
         let cfg = Config::for_graph(&g);
-        let c = classical::apsp::exact_diameter(&g, cfg).expect("classical").rounds() as f64;
+        let c = classical::apsp::exact_diameter(&g, cfg)
+            .expect("classical")
+            .rounds() as f64;
         let q = mean(
             &(0..seeds_per_point)
                 .map(|s| {
-                    exact::diameter(&g, ExactParams::new(s), cfg).expect("quantum").rounds() as f64
+                    exact::diameter(&g, ExactParams::new(s), cfg)
+                        .expect("quantum")
+                        .rounds() as f64
                 })
                 .collect::<Vec<_>>(),
         );
         println!("{:>6} {:>6} {:>12.0} {:>14.0}", n, d, c, q);
         ds.push(d as f64);
         q_by_d.push(q);
+        d_rows.push(Json::obj([
+            ("n", Json::Int(n as i128)),
+            ("d", Json::Int(i128::from(d))),
+            ("classical_rounds", Json::Float(c)),
+            ("quantum_rounds_mean", Json::Float(q)),
+        ]));
     }
     let d_slope = loglog_slope(&ds, &q_by_d);
     println!("\nfitted quantum exponent in D: {d_slope:.2} (paper: 0.5, from √(nD))");
     println!("classical rounds stay Θ(n): the D column barely moves them.");
+
+    write_results_json(
+        "table1_exact",
+        Json::obj([
+            ("experiment", Json::Str("table1_exact".into())),
+            ("seeds_per_point", Json::Int(seeds_per_point as i128)),
+            ("sweep_n", Json::Arr(n_rows)),
+            ("classical_slope_in_n", Json::Float(c_slope)),
+            ("quantum_slope_in_n", Json::Float(q_slope)),
+            ("sweep_d", Json::Arr(d_rows)),
+            ("quantum_slope_in_d", Json::Float(d_slope)),
+        ]),
+    )
+    .expect("write results JSON");
 }

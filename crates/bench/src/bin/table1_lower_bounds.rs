@@ -3,9 +3,10 @@
 //! (FHW12/HW12), evaluated numerically against our measured quantum upper
 //! bound — the full Table 1 landscape on one axis.
 
-use bench::{mean, rule, scale, sparse_instance};
+use bench::{mean, rule, scale, sparse_instance, write_results_json};
 use commcc::bounds;
 use diameter_quantum::exact::{self, ExactParams};
+use trace::Json;
 
 fn main() {
     let scale = scale();
@@ -15,6 +16,7 @@ fn main() {
         "{:>6} {:>4} | {:>12} {:>12} | {:>14} {:>16} {:>12}",
         "n", "D", "LB Ω̃(√n)", "LB Thm3", "quantum UB", "UB/LB(√n)", "classical LB"
     );
+    let mut rows = Vec::new();
     for &n in &[64usize, 128, 256, 512, 1024].map(|n| n * scale) {
         let (g, cfg) = sparse_instance(n, 1);
         let d = graphs::metrics::diameter(&g).expect("connected") as u64;
@@ -23,8 +25,10 @@ fn main() {
             .map(|r| r.rounds() as f64)
             .collect();
         let ub = mean(&runs);
-        let mem = exact::diameter(&g, ExactParams::new(0), cfg).unwrap().memory.per_node_qubits
-            as u64;
+        let mem = exact::diameter(&g, ExactParams::new(0), cfg)
+            .unwrap()
+            .memory
+            .per_node_qubits as u64;
         let lb2 = bounds::theorem2_rounds_lower_bound(n as u64);
         let lb3 = bounds::theorem3_rounds_lower_bound(n as u64, d, mem) + d as f64;
         let lbc = bounds::classical_rounds_lower_bound(n as u64);
@@ -40,11 +44,22 @@ fn main() {
             ub / lb2,
             lbc
         );
+        rows.push(Json::obj([
+            ("n", Json::Int(n as i128)),
+            ("d", Json::Int(i128::from(d))),
+            ("lower_bound_theorem2", Json::Float(lb2)),
+            ("lower_bound_theorem3", Json::Float(lb3)),
+            ("quantum_upper_bound_mean", Json::Float(ub)),
+            ("classical_lower_bound", Json::Float(lbc)),
+        ]));
     }
 
     println!("\nTheorem 3 at a glance (n = 4096): the bound scales as √(nD)/s —");
     println!("matching Theorem 1's upper bound when s = polylog(n):");
-    println!("{:>8} {:>8} {:>16} {:>20}", "D", "s", "LB Ω̃(√(nD)/s)", "Theorem 1 UB shape");
+    println!(
+        "{:>8} {:>8} {:>16} {:>20}",
+        "D", "s", "LB Ω̃(√(nD)/s)", "Theorem 1 UB shape"
+    );
     for &(d, s) in &[(16u64, 16u64), (64, 16), (256, 16), (64, 128), (64, 1024)] {
         let lb = bounds::theorem3_rounds_lower_bound(4096, d, s);
         let ub_shape = ((4096 * d) as f64).sqrt();
@@ -58,8 +73,22 @@ fn main() {
     println!("{:>10} {:>10} {:>16}", "k", "messages", "qubits ≥ k/r + r");
     let k = 1u64 << 16;
     for &r in &[1u64, 16, 256, 4096, 65536] {
-        println!("{:>10} {:>10} {:>16.0}", k, r, bounds::bgk_qubits_lower_bound(k, r));
+        println!(
+            "{:>10} {:>10} {:>16.0}",
+            k,
+            r,
+            bounds::bgk_qubits_lower_bound(k, r)
+        );
     }
     println!("the minimum sits at r = √k — exactly why sublinear-round quantum");
     println!("algorithms cannot beat Ω̃(√n): fewer rounds force k/r to blow up.");
+
+    write_results_json(
+        "table1_lower_bounds",
+        Json::obj([
+            ("experiment", Json::Str("table1_lower_bounds".into())),
+            ("sweep_n", Json::Arr(rows)),
+        ]),
+    )
+    .expect("write results JSON");
 }

@@ -15,7 +15,11 @@ use graphs::Graph;
 /// (default 1). Experiment binaries multiply their sweep sizes by this, so
 /// `QD_SCALE=4 cargo run --release --bin table1_exact` runs a larger sweep.
 pub fn scale() -> usize {
-    std::env::var("QD_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+    std::env::var("QD_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Least-squares slope of `ln y` against `ln x` — the log–log growth
@@ -26,7 +30,10 @@ pub fn scale() -> usize {
 ///
 /// Panics if fewer than two points are given or any value is nonpositive.
 pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
-    assert!(xs.len() == ys.len() && xs.len() >= 2, "need at least two points");
+    assert!(
+        xs.len() == ys.len() && xs.len() >= 2,
+        "need at least two points"
+    );
     assert!(
         xs.iter().chain(ys).all(|&v| v > 0.0),
         "log-log fit needs positive values"
@@ -95,7 +102,29 @@ pub fn dialed_diameter_instance(n: usize, target_d: usize, seed: u64) -> (Graph,
 
 /// Pretty separator line for experiment output.
 pub fn rule(title: &str) {
-    println!("\n==== {title} {}", "=".repeat(64_usize.saturating_sub(title.len())));
+    println!(
+        "\n==== {title} {}",
+        "=".repeat(64_usize.saturating_sub(title.len()))
+    );
+}
+
+/// Writes one experiment's structured output to `<dir>/<name>.json`, where
+/// `<dir>` is the `QD_RESULTS_DIR` environment variable (default
+/// `results`), and returns the path written. Downstream tooling (plots,
+/// regression diffs) reads these instead of scraping the printed tables.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_results_json(name: &str, payload: trace::Json) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::PathBuf::from(
+        std::env::var("QD_RESULTS_DIR").unwrap_or_else(|_| "results".into()),
+    );
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, payload.render() + "\n")?;
+    println!("results JSON -> {}", path.display());
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -135,5 +164,22 @@ mod tests {
     #[test]
     fn scale_defaults_to_one() {
         assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn results_json_round_trips() {
+        let dir = std::env::temp_dir().join("qdiam-bench-results-test");
+        std::env::set_var("QD_RESULTS_DIR", &dir);
+        let payload = trace::Json::obj([
+            ("experiment", trace::Json::Str("unit".into())),
+            ("points", trace::Json::Arr(vec![trace::Json::Int(3)])),
+        ]);
+        let path = write_results_json("unit", payload).unwrap();
+        std::env::remove_var("QD_RESULTS_DIR");
+        let parsed = trace::Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("experiment").and_then(|v| v.as_str()),
+            Some("unit")
+        );
     }
 }

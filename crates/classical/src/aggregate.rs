@@ -143,7 +143,9 @@ pub fn convergecast(
     config: Config,
 ) -> Result<AggOutcome, AlgoError> {
     if values.len() != graph.len() || tree.len() != graph.len() {
-        return Err(AlgoError::Protocol { reason: "values/tree size mismatch".into() });
+        return Err(AlgoError::Protocol {
+            reason: "values/tree size mismatch".into(),
+        });
     }
     let mut net = Network::new(graph, config, |v| AggProgram {
         parent: tree.parent(v),
@@ -158,7 +160,11 @@ pub fn convergecast(
     let stats = net.run_until_quiescent(cap)?;
     let outputs = net.into_outputs();
     let (value, witness) = outputs[tree.root().index()];
-    Ok(AggOutcome { value, witness, stats })
+    Ok(AggOutcome {
+        value,
+        witness,
+        stats,
+    })
 }
 
 #[derive(Clone, Debug)]
@@ -193,7 +199,13 @@ impl NodeProgram for BcastProgram {
             self.sent = true;
             let value = self.value.expect("root starts with a value");
             for &c in &self.children {
-                ctx.send(c, BcastMsg { value, value_bits: self.value_bits });
+                ctx.send(
+                    c,
+                    BcastMsg {
+                        value,
+                        value_bits: self.value_bits,
+                    },
+                );
             }
         }
         Status::Halted
@@ -260,8 +272,7 @@ mod tests {
         let tree = tree_of(&g, 0);
         let values: Vec<u64> = (0..25).map(|i| (i as u64 * 13) % 17).collect();
         let expect = values.iter().copied().max().unwrap();
-        let out =
-            convergecast(&g, &tree, &values, 8, Op::Max, Config::for_graph(&g)).unwrap();
+        let out = convergecast(&g, &tree, &values, 8, Op::Max, Config::for_graph(&g)).unwrap();
         assert_eq!(out.value, expect);
         assert_eq!(values[out.witness.index()], expect);
     }
@@ -271,8 +282,7 @@ mod tests {
         let g = generators::grid(4, 4);
         let tree = tree_of(&g, 5);
         let values: Vec<u64> = (0..16).map(|i| 100 - i as u64).collect();
-        let out =
-            convergecast(&g, &tree, &values, 8, Op::Min, Config::for_graph(&g)).unwrap();
+        let out = convergecast(&g, &tree, &values, 8, Op::Min, Config::for_graph(&g)).unwrap();
         assert_eq!(out.value, 85);
         assert_eq!(out.witness, NodeId::new(15));
     }
@@ -282,8 +292,7 @@ mod tests {
         let g = generators::cycle(12);
         let tree = tree_of(&g, 0);
         let values: Vec<u64> = (0..12).map(|i| u64::from(i % 3 == 0)).collect();
-        let out =
-            convergecast(&g, &tree, &values, 8, Op::Sum, Config::for_graph(&g)).unwrap();
+        let out = convergecast(&g, &tree, &values, 8, Op::Sum, Config::for_graph(&g)).unwrap();
         assert_eq!(out.value, 4);
     }
 
@@ -292,19 +301,21 @@ mod tests {
         let g = generators::path(40);
         let tree = tree_of(&g, 0);
         let values = vec![1u64; 40];
-        let out =
-            convergecast(&g, &tree, &values, 8, Op::Sum, Config::for_graph(&g)).unwrap();
+        let out = convergecast(&g, &tree, &values, 8, Op::Sum, Config::for_graph(&g)).unwrap();
         assert_eq!(out.value, 40);
         // Depth 39: the deepest leaf's message needs 39 hops.
-        assert!((40..=42).contains(&out.stats.rounds), "rounds = {}", out.stats.rounds);
+        assert!(
+            (40..=42).contains(&out.stats.rounds),
+            "rounds = {}",
+            out.stats.rounds
+        );
     }
 
     #[test]
     fn convergecast_size_mismatch() {
         let g = generators::path(4);
         let tree = tree_of(&g, 0);
-        let err =
-            convergecast(&g, &tree, &[1, 2], 8, Op::Sum, Config::for_graph(&g)).unwrap_err();
+        let err = convergecast(&g, &tree, &[1, 2], 8, Op::Sum, Config::for_graph(&g)).unwrap_err();
         assert!(matches!(err, AlgoError::Protocol { .. }));
     }
 

@@ -92,7 +92,9 @@ pub fn predicted_rounds(n: u64, depth: u64) -> u64 {
 /// ```
 pub fn exact_diameter(graph: &Graph, config: Config) -> Result<ExactDiameterOutcome, AlgoError> {
     if graph.is_empty() {
-        return Err(AlgoError::InvalidParameter { reason: "empty graph".into() });
+        return Err(AlgoError::InvalidParameter {
+            reason: "empty graph".into(),
+        });
     }
     let n = graph.len() as u64;
     let mut ledger = RoundsLedger::new();
@@ -195,7 +197,11 @@ mod tests {
         for seed in 0..3 {
             let g = generators::random_tree(30, seed);
             let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
-            assert_eq!(out.diameter, metrics::diameter(&g).unwrap(), "tree seed {seed}");
+            assert_eq!(
+                out.diameter,
+                metrics::diameter(&g).unwrap(),
+                "tree seed {seed}"
+            );
         }
     }
 
@@ -206,16 +212,34 @@ mod tests {
         let g = generators::random_connected(60, 0.2, 1);
         let out = exact_diameter(&g, Config::for_graph(&g)).unwrap();
         let n = 60u64;
-        assert!(out.rounds() >= 6 * (n - 1), "rounds {} below 6(n-1)", out.rounds());
-        assert!(out.rounds() <= 7 * n + 100, "rounds {} not O(n)", out.rounds());
+        assert!(
+            out.rounds() >= 6 * (n - 1),
+            "rounds {} below 6(n-1)",
+            out.rounds()
+        );
+        assert!(
+            out.rounds() <= 7 * n + 100,
+            "rounds {} not O(n)",
+            out.rounds()
+        );
     }
 
     #[test]
     fn tiny_graphs() {
         let g1 = Graph::from_edges(1, []).unwrap();
-        assert_eq!(exact_diameter(&g1, Config::for_graph(&g1)).unwrap().diameter, 0);
+        assert_eq!(
+            exact_diameter(&g1, Config::for_graph(&g1))
+                .unwrap()
+                .diameter,
+            0
+        );
         let g2 = Graph::from_edges(2, [(0, 1)]).unwrap();
-        assert_eq!(exact_diameter(&g2, Config::for_graph(&g2)).unwrap().diameter, 1);
+        assert_eq!(
+            exact_diameter(&g2, Config::for_graph(&g2))
+                .unwrap()
+                .diameter,
+            1
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl NodeProgram for BfsProgram {
         }
         if ctx.node() == self.root && ctx.round() == 0 {
             self.dist = Some(0);
-            ctx.broadcast(Msg::Activate { dist: 0, n: ctx.num_nodes() });
+            ctx.broadcast(Msg::Activate {
+                dist: 0,
+                n: ctx.num_nodes(),
+            });
         } else if self.dist.is_none() {
             // Not yet activated: adopt the smallest-id activator, if any.
             let activator = ctx
@@ -67,7 +70,13 @@ impl NodeProgram for BfsProgram {
             if let Some((parent, d)) = activator {
                 self.parent = Some(parent);
                 self.dist = Some(d + 1);
-                ctx.broadcast_except(parent, Msg::Activate { dist: d + 1, n: ctx.num_nodes() });
+                ctx.broadcast_except(
+                    parent,
+                    Msg::Activate {
+                        dist: d + 1,
+                        n: ctx.num_nodes(),
+                    },
+                );
                 ctx.send(parent, Msg::Claim);
             }
         }
@@ -76,7 +85,11 @@ impl NodeProgram for BfsProgram {
 
     fn finish(mut self, _node: NodeId) -> BfsNode {
         self.children.sort_unstable();
-        BfsNode { parent: self.parent, dist: self.dist, children: self.children }
+        BfsNode {
+            parent: self.parent,
+            dist: self.dist,
+            children: self.children,
+        }
     }
 }
 
@@ -151,7 +164,14 @@ pub fn build(graph: &Graph, root: NodeId, config: Config) -> Result<BfsOutcome, 
         dists.push(dist);
         children.push(node.children);
     }
-    Ok(BfsOutcome { root, parents, dists, children, depth, stats })
+    Ok(BfsOutcome {
+        root,
+        parents,
+        dists,
+        children,
+        depth,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -162,7 +182,11 @@ mod tests {
     fn check_tree(g: &Graph, out: &BfsOutcome) {
         let reference = Bfs::run(g, out.root);
         for v in g.nodes() {
-            assert_eq!(Some(out.dists[v.index()]), reference.dist(v), "distance mismatch at {v}");
+            assert_eq!(
+                Some(out.dists[v.index()]),
+                reference.dist(v),
+                "distance mismatch at {v}"
+            );
             match out.parents[v.index()] {
                 Some(p) => {
                     assert!(g.has_edge(p, v));

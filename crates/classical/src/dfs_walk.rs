@@ -68,7 +68,13 @@ impl WalkProgram {
             }
         };
         if let Some(next) = next {
-            ctx.send(next, Token { t: t + 1, t_bits: self.t_bits });
+            ctx.send(
+                next,
+                Token {
+                    t: t + 1,
+                    t_bits: self.t_bits,
+                },
+            );
         }
     }
 }
@@ -87,8 +93,11 @@ impl NodeProgram for WalkProgram {
             if self.tau.is_none() {
                 self.tau = Some(t);
             }
-            let arrival =
-                if Some(from) == self.parent { Arrival::Descend } else { Arrival::Up(from) };
+            let arrival = if Some(from) == self.parent {
+                Arrival::Descend
+            } else {
+                Arrival::Up(from)
+            };
             self.forward(ctx, t, arrival);
         }
         Status::Halted
@@ -157,10 +166,14 @@ pub fn walk(
     config: Config,
 ) -> Result<DfsWalkOutcome, AlgoError> {
     if tree.len() != graph.len() {
-        return Err(AlgoError::Protocol { reason: "tree/graph size mismatch".into() });
+        return Err(AlgoError::Protocol {
+            reason: "tree/graph size mismatch".into(),
+        });
     }
     if start.index() >= graph.len() {
-        return Err(AlgoError::Protocol { reason: "walk start out of range".into() });
+        return Err(AlgoError::Protocol {
+            reason: "walk start out of range".into(),
+        });
     }
     let t_bits = bits::for_value(steps.max(1));
     let mut net = Network::new(graph, config, |v| WalkProgram {
@@ -173,7 +186,10 @@ pub fn walk(
     });
     let cap: Round = steps + 4;
     let stats = net.run_until_quiescent(cap)?;
-    Ok(DfsWalkOutcome { tau: net.into_outputs(), stats })
+    Ok(DfsWalkOutcome {
+        tau: net.into_outputs(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -200,7 +216,11 @@ mod tests {
             let steps = 2 * (g.len() as u64 - 1);
             let out = walk(&g, &view, NodeId::new(0), steps, Config::for_graph(&g)).unwrap();
             for v in g.nodes() {
-                assert_eq!(out.tau[v.index()], Some(tour.tau(v) as u64), "tau mismatch at {v}");
+                assert_eq!(
+                    out.tau[v.index()],
+                    Some(tour.tau(v) as u64),
+                    "tau mismatch at {v}"
+                );
             }
             assert_eq!(out.stats.rounds, steps + 1);
         }
@@ -239,7 +259,15 @@ mod tests {
         let g = generators::path(6);
         let (view, _) = setup(&g, 0);
         let out = walk(&g, &view, NodeId::new(0), 3, Config::for_graph(&g)).unwrap();
-        assert_eq!(out.visited(), vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(
+            out.visited(),
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
+        );
         assert_eq!(out.tau[4], None);
         assert_eq!(out.tau[5], None);
     }

@@ -61,7 +61,11 @@ pub fn compute(graph: &Graph, node: NodeId, config: Config) -> Result<EccOutcome
     )?;
     let mut stats = b.stats;
     stats.absorb(&agg.stats);
-    Ok(EccOutcome { node, ecc: agg.value as Dist, stats })
+    Ok(EccOutcome {
+        node,
+        ecc: agg.value as Dist,
+        stats,
+    })
 }
 
 /// Result of the trivial 2-approximation.
@@ -85,13 +89,19 @@ pub struct TwoApproxOutcome {
 /// simulator error.
 pub fn two_approx(graph: &Graph, config: Config) -> Result<TwoApproxOutcome, AlgoError> {
     if graph.is_empty() {
-        return Err(AlgoError::InvalidParameter { reason: "empty graph".into() });
+        return Err(AlgoError::InvalidParameter {
+            reason: "empty graph".into(),
+        });
     }
     let elect = leader::elect(graph, config)?;
     let out = compute(graph, elect.leader, config)?;
     let mut stats = elect.stats;
     stats.absorb(&out.stats);
-    Ok(TwoApproxOutcome { estimate: out.ecc, node: elect.leader, stats })
+    Ok(TwoApproxOutcome {
+        estimate: out.ecc,
+        node: elect.leader,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -117,7 +127,11 @@ mod tests {
         let out = compute(&g, NodeId::new(0), Config::for_graph(&g)).unwrap();
         assert_eq!(out.ecc, 49);
         // BFS (ecc+2) + convergecast (ecc+1-ish).
-        assert!(out.stats.rounds <= 2 * 49 + 6, "rounds = {}", out.stats.rounds);
+        assert!(
+            out.stats.rounds <= 2 * 49 + 6,
+            "rounds = {}",
+            out.stats.rounds
+        );
     }
 
     #[test]

@@ -68,6 +68,9 @@ mod tests {
         assert!(e.to_string().contains("5 rounds"));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&AlgoError::Disconnected).is_none());
-        assert_eq!(AlgoError::Disconnected.to_string(), "graph is not connected");
+        assert_eq!(
+            AlgoError::Disconnected.to_string(),
+            "graph is not connected"
+        );
     }
 }

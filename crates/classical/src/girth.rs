@@ -71,7 +71,10 @@ impl GirthProgram {
     }
 
     fn dist_of(&self, tau: u64) -> Option<Dist> {
-        self.recent.iter().find(|&&(t, _)| t == tau).map(|&(_, d)| d)
+        self.recent
+            .iter()
+            .find(|&&(t, _)| t == tau)
+            .map(|&(_, d)| d)
     }
 
     fn candidate(&mut self, len: Dist) {
@@ -88,7 +91,13 @@ impl NodeProgram for GirthProgram {
         let newest = self.recent.last().map(|&(t, _)| t as i64).unwrap_or(-1);
         // Split the inbox into a (possible) new wave and duplicates.
         let mut first_arrivals: Vec<(NodeId, u64, Dist)> = Vec::new();
-        for &(from, GirthMsg { tau, delta, parent, .. }) in ctx.inbox() {
+        for &(
+            from,
+            GirthMsg {
+                tau, delta, parent, ..
+            },
+        ) in ctx.inbox()
+        {
             match self.dist_of(tau) {
                 Some(d1) => {
                     // Duplicate of a wave we already carry.
@@ -112,7 +121,9 @@ impl NodeProgram for GirthProgram {
         if !first_arrivals.is_empty() {
             let (_, tau, delta) = first_arrivals[0];
             debug_assert!(
-                first_arrivals.iter().all(|&(_, t, d)| t == tau && d == delta),
+                first_arrivals
+                    .iter()
+                    .all(|&(_, t, d)| t == tau && d == delta),
                 "concurrent distinct waves at {me} (Lemmas 3-4)"
             );
             let dist = delta + 1;
@@ -121,7 +132,11 @@ impl NodeProgram for GirthProgram {
                 // Two distinct senders at the same distance: even cycle.
                 self.candidate(2 * dist);
             }
-            let parent = first_arrivals.iter().map(|&(f, _, _)| f).min().expect("nonempty");
+            let parent = first_arrivals
+                .iter()
+                .map(|&(f, _, _)| f)
+                .min()
+                .expect("nonempty");
             ctx.broadcast(GirthMsg {
                 tau,
                 delta: dist,
@@ -189,7 +204,9 @@ impl GirthOutcome {
 /// ```
 pub fn compute(graph: &Graph, config: Config) -> Result<GirthOutcome, AlgoError> {
     if graph.is_empty() {
-        return Err(AlgoError::InvalidParameter { reason: "empty graph".into() });
+        return Err(AlgoError::InvalidParameter {
+            reason: "empty graph".into(),
+        });
     }
     let n = graph.len() as u64;
     let mut ledger = RoundsLedger::new();
@@ -201,7 +218,11 @@ pub fn compute(graph: &Graph, config: Config) -> Result<GirthOutcome, AlgoError>
     let tree = TreeView::from(&b);
 
     if n == 1 {
-        return Ok(GirthOutcome { girth: None, leader: elect.leader, ledger });
+        return Ok(GirthOutcome {
+            girth: None,
+            leader: elect.leader,
+            ledger,
+        });
     }
 
     let steps = 2 * (n - 1);
@@ -209,11 +230,7 @@ pub fn compute(graph: &Graph, config: Config) -> Result<GirthOutcome, AlgoError>
     ledger.add("dfs numbering", dfs.stats);
 
     let tau_bits = bits::for_value(steps.max(1));
-    let starts: Vec<Option<(u64, u64)>> = dfs
-        .tau
-        .iter()
-        .map(|t| t.map(|t| (2 * t, t)))
-        .collect();
+    let starts: Vec<Option<(u64, u64)>> = dfs.tau.iter().map(|t| t.map(|t| (2 * t, t))).collect();
     let mut net = Network::new(graph, config, |v| GirthProgram {
         source: starts[v.index()],
         recent: Vec::with_capacity(4),
@@ -230,8 +247,10 @@ pub fn compute(graph: &Graph, config: Config) -> Result<GirthOutcome, AlgoError>
     // Convergecast the minimum candidate; encode "no cycle seen" as n + 1
     // (every real cycle has length ≤ n).
     let sentinel = n + 1;
-    let values: Vec<u64> =
-        locals.iter().map(|c| c.map_or(sentinel, u64::from)).collect();
+    let values: Vec<u64> = locals
+        .iter()
+        .map(|c| c.map_or(sentinel, u64::from))
+        .collect();
     let agg = aggregate::convergecast(
         graph,
         &tree,
@@ -243,7 +262,11 @@ pub fn compute(graph: &Graph, config: Config) -> Result<GirthOutcome, AlgoError>
     ledger.add("min convergecast", agg.stats);
 
     let girth = (agg.value != sentinel).then_some(agg.value as Dist);
-    Ok(GirthOutcome { girth, leader: elect.leader, ledger })
+    Ok(GirthOutcome {
+        girth,
+        leader: elect.leader,
+        ledger,
+    })
 }
 
 #[cfg(test)]
@@ -327,7 +350,11 @@ mod tests {
         let out = compute(&g, Config::for_graph(&g)).unwrap();
         let n = 50u64;
         assert!(out.rounds() >= 6 * (n - 1));
-        assert!(out.rounds() <= 7 * n + 120, "rounds {} not O(n)", out.rounds());
+        assert!(
+            out.rounds() <= 7 * n + 120,
+            "rounds {} not O(n)",
+            out.rounds()
+        );
     }
 
     #[test]

@@ -53,12 +53,20 @@ impl HprwParams {
     /// Parameters with the paper's classical choice `s = ⌈√(n ln n)⌉`.
     pub fn classical(n: usize, seed: u64) -> Self {
         let nf = (n.max(2)) as f64;
-        HprwParams { s: (nf * nf.ln()).sqrt().ceil() as usize, seed, sample_factor: 1.0 }
+        HprwParams {
+            s: (nf * nf.ln()).sqrt().ceil() as usize,
+            seed,
+            sample_factor: 1.0,
+        }
     }
 
     /// Parameters with an explicit cluster size `s`.
     pub fn with_s(s: usize, seed: u64) -> Self {
-        HprwParams { s, seed, sample_factor: 1.0 }
+        HprwParams {
+            s,
+            seed,
+            sample_factor: 1.0,
+        }
     }
 }
 
@@ -87,11 +95,17 @@ impl NodeProgram for MsBfs {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, MsMsg>) -> Status {
         if ctx.round() == 0 && self.is_source {
             self.dist = Some(0);
-            ctx.broadcast(MsMsg { dist: 1, n: ctx.num_nodes() });
+            ctx.broadcast(MsMsg {
+                dist: 1,
+                n: ctx.num_nodes(),
+            });
         } else if self.dist.is_none() {
             if let Some(d) = ctx.inbox().iter().map(|(_, m)| m.dist).min() {
                 self.dist = Some(d);
-                ctx.broadcast(MsMsg { dist: d + 1, n: ctx.num_nodes() });
+                ctx.broadcast(MsMsg {
+                    dist: d + 1,
+                    n: ctx.num_nodes(),
+                });
             }
         }
         Status::Halted
@@ -136,10 +150,16 @@ pub struct Preparation {
 /// [`AlgoError::Aborted`] if the sample-size guard fires,
 /// [`AlgoError::Disconnected`] on disconnected graphs, or a wrapped
 /// simulator error.
-pub fn prepare(graph: &Graph, params: HprwParams, config: Config) -> Result<Preparation, AlgoError> {
+pub fn prepare(
+    graph: &Graph,
+    params: HprwParams,
+    config: Config,
+) -> Result<Preparation, AlgoError> {
     let n = graph.len();
     if n == 0 {
-        return Err(AlgoError::InvalidParameter { reason: "empty graph".into() });
+        return Err(AlgoError::InvalidParameter {
+            reason: "empty graph".into(),
+        });
     }
     let s = params.s.clamp(1, n);
     let mut ledger = RoundsLedger::new();
@@ -160,7 +180,14 @@ pub fn prepare(graph: &Graph, params: HprwParams, config: Config) -> Result<Prep
     let mut in_sample: Vec<bool> = (0..n).map(|_| rng.random_bool(p)).collect();
     in_sample[elect.leader.index()] = true;
     let sample_values: Vec<u64> = in_sample.iter().map(|&b| u64::from(b)).collect();
-    let count = aggregate::convergecast(graph, &leader_tree, &sample_values, count_bits, Op::Sum, config)?;
+    let count = aggregate::convergecast(
+        graph,
+        &leader_tree,
+        &sample_values,
+        count_bits,
+        Op::Sum,
+        config,
+    )?;
     ledger.add("sample count", count.stats);
     // The figure's guard: abort if more than n(log n)²/s vertices joined.
     let guard = (n as f64 * (n.max(2) as f64).ln().powi(2) / s as f64).ceil() as u64;
@@ -169,8 +196,7 @@ pub fn prepare(graph: &Graph, params: HprwParams, config: Config) -> Result<Prep
             reason: format!("sample size {} exceeds guard {}", count.value, guard),
         });
     }
-    let sample: Vec<NodeId> =
-        (0..n).filter(|&i| in_sample[i]).map(NodeId::new).collect();
+    let sample: Vec<NodeId> = (0..n).filter(|&i| in_sample[i]).map(NodeId::new).collect();
 
     // Step 2: d(v, S) by multi-source BFS, then select w = argmax.
     let mut net = Network::new(graph, config, |v| MsBfs {
@@ -188,7 +214,13 @@ pub fn prepare(graph: &Graph, params: HprwParams, config: Config) -> Result<Prep
     let far = aggregate::convergecast(graph, &leader_tree, &values, dist_bits, Op::Max, config)?;
     ledger.add("argmax d(v, S)", far.stats);
     let w = far.witness;
-    let bc = aggregate::broadcast(graph, &leader_tree, u32::from(w) as u64, bits::for_node(n), config)?;
+    let bc = aggregate::broadcast(
+        graph,
+        &leader_tree,
+        u32::from(w) as u64,
+        bits::for_node(n),
+        config,
+    )?;
     ledger.add("broadcast w", bc.stats);
 
     // Step 3: BFS(w) and the s closest nodes.
@@ -199,8 +231,7 @@ pub fn prepare(graph: &Graph, params: HprwParams, config: Config) -> Result<Prep
 
     // Distance threshold: smallest ρ with |{v : d(v,w) ≤ ρ}| ≥ s.
     let count_within = |rho: Dist, ledger: &mut RoundsLedger| -> Result<u64, AlgoError> {
-        let values: Vec<u64> =
-            w_dists.iter().map(|&d| u64::from(d <= rho)).collect();
+        let values: Vec<u64> = w_dists.iter().map(|&d| u64::from(d <= rho)).collect();
         let out = aggregate::convergecast(graph, &w_tree, &values, count_bits, Op::Sum, config)?;
         ledger.add(format!("count d<={rho}"), out.stats);
         Ok(out.value)
@@ -215,7 +246,11 @@ pub fn prepare(graph: &Graph, params: HprwParams, config: Config) -> Result<Prep
         }
     }
     let rho = lo;
-    let below = if rho == 0 { 0 } else { count_within(rho - 1, &mut ledger)? };
+    let below = if rho == 0 {
+        0
+    } else {
+        count_within(rho - 1, &mut ledger)?
+    };
     let needed_at_rho = s as u64 - below;
 
     // Id cutoff within the distance-ρ shell: smallest id cut with
@@ -246,8 +281,7 @@ pub fn prepare(graph: &Graph, params: HprwParams, config: Config) -> Result<Prep
         .enumerate()
         .map(|(i, &d)| d < rho || (d == rho && (i as u32) <= cut))
         .collect();
-    let r_set: Vec<NodeId> =
-        (0..n).filter(|&i| r_member[i]).map(NodeId::new).collect();
+    let r_set: Vec<NodeId> = (0..n).filter(|&i| r_member[i]).map(NodeId::new).collect();
     debug_assert_eq!(r_set.len(), s, "R selection must produce exactly s nodes");
 
     Ok(Preparation {
@@ -343,7 +377,12 @@ pub fn approx_diameter(
     )?;
     ledger.add("max convergecast", agg.stats);
 
-    Ok(ApproxOutcome { estimate: agg.value as Dist, r_size, w: prep.w, ledger })
+    Ok(ApproxOutcome {
+        estimate: agg.value as Dist,
+        r_size,
+        w: prep.w,
+        ledger,
+    })
 }
 
 #[cfg(test)]
@@ -354,7 +393,11 @@ mod tests {
     fn check_bounds(g: &Graph, params: HprwParams) {
         let d = metrics::diameter(g).unwrap();
         let out = approx_diameter(g, params, Config::for_graph(g)).unwrap();
-        assert!(out.estimate <= d, "estimate {} exceeds diameter {d}", out.estimate);
+        assert!(
+            out.estimate <= d,
+            "estimate {} exceeds diameter {d}",
+            out.estimate
+        );
         // HPRW's guarantee is the floor form: ⌊2D/3⌋ ≤ D̄.
         assert!(
             out.estimate >= (2 * d) / 3,
@@ -371,7 +414,12 @@ mod tests {
         assert_eq!(prep.r_set.len(), 10);
         // Every selected node is at least as close to w as every excluded one
         // (up to the id cutoff within the threshold shell).
-        let max_in = prep.r_set.iter().map(|v| prep.w_dists[v.index()]).max().unwrap();
+        let max_in = prep
+            .r_set
+            .iter()
+            .map(|v| prep.w_dists[v.index()])
+            .max()
+            .unwrap();
         let min_out = (0..40)
             .filter(|&i| !prep.r_member[i])
             .map(|i| prep.w_dists[i])
@@ -439,7 +487,11 @@ mod tests {
         // sample_factor = 20 with s = n makes p = 1 (all 30 nodes join S)
         // while the guard stays at n·ln²n/s ≈ 12 — the abort must fire.
         let g = generators::complete(30);
-        let params = HprwParams { s: 30, seed: 0, sample_factor: 20.0 };
+        let params = HprwParams {
+            s: 30,
+            seed: 0,
+            sample_factor: 20.0,
+        };
         let err = prepare(&g, params, Config::for_graph(&g)).unwrap_err();
         assert!(matches!(err, AlgoError::Aborted { .. }), "got {err:?}");
     }

@@ -44,7 +44,10 @@ impl NodeProgram for Elect {
             }
         }
         if improved {
-            ctx.broadcast(Candidate { id: self.best, n: ctx.num_nodes() });
+            ctx.broadcast(Candidate {
+                id: self.best,
+                n: ctx.num_nodes(),
+            });
         }
         Status::Halted
     }
@@ -112,7 +115,11 @@ mod tests {
         let out = elect(&g, Config::for_graph(&g)).unwrap();
         let d = metrics::diameter(&g).unwrap() as u64;
         assert!(out.stats.rounds >= d, "needs at least D rounds");
-        assert!(out.stats.rounds <= d + 3, "rounds {} far above D={d}", out.stats.rounds);
+        assert!(
+            out.stats.rounds <= d + 3,
+            "rounds {} far above D={d}",
+            out.stats.rounds
+        );
 
         let g2 = generators::complete(64); // same n, tiny D
         let out2 = elect(&g2, Config::for_graph(&g2)).unwrap();

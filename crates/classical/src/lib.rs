@@ -50,8 +50,8 @@ pub mod apsp;
 pub mod bfs;
 pub mod dfs_walk;
 pub mod ecc;
-pub mod girth;
 mod error;
+pub mod girth;
 pub mod hprw;
 pub mod leader;
 pub mod source_detection;

@@ -84,7 +84,11 @@ impl NodeProgram for DetectProgram {
             self.learn(dist + 1, src);
         }
         if let Some((dist, src)) = self.next_to_send() {
-            ctx.broadcast(PairMsg { dist, src, n: ctx.num_nodes() });
+            ctx.broadcast(PairMsg {
+                dist,
+                src,
+                n: ctx.num_nodes(),
+            });
             let at = self.sent.binary_search(&(dist, src)).unwrap_err();
             self.sent.insert(at, (dist, src));
             Status::Active
@@ -141,23 +145,38 @@ pub fn detect(
     config: Config,
 ) -> Result<DetectionOutcome, AlgoError> {
     if gamma == 0 {
-        return Err(AlgoError::InvalidParameter { reason: "gamma must be positive".into() });
+        return Err(AlgoError::InvalidParameter {
+            reason: "gamma must be positive".into(),
+        });
     }
     let mut is_source = vec![false; graph.len()];
     for &s in sources {
         if s.index() >= graph.len() {
-            return Err(AlgoError::Protocol { reason: format!("source {s} out of range") });
+            return Err(AlgoError::Protocol {
+                reason: format!("source {s} out of range"),
+            });
         }
         is_source[s.index()] = true;
     }
     let mut net = Network::new(graph, config, |v| {
-        let known =
-            if is_source[v.index()] { vec![(0, v)] } else { Vec::new() };
-        DetectProgram { gamma, sigma, known, sent: Vec::new() }
+        let known = if is_source[v.index()] {
+            vec![(0, v)]
+        } else {
+            Vec::new()
+        };
+        DetectProgram {
+            gamma,
+            sigma,
+            known,
+            sent: Vec::new(),
+        }
     });
     let duration: Round = gamma as Round + u64::from(sigma) + 2;
     let stats = net.run_rounds(duration)?;
-    Ok(DetectionOutcome { lists: net.into_outputs(), stats })
+    Ok(DetectionOutcome {
+        lists: net.into_outputs(),
+        stats,
+    })
 }
 
 /// Centralized reference for `(S, γ, σ)`-detection.
@@ -199,7 +218,10 @@ mod tests {
     fn check(g: &Graph, sources: &[NodeId], gamma: usize, sigma: Dist) {
         let out = detect(g, sources, gamma, sigma, Config::for_graph(g)).unwrap();
         let expect = reference(g, sources, gamma, sigma);
-        assert_eq!(out.lists, expect, "γ={gamma} σ={sigma} S={sources:?} on {g:?}");
+        assert_eq!(
+            out.lists, expect,
+            "γ={gamma} σ={sigma} S={sources:?} on {g:?}"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl TreeView {
     ) -> Result<Self, AlgoError> {
         let n = parents.len();
         if children.len() != n || root.index() >= n {
-            return Err(AlgoError::Protocol { reason: "tree arrays size mismatch".into() });
+            return Err(AlgoError::Protocol {
+                reason: "tree arrays size mismatch".into(),
+            });
         }
         for (i, p) in parents.iter().enumerate() {
             match p {
@@ -53,9 +55,15 @@ impl TreeView {
             }
         }
         if parents[root.index()].is_some() {
-            return Err(AlgoError::Protocol { reason: "root has a parent".into() });
+            return Err(AlgoError::Protocol {
+                reason: "root has a parent".into(),
+            });
         }
-        Ok(TreeView { root, parents, children })
+        Ok(TreeView {
+            root,
+            parents,
+            children,
+        })
     }
 
     /// The tree root.
@@ -96,7 +104,9 @@ impl TreeView {
     /// not downward closed.
     pub fn restrict(&self, member: impl Fn(NodeId) -> bool) -> Result<TreeView, AlgoError> {
         if !member(self.root) {
-            return Err(AlgoError::Protocol { reason: "restriction excludes the root".into() });
+            return Err(AlgoError::Protocol {
+                reason: "restriction excludes the root".into(),
+            });
         }
         for v in 0..self.len() {
             let v = NodeId::new(v);
@@ -122,7 +132,11 @@ impl TreeView {
                 }
             })
             .collect();
-        Ok(TreeView { root: self.root, parents: self.parents.clone(), children })
+        Ok(TreeView {
+            root: self.root,
+            parents: self.parents.clone(),
+            children,
+        })
     }
 
     /// Number of nodes reachable from the root through the (possibly

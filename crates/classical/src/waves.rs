@@ -61,6 +61,29 @@ impl NodeProgram for WaveProgram {
     type Output = Dist;
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, WaveMsg>) -> Status {
+        // Telemetry for the Lemmas 2–4 congestion argument, emitted before
+        // the assertions below so a violating schedule is visible in the
+        // trace (`distinct > 1`) and not only as a panic. Nodes with empty
+        // inboxes stay silent to bound trace volume.
+        if !ctx.inbox().is_empty() {
+            trace::emit_with(|| {
+                let mut fresh: Vec<(u64, Dist)> = ctx
+                    .inbox()
+                    .iter()
+                    .filter(|&&(_, WaveMsg { tau, .. })| (tau as i64) > self.last_tau)
+                    .map(|&(_, WaveMsg { tau, delta, .. })| (tau, delta))
+                    .collect();
+                let surviving = fresh.len() as u64;
+                fresh.sort_unstable();
+                fresh.dedup();
+                trace::TraceEvent::Wave {
+                    round: ctx.round(),
+                    node: ctx.node().index() as u64,
+                    surviving,
+                    distinct: fresh.len() as u64,
+                }
+            });
+        }
         // Step 3(a)/(b): disregard old waves; all remaining messages must be
         // identical (Lemma 4) — keep one.
         let mut kept: Option<(u64, Dist)> = None;
@@ -90,7 +113,12 @@ impl NodeProgram for WaveProgram {
             );
             self.last_tau = tau as i64;
             self.max_dist = self.max_dist.max(my_dist);
-            ctx.broadcast(WaveMsg { tau, delta: my_dist, tau_bits: self.tau_bits, n: ctx.num_nodes() });
+            ctx.broadcast(WaveMsg {
+                tau,
+                delta: my_dist,
+                tau_bits: self.tau_bits,
+                n: ctx.num_nodes(),
+            });
         }
         // Step 2: start this node's own wave at round 2τ'(v).
         if let Some((start, tau)) = self.source {
@@ -101,7 +129,12 @@ impl NodeProgram for WaveProgram {
                     ctx.node()
                 );
                 self.last_tau = tau as i64;
-                ctx.broadcast(WaveMsg { tau, delta: 0, tau_bits: self.tau_bits, n: ctx.num_nodes() });
+                ctx.broadcast(WaveMsg {
+                    tau,
+                    delta: 0,
+                    tau_bits: self.tau_bits,
+                    n: ctx.num_nodes(),
+                });
             }
         }
         Status::Halted
@@ -155,10 +188,14 @@ pub fn run(
     let mut max_tau = 1u64;
     for &(v, tau) in sources {
         if v.index() >= n {
-            return Err(AlgoError::Protocol { reason: format!("source {v} out of range") });
+            return Err(AlgoError::Protocol {
+                reason: format!("source {v} out of range"),
+            });
         }
         if starts[v.index()].is_some() {
-            return Err(AlgoError::Protocol { reason: format!("duplicate source {v}") });
+            return Err(AlgoError::Protocol {
+                reason: format!("duplicate source {v}"),
+            });
         }
         starts[v.index()] = Some((2 * tau, tau));
         max_tau = max_tau.max(tau);
@@ -171,7 +208,10 @@ pub fn run(
         tau_bits,
     });
     let stats = net.run_rounds(duration)?;
-    Ok(WaveOutcome { max_dist: net.into_outputs(), stats })
+    Ok(WaveOutcome {
+        max_dist: net.into_outputs(),
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -192,8 +232,10 @@ mod tests {
             let view = TreeView::from(&b);
             let steps = 2 * (g.len() as u64 - 1);
             let dfs = dfs_walk::walk(&g, &view, root, steps, cfg).unwrap();
-            let sources: Vec<(NodeId, u64)> =
-                g.nodes().map(|v| (v, dfs.tau[v.index()].unwrap())).collect();
+            let sources: Vec<(NodeId, u64)> = g
+                .nodes()
+                .map(|v| (v, dfs.tau[v.index()].unwrap()))
+                .collect();
             let duration = 2 * steps + g.len() as u64 + 2;
             let out = run(&g, &sources, duration, cfg).unwrap();
             assert_eq!(out.global_max(), metrics::diameter(&g).unwrap());
@@ -259,6 +301,36 @@ mod tests {
         // nodes at distance ≤ 2; node 3's delivery round never ran.
         assert_eq!(out.max_dist[2], 2);
         assert_eq!(out.max_dist[3], 0, "wave must not have reached node 3 yet");
+    }
+
+    /// Traced full-schedule run: the Lemma 4 invariant — at most one
+    /// distinct surviving wave per node per round — shows up as a metric.
+    #[test]
+    fn traced_waves_respect_the_one_survivor_invariant() {
+        let g = generators::random_connected(26, 0.12, 1);
+        let cfg = Config::for_graph(&g);
+        let root = NodeId::new(0);
+        let b = bfs::build(&g, root, cfg).unwrap();
+        let view = TreeView::from(&b);
+        let steps = 2 * (g.len() as u64 - 1);
+        let dfs = dfs_walk::walk(&g, &view, root, steps, cfg).unwrap();
+        let sources: Vec<(NodeId, u64)> = g
+            .nodes()
+            .map(|v| (v, dfs.tau[v.index()].unwrap()))
+            .collect();
+        let recorder = trace::Recorder::shared();
+        {
+            let _guard = trace::install(recorder.clone());
+            run(&g, &sources, 2 * steps + g.len() as u64 + 2, cfg).unwrap();
+        }
+        let events = recorder.borrow_mut().take();
+        let summary = trace::Summary::from_events(&events);
+        assert!(summary.wave_observations > 0, "waves must be observed");
+        assert!(summary.wave_max_surviving >= 1);
+        assert_eq!(
+            summary.wave_max_distinct, 1,
+            "Lemma 4: one distinct wave per round"
+        );
     }
 
     #[test]

@@ -138,8 +138,15 @@ impl Reduction for BitGadgetReduction {
             }
         }
         let left = (0..self.side_size()).map(NodeId::new).collect();
-        let right = (self.side_size()..self.num_nodes()).map(NodeId::new).collect();
-        ReductionGraph { graph: g.build(), left, right, cut }
+        let right = (self.side_size()..self.num_nodes())
+            .map(NodeId::new)
+            .collect();
+        ReductionGraph {
+            graph: g.build(),
+            left,
+            right,
+            cut,
+        }
     }
 }
 
@@ -187,8 +194,7 @@ mod tests {
         let g = red.build(&x, &y);
         for i in 0..8 {
             for j in 0..8 {
-                let d =
-                    distance(&g.graph, NodeId::new(red.l(i)), NodeId::new(red.r(j))).unwrap();
+                let d = distance(&g.graph, NodeId::new(red.l(i)), NodeId::new(red.r(j))).unwrap();
                 if i == j {
                     assert_eq!(d, 5, "intersecting pair ({i},{i})");
                 } else {

@@ -63,7 +63,9 @@ mod tests {
         assert!(bgk_qubits_lower_bound(10_000, 100) <= 200.0);
         assert!(bgk_qubits_lower_bound(10_000, 10_000) >= 10_000.0);
         // The optimum is at r = √k with value 2√k.
-        let best = (1..=400).map(|r| bgk_qubits_lower_bound(10_000, r)).fold(f64::MAX, f64::min);
+        let best = (1..=400)
+            .map(|r| bgk_qubits_lower_bound(10_000, r))
+            .fold(f64::MAX, f64::min);
         assert_eq!(best, 200.0);
     }
 

@@ -22,7 +22,11 @@ use rand::{RngExt, SeedableRng};
 /// assert!(!commcc::disj::eval(&[true, false], &[true, true]));
 /// ```
 pub fn eval(x: &[bool], y: &[bool]) -> bool {
-    assert_eq!(x.len(), y.len(), "disjointness inputs must have equal length");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "disjointness inputs must have equal length"
+    );
     !x.iter().zip(y).any(|(&a, &b)| a && b)
 }
 

@@ -124,8 +124,16 @@ impl Reduction for HwReduction {
             }
         }
         let left = (0..2 * s).chain([self.a()]).map(NodeId::new).collect();
-        let right = (2 * s..4 * s).chain([self.b_node()]).map(NodeId::new).collect();
-        ReductionGraph { graph: g.build(), left, right, cut }
+        let right = (2 * s..4 * s)
+            .chain([self.b_node()])
+            .map(NodeId::new)
+            .collect();
+        ReductionGraph {
+            graph: g.build(),
+            left,
+            right,
+            cut,
+        }
     }
 }
 

@@ -83,8 +83,7 @@ pub fn run<R: Rng + ?Sized>(
     assert!(!x.is_empty(), "inputs must be nonempty");
     let k = x.len();
     let init = SearchState::uniform(k);
-    let params =
-        AmplifyParams::with_min_mass(1.0 / k as f64).with_failure_prob(failure_prob);
+    let params = AmplifyParams::with_min_mass(1.0 / k as f64).with_failure_prob(failure_prob);
     let marked = |i: usize| x[i] && y[i];
     let out = amplify(&init, marked, params, rng)?;
 
@@ -104,7 +103,13 @@ pub fn run<R: Rng + ?Sized>(
         None => (true, None),
     };
     debug_assert_eq!(disjoint, disj::eval(x, y) || out.found.is_none());
-    Ok(QdisjOutcome { disjoint, witness, oracle_queries, messages, qubits })
+    Ok(QdisjOutcome {
+        disjoint,
+        witness,
+        oracle_queries,
+        messages,
+        qubits,
+    })
 }
 
 #[cfg(test)]
@@ -160,7 +165,10 @@ mod tests {
         let q2 = mean_qubits(64 * 16, &mut rng);
         let ratio = q2 / q1;
         // √16 = 4, plus the log-factor growth: expect ≈ 4–8, far below 16.
-        assert!((3.0..=10.0).contains(&ratio), "16x input grew qubits by {ratio:.1}x");
+        assert!(
+            (3.0..=10.0).contains(&ratio),
+            "16x input grew qubits by {ratio:.1}x"
+        );
         // Normalized cost qubits/k must fall: the protocol is sublinear.
         assert!(
             q2 / (classical_cost_bits(64 * 16) as f64) < q1 / (classical_cost_bits(64) as f64),
@@ -174,7 +182,10 @@ mod tests {
             .map(|e| (2.0_f64).powi(e))
             .find(|&k| c * k.sqrt() * k.log2() < k)
             .expect("crossover must exist: √k·log k is sublinear");
-        assert!(crossover < 2.0_f64.powi(40), "crossover implausibly far: {crossover}");
+        assert!(
+            crossover < 2.0_f64.powi(40),
+            "crossover implausibly far: {crossover}"
+        );
     }
 
     /// Consistency with Theorem 5: the protocol's (messages, qubits) point

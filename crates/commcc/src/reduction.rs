@@ -64,30 +64,42 @@ pub trait Reduction {
 /// Checks Definition 3's conditions (i)/(ii) — and the analogous bounds on
 /// the *graph diameter* — on one instance. Returns an error message on
 /// violation.
-pub fn check_instance<R: Reduction>(
-    red: &R,
-    x: &[bool],
-    y: &[bool],
-) -> Result<(), String> {
+pub fn check_instance<R: Reduction>(red: &R, x: &[bool], y: &[bool]) -> Result<(), String> {
     let g = red.build(x, y);
     let delta = g.delta().ok_or("reduction graph is disconnected")?;
     let diam = g.diameter().ok_or("reduction graph is disconnected")?;
     if g.cut.len() != red.b() {
-        return Err(format!("cut has {} edges, expected b = {}", g.cut.len(), red.b()));
+        return Err(format!(
+            "cut has {} edges, expected b = {}",
+            g.cut.len(),
+            red.b()
+        ));
     }
     if disj::eval(x, y) {
         if delta > red.d1() {
-            return Err(format!("disjoint input but Δ = {delta} > d1 = {}", red.d1()));
+            return Err(format!(
+                "disjoint input but Δ = {delta} > d1 = {}",
+                red.d1()
+            ));
         }
         if diam > red.d1() {
-            return Err(format!("disjoint input but diameter = {diam} > d1 = {}", red.d1()));
+            return Err(format!(
+                "disjoint input but diameter = {diam} > d1 = {}",
+                red.d1()
+            ));
         }
     } else {
         if delta < red.d2() {
-            return Err(format!("intersecting input but Δ = {delta} < d2 = {}", red.d2()));
+            return Err(format!(
+                "intersecting input but Δ = {delta} < d2 = {}",
+                red.d2()
+            ));
         }
         if diam < red.d2() {
-            return Err(format!("intersecting input but diameter = {diam} < d2 = {}", red.d2()));
+            return Err(format!(
+                "intersecting input but diameter = {diam} < d2 = {}",
+                red.d2()
+            ));
         }
     }
     Ok(())

@@ -228,7 +228,12 @@ impl TwoPartyPlan {
     /// Panics if `depth == 0`.
     pub fn new(rounds: u64, depth: u64, bw_qubits: u64, mem_qubits: u64) -> Self {
         assert!(depth > 0, "separation depth must be positive");
-        TwoPartyPlan { rounds, depth, bw_qubits, mem_qubits }
+        TwoPartyPlan {
+            rounds,
+            depth,
+            bw_qubits,
+            mem_qubits,
+        }
     }
 
     /// Number of area blocks (`⌈r/d⌉`, the `s` loop of the proof).
@@ -393,7 +398,10 @@ mod tests {
         let (x, y) = disj::random_instance(8, false, 2);
         let sg = red.build_layered(&x, &y);
         let p = Partition::for_stretched(&sg);
-        assert!(p.is_layered(&sg.inner.graph), "stretched gadget must be layered");
+        assert!(
+            p.is_layered(&sg.inner.graph),
+            "stretched gadget must be layered"
+        );
     }
 
     /// Real run on a stretched gadget: per-round boundary traffic is

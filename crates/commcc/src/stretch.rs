@@ -39,7 +39,12 @@ pub struct PathNetwork {
 /// ```
 pub fn path_network(d: usize) -> PathNetwork {
     let graph = graphs::generators::path(d + 2);
-    PathNetwork { graph, a: NodeId::new(0), b: NodeId::new(d + 1), d }
+    PathNetwork {
+        graph,
+        a: NodeId::new(0),
+        b: NodeId::new(d + 1),
+        d,
+    }
 }
 
 /// A stretched reduction instance, with the layer structure needed by the

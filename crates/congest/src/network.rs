@@ -37,7 +37,10 @@ impl Config {
     /// A configuration with an explicit per-edge bandwidth budget (bits per
     /// round) and the [`BandwidthPolicy::Enforce`] policy.
     pub fn new(bandwidth_bits: usize) -> Self {
-        Config { bandwidth_bits, policy: BandwidthPolicy::Enforce }
+        Config {
+            bandwidth_bits,
+            policy: BandwidthPolicy::Enforce,
+        }
     }
 
     /// The canonical CONGEST budget for `graph`: `4⌈log₂ n⌉ + 8` bits, i.e.
@@ -185,6 +188,10 @@ impl<'g, P: NodeProgram> Network<'g, P> {
     pub fn step(&mut self) -> Result<(), CongestError> {
         let n = self.programs.len();
         let round = self.round;
+        // Fetched once per round, not once per message; `None` (the
+        // default) keeps the message loop free of tracing work.
+        let tracer = trace::current();
+        let mut sent_this_round: u64 = 0;
         // Take this round's inboxes; outgoing messages are staged into the
         // next round's inboxes after validation.
         let mut inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
@@ -193,8 +200,7 @@ impl<'g, P: NodeProgram> Network<'g, P> {
             let node = NodeId::new(i);
             let mut inbox = std::mem::take(&mut inboxes[i]);
             inbox.sort_by_key(|&(from, _)| from);
-            let mut ctx =
-                RoundCtx::new(node, round, n, self.graph.neighbors(node), &inbox);
+            let mut ctx = RoundCtx::new(node, round, n, self.graph.neighbors(node), &inbox);
             self.statuses[i] = self.programs[i].on_round(&mut ctx);
             let outbox = ctx.into_outbox();
             let mut sent_to: Vec<NodeId> = Vec::with_capacity(outbox.len());
@@ -203,7 +209,11 @@ impl<'g, P: NodeProgram> Network<'g, P> {
                     return Err(CongestError::NotANeighbor { from: node, to });
                 }
                 if sent_to.contains(&to) {
-                    return Err(CongestError::DuplicateSend { from: node, to, round });
+                    return Err(CongestError::DuplicateSend {
+                        from: node,
+                        to,
+                        round,
+                    });
                 }
                 sent_to.push(to);
                 let bits = msg.size_bits();
@@ -218,7 +228,18 @@ impl<'g, P: NodeProgram> Network<'g, P> {
                                 budget: self.config.bandwidth_bits,
                             });
                         }
-                        BandwidthPolicy::Track => self.stats.bandwidth_violations += 1,
+                        BandwidthPolicy::Track => {
+                            self.stats.bandwidth_violations += 1;
+                            if let Some(sink) = &tracer {
+                                sink.borrow_mut().record(&trace::TraceEvent::Violation {
+                                    round,
+                                    from: node.index() as u64,
+                                    to: to.index() as u64,
+                                    bits: bits as u64,
+                                    budget: self.config.bandwidth_bits as u64,
+                                });
+                            }
+                        }
                     }
                 }
                 self.stats.messages += 1;
@@ -227,12 +248,27 @@ impl<'g, P: NodeProgram> Network<'g, P> {
                 if let Some(observer) = &mut self.observer {
                     observer(round, node, to, bits);
                 }
+                if let Some(sink) = &tracer {
+                    sent_this_round += 1;
+                    sink.borrow_mut().record(&trace::TraceEvent::Message {
+                        round,
+                        from: node.index() as u64,
+                        to: to.index() as u64,
+                        bits: bits as u64,
+                    });
+                }
                 self.inboxes[to.index()].push((node, msg));
                 self.in_flight += 1;
             }
         }
         self.round += 1;
         self.stats.rounds = self.round;
+        if let Some(sink) = &tracer {
+            sink.borrow_mut().record(&trace::TraceEvent::Round {
+                round,
+                delivered: sent_this_round,
+            });
+        }
         Ok(())
     }
 
@@ -312,7 +348,11 @@ mod tests {
         type Output = ();
         fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
             if ctx.node() == NodeId::new(0) && ctx.round() == 0 {
-                let target = if self.to_bad_target { NodeId::new(3) } else { NodeId::new(1) };
+                let target = if self.to_bad_target {
+                    NodeId::new(3)
+                } else {
+                    NodeId::new(1)
+                };
                 ctx.send(target, Sized(self.bits));
                 if self.duplicate {
                     ctx.send(target, Sized(self.bits));
@@ -342,7 +382,14 @@ mod tests {
         let g = generators::path(3);
         let mut net = one_shot_net(&g, 17, false, false, BandwidthPolicy::Enforce);
         let err = net.run_until_quiescent(10).unwrap_err();
-        assert!(matches!(err, CongestError::BandwidthExceeded { bits: 17, budget: 16, .. }));
+        assert!(matches!(
+            err,
+            CongestError::BandwidthExceeded {
+                bits: 17,
+                budget: 16,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -359,7 +406,13 @@ mod tests {
         let g = generators::path(4); // 0-1-2-3; 0 and 3 are not adjacent
         let mut net = one_shot_net(&g, 1, true, false, BandwidthPolicy::Enforce);
         let err = net.run_until_quiescent(10).unwrap_err();
-        assert_eq!(err, CongestError::NotANeighbor { from: NodeId::new(0), to: NodeId::new(3) });
+        assert_eq!(
+            err,
+            CongestError::NotANeighbor {
+                from: NodeId::new(0),
+                to: NodeId::new(3)
+            }
+        );
     }
 
     #[test]
@@ -437,6 +490,51 @@ mod tests {
         assert_eq!(*log.borrow(), vec![(0, NodeId::new(0), NodeId::new(1), 8)]);
     }
 
+    /// With a sink installed, the scheduler emits one `Message` event per
+    /// delivered message, a `Violation` per tracked overflow, and one
+    /// `Round` tick per executed round.
+    #[test]
+    fn tracing_captures_messages_rounds_and_violations() {
+        let g = generators::path(3);
+        let recorder = trace::Recorder::shared();
+        let events = {
+            let _guard = trace::install(recorder.clone());
+            let mut net = one_shot_net(&g, 17, false, false, BandwidthPolicy::Track);
+            net.run_until_quiescent(10).unwrap();
+            recorder.borrow_mut().take()
+        };
+        assert_eq!(
+            events,
+            vec![
+                trace::TraceEvent::Violation {
+                    round: 0,
+                    from: 0,
+                    to: 1,
+                    bits: 17,
+                    budget: 16
+                },
+                trace::TraceEvent::Message {
+                    round: 0,
+                    from: 0,
+                    to: 1,
+                    bits: 17
+                },
+                trace::TraceEvent::Round {
+                    round: 0,
+                    delivered: 1
+                },
+                trace::TraceEvent::Round {
+                    round: 1,
+                    delivered: 0
+                },
+            ]
+        );
+        // With the guard dropped, the same run emits nothing.
+        let mut net = one_shot_net(&g, 17, false, false, BandwidthPolicy::Track);
+        net.run_until_quiescent(10).unwrap();
+        assert!(recorder.borrow().events().is_empty());
+    }
+
     /// Deterministic replay: two identical runs produce identical stats.
     #[test]
     fn runs_are_deterministic() {
@@ -475,8 +573,7 @@ mod tests {
         }
         let g = generators::random_connected(24, 0.15, 3);
         let run = || {
-            let mut net =
-                Network::new(&g, Config::for_graph(&g), |v| MinId { best: u32::from(v) });
+            let mut net = Network::new(&g, Config::for_graph(&g), |v| MinId { best: u32::from(v) });
             let stats = net.run_until_quiescent(1000).unwrap();
             (stats, net.into_outputs())
         };

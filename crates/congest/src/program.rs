@@ -37,7 +37,14 @@ impl<'a, M: Payload> RoundCtx<'a, M> {
         neighbors: &'a [NodeId],
         inbox: &'a [(NodeId, M)],
     ) -> Self {
-        RoundCtx { node, round, num_nodes, neighbors, inbox, outbox: Vec::new() }
+        RoundCtx {
+            node,
+            round,
+            num_nodes,
+            neighbors,
+            inbox,
+            outbox: Vec::new(),
+        }
     }
 
     /// This node's identifier.

@@ -54,7 +54,12 @@ pub struct ApproxParams {
 impl ApproxParams {
     /// Defaults: `δ = 0.01`, paper's `s`, one verified branch.
     pub fn new(seed: u64) -> Self {
-        ApproxParams { seed, failure_prob: 0.01, s_override: None, verify_branches: 1 }
+        ApproxParams {
+            seed,
+            failure_prob: 0.01,
+            s_override: None,
+            verify_branches: 1,
+        }
     }
 
     /// Replaces the cluster size.
@@ -83,6 +88,10 @@ pub struct ApproxRun {
     pub w: NodeId,
     /// Classical accounting: pre-pass + Figure 3 steps 1–3.
     pub prep_ledger: RoundsLedger,
+    /// Accounting of the physical probe and verification executions (as in
+    /// [`DiameterRun::probe_ledger`](crate::exact::DiameterRun::probe_ledger)):
+    /// simulated, traced, but excluded from [`ApproxRun::rounds`].
+    pub probe_ledger: RoundsLedger,
     /// Oracle-call accounting of the quantum phase.
     pub oracle: OracleCost,
     /// Rounds of the quantum phase.
@@ -108,7 +117,10 @@ impl ApproxRun {
 pub fn paper_cluster_size(n: usize, d: Dist) -> usize {
     let nf = n as f64;
     let df = f64::from(d.max(1));
-    (nf.powf(2.0 / 3.0) / df.powf(1.0 / 3.0)).ceil().max(1.0).min(nf) as usize
+    (nf.powf(2.0 / 3.0) / df.powf(1.0 / 3.0))
+        .ceil()
+        .max(1.0)
+        .min(nf) as usize
 }
 
 /// Computes a `3/2`-approximation of the diameter with the
@@ -135,7 +147,9 @@ pub fn paper_cluster_size(n: usize, d: Dist) -> usize {
 /// ```
 pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<ApproxRun, QdError> {
     if graph.is_empty() {
-        return Err(QdError::InvalidParameter { reason: "empty graph".into() });
+        return Err(QdError::InvalidParameter {
+            reason: "empty graph".into(),
+        });
     }
     let n = graph.len();
     let mut prep_ledger = RoundsLedger::new();
@@ -155,23 +169,30 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
             d,
             w: elect.leader,
             prep_ledger,
+            probe_ledger: RoundsLedger::new(),
             oracle: OracleCost::new(),
             quantum_rounds: 0,
-            oracle_schedule: DistributedOracle { setup_rounds: 0, evaluation_rounds: 0 },
+            oracle_schedule: DistributedOracle {
+                setup_rounds: 0,
+                evaluation_rounds: 0,
+            },
             memory: framework::memory_estimate(n, 1, 1.0),
             verified: true,
             aborted: false,
         });
     }
 
-    let s = params.s_override.unwrap_or_else(|| paper_cluster_size(n, d)).clamp(1, n);
+    let s = params
+        .s_override
+        .unwrap_or_else(|| paper_cluster_size(n, d))
+        .clamp(1, n);
 
     // Phase 1: Figure 3 steps 1-3 (shared with classical HPRW).
-    let prep = hprw::prepare(graph, HprwParams::with_s(s, params.seed), config)
-        .map_err(QdError::from)?;
-    for (label, stats, reps) in prep.ledger.phases() {
-        prep_ledger.add_scaled(format!("figure 3: {label}"), *stats, reps);
-    }
+    let prep =
+        hprw::prepare(graph, HprwParams::with_s(s, params.seed), config).map_err(QdError::from)?;
+    // extend_prefixed (not add_scaled) so installed trace sinks are not
+    // handed a second span for phases hprw::prepare already emitted.
+    prep_ledger.extend_prefixed("figure 3: ", &prep.ledger);
     let r_size = prep.r_set.len();
 
     // Compact the R-subtree of BFS(w) for the window structure.
@@ -181,13 +202,22 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
         compact_of[gi] = ci;
     }
     let r_member = prep.r_member.clone();
-    let r_tree = prep.w_tree.restrict(|v| r_member[v.index()]).map_err(QdError::from)?;
+    let r_tree = prep
+        .w_tree
+        .restrict(|v| r_member[v.index()])
+        .map_err(QdError::from)?;
     let compact_parents: Vec<Option<NodeId>> = r_index
         .iter()
-        .map(|&gi| r_tree.parent(NodeId::new(gi)).map(|p| NodeId::new(compact_of[p.index()])))
+        .map(|&gi| {
+            r_tree
+                .parent(NodeId::new(gi))
+                .map(|p| NodeId::new(compact_of[p.index()]))
+        })
         .collect();
-    let rooted = RootedTree::from_parents(&compact_parents)
-        .map_err(|e| QdError::InvalidParameter { reason: e.to_string() })?;
+    let rooted =
+        RootedTree::from_parents(&compact_parents).map_err(|e| QdError::InvalidParameter {
+            reason: e.to_string(),
+        })?;
     let tour = EulerTour::new(&rooted);
     let windows = Windows::new(&tour, 2 * d as usize);
 
@@ -203,10 +233,13 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
 
     // Measured schedules: Setup = broadcast over BFS(w); Evaluation = the
     // windowed Figure 2 run (walk on the R-subtree, aggregation on BFS(w)).
+    let mut probe_ledger = RoundsLedger::new();
     let setup_probe = aggregate::broadcast(graph, &prep.w_tree, 0, bits::for_node(n), config)
         .map_err(QdError::from)?;
+    probe_ledger.add("probe: setup broadcast [Prop 2]", setup_probe.stats);
     let eval_probe = evaluation::run_windowed(graph, &r_tree, &prep.w_tree, d, prep.w, config)
         .map_err(QdError::from)?;
+    probe_ledger.extend_prefixed("probe: ", &eval_probe.ledger);
     let oracle_schedule = DistributedOracle {
         setup_rounds: setup_probe.stats.rounds,
         evaluation_rounds: eval_probe.forward_rounds(),
@@ -216,10 +249,12 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
     // optimum mass if the instance is worse than the promise (possible when
     // the R-subtree is deeper than d).
     let best = f_values.iter().copied().max().unwrap_or(0);
-    let popt_actual =
-        f_values.iter().filter(|&&v| v == best).count() as f64 / r_size as f64;
+    let popt_actual = f_values.iter().filter(|&&v| v == best).count() as f64 / r_size as f64;
     let promise = (f64::from(d) / (2.0 * r_size as f64)).clamp(1.0 / r_size as f64, 1.0);
     let min_mass = promise.min(popt_actual);
+
+    let memory = framework::memory_estimate(n, r_size, min_mass);
+    crate::exact::emit_memory(&memory);
 
     let state = SearchState::uniform(r_size);
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -232,13 +267,15 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
     )?;
 
     // Verify sampled branches (and the winner) against the distributed run.
-    let mut branches: Vec<usize> =
-        (0..params.verify_branches).map(|_| rng.random_range(0..r_size)).collect();
+    let mut branches: Vec<usize> = (0..params.verify_branches)
+        .map(|_| rng.random_range(0..r_size))
+        .collect();
     branches.push(opt.argmax);
     for ci in branches {
         let u0 = NodeId::new(r_index[ci]);
         let run = evaluation::run_windowed(graph, &r_tree, &prep.w_tree, d, u0, config)
             .map_err(QdError::from)?;
+        probe_ledger.extend_prefixed(&format!("verify u={}: ", u0.index()), &run.ledger);
         if u64::from(run.value) != u64::from(f_values[ci]) {
             return Err(QdError::VerificationFailed {
                 branch: ci,
@@ -248,16 +285,22 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
         }
     }
 
+    trace::emit_with(|| trace::TraceEvent::Value {
+        label: "diameter estimate".into(),
+        value: opt.value,
+    });
+
     Ok(ApproxRun {
         estimate: opt.value as Dist,
         s,
         d,
         w: prep.w,
         prep_ledger,
+        probe_ledger,
         oracle: opt.oracle,
         quantum_rounds: opt.quantum_rounds,
         oracle_schedule,
-        memory: framework::memory_estimate(n, r_size, min_mass),
+        memory,
         verified: true,
         aborted: opt.aborted,
     })
@@ -269,13 +312,24 @@ mod tests {
     use graphs::{generators, metrics};
 
     fn check(g: &Graph, seed: u64) -> ApproxRun {
-        let out =
-            diameter(g, ApproxParams::new(seed).with_failure_prob(1e-3), Config::for_graph(g))
-                .unwrap();
+        let out = diameter(
+            g,
+            ApproxParams::new(seed).with_failure_prob(1e-3),
+            Config::for_graph(g),
+        )
+        .unwrap();
         let d = metrics::diameter(g).unwrap();
-        assert!(out.estimate <= d, "estimate {} above diameter {d}", out.estimate);
+        assert!(
+            out.estimate <= d,
+            "estimate {} above diameter {d}",
+            out.estimate
+        );
         // HPRW's guarantee is the floor form: ⌊2D/3⌋ ≤ D̄.
-        assert!(out.estimate >= (2 * d) / 3, "estimate {} below ⌊2D/3⌋ (D={d})", out.estimate);
+        assert!(
+            out.estimate >= (2 * d) / 3,
+            "estimate {} below ⌊2D/3⌋ (D={d})",
+            out.estimate
+        );
         out
     }
 

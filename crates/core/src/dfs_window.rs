@@ -76,8 +76,9 @@ impl<'t> Windows<'t> {
         let len = self.tour.len();
         // Value occupying each tour position (a node contributes at every
         // position it occupies — the walk semantics of Figure 2 Step 1).
-        let at_pos: Vec<Dist> =
-            (0..len).map(|t| values[self.tour.node_at(t).index()]).collect();
+        let at_pos: Vec<Dist> = (0..len)
+            .map(|t| values[self.tour.node_at(t).index()])
+            .collect();
         // A walk of `width` moves touches width+1 positions, cyclically; a
         // window at least as long as the tour covers everything.
         let w = (self.width + 1).min(len);
@@ -113,8 +114,7 @@ impl<'t> Windows<'t> {
                     }
                 }
                 if start < len {
-                    max_at_start[start] =
-                        at_pos[deque.front().expect("window is nonempty") % len];
+                    max_at_start[start] = at_pos[deque.front().expect("window is nonempty") % len];
                 }
             }
         }
@@ -140,8 +140,8 @@ pub fn min_coverage(windows: &Windows<'_>) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphs::tree::RootedTree;
     use graphs::traversal::Bfs;
+    use graphs::tree::RootedTree;
     use graphs::{generators, metrics, Graph};
 
     fn tour_of(g: &Graph, root: usize) -> (EulerTour, Dist) {
@@ -164,8 +164,7 @@ mod tests {
             let mut expect: Vec<NodeId> = g
                 .nodes()
                 .filter(|&v| {
-                    (0..=width.min(tour.len() - 1))
-                        .any(|o| tour.node_at(tour.tau(u) + o) == v)
+                    (0..=width.min(tour.len() - 1)).any(|o| tour.node_at(tour.tau(u) + o) == v)
                 })
                 .collect();
             expect.sort_unstable();
@@ -186,7 +185,10 @@ mod tests {
             for v in g.nodes() {
                 let diff = (tour.tau(v) + tour.len() - tour.tau(u)) % tour.len();
                 if diff <= width {
-                    assert!(members.contains(&v), "Definition-2 member {v} missing from S({u})");
+                    assert!(
+                        members.contains(&v),
+                        "Definition-2 member {v} missing from S({u})"
+                    );
                 }
             }
         }

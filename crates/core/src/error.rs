@@ -76,7 +76,11 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e = QdError::from(QuantumError::EmptyState);
         assert!(Error::source(&e).is_some());
-        let e = QdError::VerificationFailed { branch: 3, distributed: 5, reference: 6 };
+        let e = QdError::VerificationFailed {
+            branch: 3,
+            distributed: 5,
+            reference: 6,
+        };
         assert!(e.to_string().contains("branch 3"));
         assert!(Error::source(&e).is_none());
     }

@@ -19,8 +19,8 @@
 //! on `u₀` — which is what allows the procedure to run *in superposition*
 //! over all `u₀` simultaneously: all branches follow the same schedule.
 
-use classical::{dfs_walk, waves, AlgoError, TreeView};
 use classical::aggregate::{self, Op};
+use classical::{dfs_walk, waves, AlgoError, TreeView};
 use congest::{bits, Config, RoundsLedger};
 use graphs::{Dist, Graph, NodeId};
 
@@ -128,13 +128,25 @@ pub fn run_windowed(
     ledger.add("step 3: max convergecast", agg.stats);
 
     // Step 4 is local to the leader. Step 5: revert steps 1-3 (uncompute) —
-    // identical schedule run in reverse.
+    // identical schedule run in reverse. Charged as a derived phase: it
+    // mirrors the measured stats of steps 1-3 without re-running the
+    // network, so traces must not expect its messages on the wire again.
     let mut uncompute = walk.stats;
     uncompute.absorb(&wave.stats);
     uncompute.absorb(&agg.stats);
-    ledger.add("step 5: uncompute (revert 1-3)", uncompute);
+    ledger.add_derived("step 5: uncompute (revert 1-3)", uncompute);
 
-    Ok(EvaluationRun { u0, value: agg.value as Dist, window, ledger })
+    let value = agg.value as Dist;
+    trace::emit_with(|| trace::TraceEvent::Value {
+        label: format!("figure 2: f({u0})"),
+        value: u64::from(value),
+    });
+    Ok(EvaluationRun {
+        u0,
+        value,
+        window,
+        ledger,
+    })
 }
 
 /// The fixed round schedule of one Evaluation application, as a function of
@@ -172,7 +184,13 @@ mod tests {
         let rooted = RootedTree::from_parents(&b.parents).unwrap();
         let tour = EulerTour::new(&rooted);
         let eccs = metrics::eccentricities(&g).unwrap();
-        Setup { d: b.depth, g, tree, tour, eccs }
+        Setup {
+            d: b.depth,
+            g,
+            tree,
+            tour,
+            eccs,
+        }
     }
 
     /// The distributed Figure 2 run must agree with the centralized
@@ -217,12 +235,14 @@ mod tests {
     fn schedule_is_branch_independent() {
         let s = setup(generators::random_connected(18, 0.15, 4), 0);
         let cfg = Config::for_graph(&s.g);
-        let rounds: Vec<u64> = s
-            .g
-            .nodes()
-            .map(|u0| run_figure2(&s.g, &s.tree, s.d, u0, cfg).unwrap().rounds())
-            .collect();
-        assert!(rounds.windows(2).all(|w| w[0] == w[1]), "rounds vary by branch: {rounds:?}");
+        let rounds: Vec<u64> =
+            s.g.nodes()
+                .map(|u0| run_figure2(&s.g, &s.tree, s.d, u0, cfg).unwrap().rounds())
+                .collect();
+        assert!(
+            rounds.windows(2).all(|w| w[0] == w[1]),
+            "rounds vary by branch: {rounds:?}"
+        );
         assert_eq!(rounds[0], figure2_schedule_rounds(s.d, s.d));
     }
 
@@ -234,10 +254,12 @@ mod tests {
         let big = setup(generators::path(64), 0);
         let cfg_s = Config::for_graph(&small.g);
         let cfg_b = Config::for_graph(&big.g);
-        let r_small =
-            run_figure2(&small.g, &small.tree, small.d, NodeId::new(3), cfg_s).unwrap().rounds();
-        let r_big =
-            run_figure2(&big.g, &big.tree, big.d, NodeId::new(3), cfg_b).unwrap().rounds();
+        let r_small = run_figure2(&small.g, &small.tree, small.d, NodeId::new(3), cfg_s)
+            .unwrap()
+            .rounds();
+        let r_big = run_figure2(&big.g, &big.tree, big.d, NodeId::new(3), cfg_b)
+            .unwrap()
+            .rounds();
         let ratio = r_big as f64 / r_small as f64;
         // d grows 15 → 63 (×4.2); rounds should grow by roughly the same factor.
         assert!((3.0..=6.0).contains(&ratio), "ratio {ratio}");
@@ -248,12 +270,11 @@ mod tests {
     fn max_over_branches_is_diameter() {
         let s = setup(generators::lollipop(6, 8), 0);
         let cfg = Config::for_graph(&s.g);
-        let max = s
-            .g
-            .nodes()
-            .map(|u0| run_figure2(&s.g, &s.tree, s.d, u0, cfg).unwrap().value)
-            .max()
-            .unwrap();
+        let max =
+            s.g.nodes()
+                .map(|u0| run_figure2(&s.g, &s.tree, s.d, u0, cfg).unwrap().value)
+                .max()
+                .unwrap();
         assert_eq!(max, metrics::diameter(&s.g).unwrap());
     }
 
@@ -267,12 +288,16 @@ mod tests {
         let b = classical::bfs::build(&s.g, NodeId::new(0), cfg).unwrap();
         let member: Vec<bool> = b.dists.iter().map(|&d| d <= 2).collect();
         let walk_tree = s.tree.restrict(|v| member[v.index()]).unwrap();
-        let run =
-            super::run_windowed(&s.g, &walk_tree, &s.tree, s.d, NodeId::new(0), cfg).unwrap();
+        let run = super::run_windowed(&s.g, &walk_tree, &s.tree, s.d, NodeId::new(0), cfg).unwrap();
         // Every window member is inside the restriction…
         assert!(run.window.iter().all(|&(v, _)| member[v.index()]));
         // …and the value is the max eccentricity over the visited window.
-        let expect = run.window.iter().map(|&(v, _)| s.eccs[v.index()]).max().unwrap();
+        let expect = run
+            .window
+            .iter()
+            .map(|&(v, _)| s.eccs[v.index()])
+            .max()
+            .unwrap();
         assert_eq!(run.value, expect);
     }
 

@@ -20,8 +20,8 @@
 //! sample of branches (and the reported maximum) against the *real*
 //! distributed Figure 2 program and fails loudly on any disagreement.
 
-use classical::{bfs, leader, TreeView};
 use classical::aggregate;
+use classical::{bfs, leader, TreeView};
 use congest::{bits, Config, RoundsLedger};
 use graphs::tree::{EulerTour, RootedTree};
 use graphs::{metrics, Dist, Graph, NodeId};
@@ -50,7 +50,11 @@ pub struct ExactParams {
 impl ExactParams {
     /// Defaults: `δ = 0.01`, two verified branches.
     pub fn new(seed: u64) -> Self {
-        ExactParams { seed, failure_prob: 0.01, verify_branches: 2 }
+        ExactParams {
+            seed,
+            failure_prob: 0.01,
+            verify_branches: 2,
+        }
     }
 
     /// Replaces the failure probability.
@@ -80,6 +84,13 @@ pub struct DiameterRun {
     pub argmax: NodeId,
     /// Classical Initialization accounting (Proposition 1).
     pub init_ledger: RoundsLedger,
+    /// Accounting of the *physical* probe and verification executions —
+    /// the schedule-measuring Setup broadcast and Figure 2 runs, plus the
+    /// sampled branch checks. These simulate real message passing (and
+    /// therefore appear in traces) but are measurement scaffolding, not
+    /// rounds the algorithm itself is charged: [`DiameterRun::rounds`]
+    /// excludes them.
+    pub probe_ledger: RoundsLedger,
     /// Oracle-call accounting of the quantum phase.
     pub oracle: OracleCost,
     /// Rounds of the quantum phase (Theorem 7 conversion with the measured
@@ -102,6 +113,18 @@ impl DiameterRun {
     }
 }
 
+/// Reports the analytic qubit requirements to an installed trace sink.
+pub(crate) fn emit_memory(memory: &MemoryEstimate) {
+    trace::emit_with(|| trace::TraceEvent::Qubits {
+        scope: "per-node".into(),
+        qubits: memory.per_node_qubits as u64,
+    });
+    trace::emit_with(|| trace::TraceEvent::Qubits {
+        scope: "leader".into(),
+        qubits: memory.leader_qubits as u64,
+    });
+}
+
 /// Computes the exact diameter with the `O(√(nD))`-round algorithm of
 /// Theorem 1.
 ///
@@ -112,9 +135,15 @@ impl DiameterRun {
 /// Evaluation disagrees with the closed form (a bug, never expected).
 ///
 /// See the [crate-level example](crate).
-pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<DiameterRun, QdError> {
+pub fn diameter(
+    graph: &Graph,
+    params: ExactParams,
+    config: Config,
+) -> Result<DiameterRun, QdError> {
     if graph.is_empty() {
-        return Err(QdError::InvalidParameter { reason: "empty graph".into() });
+        return Err(QdError::InvalidParameter {
+            reason: "empty graph".into(),
+        });
     }
     let n = graph.len();
     let mut init_ledger = RoundsLedger::new();
@@ -128,6 +157,7 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
     let d = b.depth;
 
     let memory = framework::memory_estimate(n, n, (f64::from(d).max(1.0)) / (2.0 * n as f64));
+    emit_memory(&memory);
 
     if n == 1 || d == 0 {
         return Ok(DiameterRun {
@@ -136,9 +166,13 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
             d,
             argmax: elect.leader,
             init_ledger,
+            probe_ledger: RoundsLedger::new(),
             oracle: OracleCost::new(),
             quantum_rounds: 0,
-            oracle_schedule: DistributedOracle { setup_rounds: 0, evaluation_rounds: 0 },
+            oracle_schedule: DistributedOracle {
+                setup_rounds: 0,
+                evaluation_rounds: 0,
+            },
             memory,
             verified: true,
             aborted: false,
@@ -146,8 +180,9 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
     }
 
     // Branch function f(u) = max_{v ∈ S(u)} ecc(v), closed form.
-    let rooted = RootedTree::from_parents(&b.parents)
-        .map_err(|e| QdError::InvalidParameter { reason: e.to_string() })?;
+    let rooted = RootedTree::from_parents(&b.parents).map_err(|e| QdError::InvalidParameter {
+        reason: e.to_string(),
+    })?;
     let tour = EulerTour::new(&rooted);
     let windows = Windows::new(&tour, 2 * d as usize);
     let eccs = metrics::eccentricities(graph)
@@ -155,10 +190,13 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
     let f_values = windows.window_max(&eccs);
 
     // Measure the per-operator schedules from real runs.
-    let setup_probe = aggregate::broadcast(graph, &tree, 0, bits::for_node(n), config)
-        .map_err(QdError::from)?;
+    let mut probe_ledger = RoundsLedger::new();
+    let setup_probe =
+        aggregate::broadcast(graph, &tree, 0, bits::for_node(n), config).map_err(QdError::from)?;
+    probe_ledger.add("probe: setup broadcast [Prop 2]", setup_probe.stats);
     let eval_probe =
         evaluation::run_figure2(graph, &tree, d, elect.leader, config).map_err(QdError::from)?;
+    probe_ledger.extend_prefixed("probe: ", &eval_probe.ledger);
     let oracle_schedule = DistributedOracle {
         setup_rounds: setup_probe.stats.rounds,
         evaluation_rounds: eval_probe.forward_rounds(),
@@ -182,12 +220,14 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
 
     // Verify sampled branches (and the winner) against the real distributed
     // Evaluation program.
-    let mut branches: Vec<usize> =
-        (0..params.verify_branches).map(|_| rng.random_range(0..n)).collect();
+    let mut branches: Vec<usize> = (0..params.verify_branches)
+        .map(|_| rng.random_range(0..n))
+        .collect();
     branches.push(opt.argmax);
     for u in branches {
         let run = evaluation::run_figure2(graph, &tree, d, NodeId::new(u), config)
             .map_err(QdError::from)?;
+        probe_ledger.extend_prefixed(&format!("verify u={u}: "), &run.ledger);
         if u64::from(run.value) != u64::from(f_values[u]) {
             return Err(QdError::VerificationFailed {
                 branch: u,
@@ -197,12 +237,18 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
         }
     }
 
+    trace::emit_with(|| trace::TraceEvent::Value {
+        label: "diameter".into(),
+        value: opt.value,
+    });
+
     Ok(DiameterRun {
         value: opt.value as Dist,
         leader: elect.leader,
         d,
         argmax: NodeId::new(opt.argmax),
         init_ledger,
+        probe_ledger,
         oracle: opt.oracle,
         quantum_rounds: opt.quantum_rounds,
         oracle_schedule,
@@ -218,9 +264,17 @@ mod tests {
     use graphs::generators;
 
     fn check(g: &Graph, seed: u64) -> DiameterRun {
-        let out = diameter(g, ExactParams::new(seed).with_failure_prob(1e-3), Config::for_graph(g))
-            .unwrap();
-        assert_eq!(out.value, metrics::diameter(g).unwrap(), "diameter mismatch");
+        let out = diameter(
+            g,
+            ExactParams::new(seed).with_failure_prob(1e-3),
+            Config::for_graph(g),
+        )
+        .unwrap();
+        assert_eq!(
+            out.value,
+            metrics::diameter(g).unwrap(),
+            "diameter mismatch"
+        );
         assert!(out.verified);
         out
     }
@@ -288,12 +342,12 @@ mod tests {
         }
         let q_small = check(&g_small, 7).rounds() as f64;
         let q_big = check(&g_big, 7).rounds() as f64;
-        let c_small =
-            classical::apsp::exact_diameter(&g_small, Config::for_graph(&g_small)).unwrap().rounds()
-                as f64;
-        let c_big =
-            classical::apsp::exact_diameter(&g_big, Config::for_graph(&g_big)).unwrap().rounds()
-                as f64;
+        let c_small = classical::apsp::exact_diameter(&g_small, Config::for_graph(&g_small))
+            .unwrap()
+            .rounds() as f64;
+        let c_big = classical::apsp::exact_diameter(&g_big, Config::for_graph(&g_big))
+            .unwrap()
+            .rounds() as f64;
         let q_growth = q_big / q_small;
         let c_growth = c_big / c_small;
         assert!(

@@ -53,9 +53,15 @@ pub fn simple_schedule_rounds(d: Dist) -> u64 {
 /// assert_eq!(out.value, 6);
 /// # Ok::<(), diameter_quantum::QdError>(())
 /// ```
-pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<DiameterRun, QdError> {
+pub fn diameter(
+    graph: &Graph,
+    params: ExactParams,
+    config: Config,
+) -> Result<DiameterRun, QdError> {
     if graph.is_empty() {
-        return Err(QdError::InvalidParameter { reason: "empty graph".into() });
+        return Err(QdError::InvalidParameter {
+            reason: "empty graph".into(),
+        });
     }
     let n = graph.len();
     let mut init_ledger = RoundsLedger::new();
@@ -67,6 +73,7 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
     let d = b.depth;
 
     let memory = framework::memory_estimate(n, n, 1.0 / n as f64);
+    crate::exact::emit_memory(&memory);
 
     if n == 1 || d == 0 {
         return Ok(DiameterRun {
@@ -75,9 +82,13 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
             d,
             argmax: elect.leader,
             init_ledger,
+            probe_ledger: RoundsLedger::new(),
             oracle: OracleCost::new(),
             quantum_rounds: 0,
-            oracle_schedule: DistributedOracle { setup_rounds: 0, evaluation_rounds: 0 },
+            oracle_schedule: DistributedOracle {
+                setup_rounds: 0,
+                evaluation_rounds: 0,
+            },
             memory,
             verified: true,
             aborted: false,
@@ -104,12 +115,17 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
     )?;
 
     // Verify sampled branches against the real distributed eccentricity
-    // procedure (Proposition 3 = BFS + convergecast).
-    let mut branches: Vec<usize> =
-        (0..params.verify_branches).map(|_| rng.random_range(0..n)).collect();
+    // procedure (Proposition 3 = BFS + convergecast). The schedule itself is
+    // analytic (padded to 2d), so unlike the windowed algorithm there are no
+    // schedule-measuring probes — the probe ledger holds only these checks.
+    let mut probe_ledger = RoundsLedger::new();
+    let mut branches: Vec<usize> = (0..params.verify_branches)
+        .map(|_| rng.random_range(0..n))
+        .collect();
     branches.push(opt.argmax);
     for u in branches {
         let run = ecc::compute(graph, NodeId::new(u), config).map_err(QdError::from)?;
+        probe_ledger.add(format!("verify u={u}: ecc [Prop 3]"), run.stats);
         if u64::from(run.ecc) != u64::from(eccs[u]) {
             return Err(QdError::VerificationFailed {
                 branch: u,
@@ -119,12 +135,18 @@ pub fn diameter(graph: &Graph, params: ExactParams, config: Config) -> Result<Di
         }
     }
 
+    trace::emit_with(|| trace::TraceEvent::Value {
+        label: "diameter".into(),
+        value: opt.value,
+    });
+
     Ok(DiameterRun {
         value: opt.value as Dist,
         leader: elect.leader,
         d,
         argmax: NodeId::new(opt.argmax),
         init_ledger,
+        probe_ledger,
         oracle: opt.oracle,
         quantum_rounds: opt.quantum_rounds,
         oracle_schedule,
@@ -140,8 +162,12 @@ mod tests {
     use graphs::generators;
 
     fn check(g: &Graph, seed: u64) -> DiameterRun {
-        let out = diameter(g, ExactParams::new(seed).with_failure_prob(1e-3), Config::for_graph(g))
-            .unwrap();
+        let out = diameter(
+            g,
+            ExactParams::new(seed).with_failure_prob(1e-3),
+            Config::for_graph(g),
+        )
+        .unwrap();
         assert_eq!(out.value, metrics::diameter(g).unwrap());
         out
     }
@@ -169,7 +195,11 @@ mod tests {
         let eccs = metrics::eccentricities(&g).unwrap();
         let d = metrics::diameter(&g).unwrap();
         let out = check(&g, 9);
-        assert_eq!(eccs[out.argmax.index()], d, "argmax must have maximum eccentricity");
+        assert_eq!(
+            eccs[out.argmax.index()],
+            d,
+            "argmax must have maximum eccentricity"
+        );
     }
 
     /// The window trick of Section 3.2 buys a √D factor: on a path (D = n−1)
@@ -179,10 +209,7 @@ mod tests {
     fn final_algorithm_wins_on_high_diameter() {
         let g = generators::path(60);
         let cfg = Config::for_graph(&g);
-        let simple: u64 = (0..5)
-            .map(|s| check(&g, s).quantum_rounds)
-            .sum::<u64>()
-            / 5;
+        let simple: u64 = (0..5).map(|s| check(&g, s).quantum_rounds).sum::<u64>() / 5;
         let windowed: u64 = (0..5)
             .map(|s| {
                 crate::exact::diameter(&g, ExactParams::new(s).with_failure_prob(1e-3), cfg)

@@ -65,9 +65,15 @@ pub fn memory_estimate(n: usize, domain: usize, min_mass: f64) -> MemoryEstimate
     // Leader: workspace + internal register (candidate + threshold) +
     // O(log(1/ε)) recorded amplification outcomes of log|X| qubits each
     // (Theorem 7's O(log|X|·log(1/ε)) term).
-    let stages = (1.0 / min_mass.clamp(f64::MIN_POSITIVE, 1.0)).log2().ceil().max(1.0) as usize;
+    let stages = (1.0 / min_mass.clamp(f64::MIN_POSITIVE, 1.0))
+        .log2()
+        .ceil()
+        .max(1.0) as usize;
     let leader_qubits = per_node_qubits + 2 * bx + stages * bx;
-    MemoryEstimate { per_node_qubits, leader_qubits }
+    MemoryEstimate {
+        per_node_qubits,
+        leader_qubits,
+    }
 }
 
 /// Result of a distributed quantum optimization.
@@ -101,11 +107,41 @@ pub fn optimize<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<OptimizeOutcome, QdError> {
     let out = maximize(state, &f, params, rng)?;
+    let quantum_rounds = oracle.rounds_for(&out.cost);
+    if trace::enabled() {
+        // One event per charged oracle application (Theorem 7's terms), plus
+        // a derived span for the whole quantum phase: these rounds are
+        // scheduled, not individually simulated, so consumers reconciling
+        // per-message traffic must skip them.
+        for index in 0..out.cost.setup_ops() {
+            trace::emit(trace::TraceEvent::Oracle {
+                op: trace::OracleOp::Setup,
+                index,
+                rounds: oracle.setup_rounds,
+            });
+        }
+        for index in 0..out.cost.evaluation_ops() {
+            trace::emit(trace::TraceEvent::Oracle {
+                op: trace::OracleOp::Evaluation,
+                index,
+                rounds: oracle.evaluation_rounds,
+            });
+        }
+        trace::emit(trace::TraceEvent::Phase {
+            label: "quantum optimization (Theorem 7)".into(),
+            rounds: quantum_rounds,
+            messages: 0,
+            bits: 0,
+            reps: 1,
+            violations: 0,
+            derived: true,
+        });
+    }
     Ok(OptimizeOutcome {
         argmax: out.argmax,
         value: f(out.argmax),
         oracle: out.cost,
-        quantum_rounds: oracle.rounds_for(&out.cost),
+        quantum_rounds,
         aborted: out.aborted,
     })
 }
@@ -118,7 +154,10 @@ mod tests {
 
     #[test]
     fn rounds_conversion_matches_theorem7() {
-        let oracle = DistributedOracle { setup_rounds: 10, evaluation_rounds: 100 };
+        let oracle = DistributedOracle {
+            setup_rounds: 10,
+            evaluation_rounds: 100,
+        };
         // 3 iterations = 6 setup + 6 evaluation ops, plus 1 prep + 1 verify.
         let mut c = OracleCost::new();
         c.charge_state_preparation();
@@ -131,7 +170,10 @@ mod tests {
     fn optimize_finds_max_and_charges_rounds() {
         let state = SearchState::uniform(64);
         let f = |x: usize| ((x * 29) % 64) as u64;
-        let oracle = DistributedOracle { setup_rounds: 5, evaluation_rounds: 17 };
+        let oracle = DistributedOracle {
+            setup_rounds: 5,
+            evaluation_rounds: 17,
+        };
         let params = MaximizeParams::with_min_mass(1.0 / 64.0).with_failure_prob(1e-3);
         let mut rng = StdRng::seed_from_u64(12);
         let out = optimize(&state, f, oracle, params, &mut rng).unwrap();
@@ -146,7 +188,10 @@ mod tests {
     fn optimize_over_restricted_support() {
         let n = 60;
         let state = SearchState::uniform_over(n, |x| x >= 40).unwrap();
-        let oracle = DistributedOracle { setup_rounds: 3, evaluation_rounds: 11 };
+        let oracle = DistributedOracle {
+            setup_rounds: 3,
+            evaluation_rounds: 11,
+        };
         let params = MaximizeParams::with_min_mass(1.0 / 20.0).with_failure_prob(1e-3);
         let mut rng = StdRng::seed_from_u64(5);
         let out = optimize(&state, |x| (100 - x) as u64, oracle, params, &mut rng).unwrap();
@@ -154,6 +199,35 @@ mod tests {
         // max at x = 0 is outside the support and must not be returned.
         assert_eq!(out.argmax, 40);
         assert_eq!(out.value, 60);
+    }
+
+    /// Every charged oracle application shows up in the trace, and the
+    /// charged rounds reconcile exactly with the Theorem 7 conversion.
+    #[test]
+    fn traced_optimization_charges_every_oracle_application() {
+        let state = SearchState::uniform(32);
+        let oracle = DistributedOracle {
+            setup_rounds: 7,
+            evaluation_rounds: 19,
+        };
+        let params = MaximizeParams::with_min_mass(1.0 / 32.0).with_failure_prob(1e-3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let recorder = trace::Recorder::shared();
+        let out = {
+            let _guard = trace::install(recorder.clone());
+            optimize(&state, |x| x as u64, oracle, params, &mut rng).unwrap()
+        };
+        let events = recorder.borrow_mut().take();
+        let summary = trace::Summary::from_events(&events);
+        assert_eq!(summary.oracle_setup_ops, out.oracle.setup_ops());
+        assert_eq!(summary.oracle_evaluation_ops, out.oracle.evaluation_ops());
+        assert_eq!(
+            summary.oracle_setup_rounds + summary.oracle_evaluation_rounds,
+            out.quantum_rounds
+        );
+        let span = summary.phase("quantum optimization (Theorem 7)").unwrap();
+        assert!(span.derived, "scheduled rounds are derived, not simulated");
+        assert_eq!(span.rounds, out.quantum_rounds);
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { adj: vec![Vec::new(); n], num_edges: 0 }
+        GraphBuilder {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Number of nodes of the graph under construction.
@@ -106,7 +109,9 @@ impl GraphBuilder {
 
     /// Returns `true` if `{u, v}` has been added.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.adj.get(u).is_some_and(|row| row.contains(&NodeId::new(v)))
+        self.adj
+            .get(u)
+            .is_some_and(|row| row.contains(&NodeId::new(v)))
     }
 
     /// Finalizes the builder into an immutable [`Graph`].

@@ -37,7 +37,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, len } => {
-                write!(f, "node index {node} out of range for graph with {len} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {len} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
@@ -56,12 +59,18 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = GraphError::NodeOutOfRange { node: 9, len: 4 };
-        assert_eq!(e.to_string(), "node index 9 out of range for graph with 4 nodes");
+        assert_eq!(
+            e.to_string(),
+            "node index 9 out of range for graph with 4 nodes"
+        );
         let e = GraphError::SelfLoop { node: 2 };
         assert_eq!(e.to_string(), "self-loop at node 2");
         let e = GraphError::DuplicateEdge { u: 1, v: 2 };
         assert_eq!(e.to_string(), "duplicate edge {1, 2}");
-        assert_eq!(GraphError::Disconnected.to_string(), "graph is not connected");
+        assert_eq!(
+            GraphError::Disconnected.to_string(),
+            "graph is not connected"
+        );
     }
 
     #[test]

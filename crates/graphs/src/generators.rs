@@ -100,7 +100,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// Panics if either dimension is less than 3 (smaller wraparounds create
 /// duplicate edges).
 pub fn torus(rows: usize, cols: usize) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
@@ -118,7 +121,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if `dim == 0` or `dim > 24`.
 pub fn hypercube(dim: usize) -> Graph {
-    assert!(dim > 0 && dim <= 24, "hypercube dimension must be in 1..=24");
+    assert!(
+        dim > 0 && dim <= 24,
+        "hypercube dimension must be in 1..=24"
+    );
     let n = 1usize << dim;
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
@@ -213,7 +219,10 @@ pub fn lollipop(k: usize, tail: usize) -> Graph {
 ///
 /// Panics if `k < 3` or `m < 2`.
 pub fn ring_of_cliques(k: usize, m: usize) -> Graph {
-    assert!(k >= 3 && m >= 2, "ring of cliques requires k >= 3 and m >= 2");
+    assert!(
+        k >= 3 && m >= 2,
+        "ring of cliques requires k >= 3 and m >= 2"
+    );
     let mut b = GraphBuilder::new(k * m);
     for c in 0..k {
         let base = c * m;
@@ -421,8 +430,10 @@ fn patch_connectivity(b: &mut GraphBuilder, rng: &mut StdRng) {
     for (v, &c) in labels.iter().enumerate() {
         reps[c].push(v);
     }
-    let mut chosen: Vec<usize> =
-        reps.iter().map(|members| members[rng.random_range(0..members.len())]).collect();
+    let mut chosen: Vec<usize> = reps
+        .iter()
+        .map(|members| members[rng.random_range(0..members.len())])
+        .collect();
     chosen.shuffle(rng);
     for w in chosen.windows(2) {
         b.edge_if_absent(w[0], w[1]);
@@ -532,7 +543,10 @@ mod tests {
         let g = random_sparse(400, 6.0, 1);
         assert!(is_connected(&g));
         let avg = 2.0 * g.num_edges() as f64 / g.len() as f64;
-        assert!((4.0..=8.0).contains(&avg), "average degree {avg} far from 6");
+        assert!(
+            (4.0..=8.0).contains(&avg),
+            "average degree {avg} far from 6"
+        );
     }
 
     #[test]

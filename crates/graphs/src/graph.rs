@@ -167,7 +167,11 @@ mod tests {
     #[test]
     fn neighbors_are_sorted() {
         let g = Graph::from_edges(4, [(2, 0), (2, 3), (2, 1)]).unwrap();
-        let ns: Vec<usize> = g.neighbors(NodeId::new(2)).iter().map(|v| v.index()).collect();
+        let ns: Vec<usize> = g
+            .neighbors(NodeId::new(2))
+            .iter()
+            .map(|v| v.index())
+            .collect();
         assert_eq!(ns, vec![0, 1, 3]);
     }
 

@@ -51,7 +51,10 @@ pub fn radius(graph: &Graph) -> Option<Dist> {
 /// Ties break toward the smallest node id.
 pub fn peripheral_node(graph: &Graph) -> Option<(NodeId, Dist)> {
     let eccs = eccentricities(graph)?;
-    let (idx, &max) = eccs.iter().enumerate().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
+    let (idx, &max) = eccs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))?;
     Some((NodeId::new(idx), max))
 }
 

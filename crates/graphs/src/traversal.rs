@@ -48,7 +48,11 @@ impl Bfs {
                 }
             }
         }
-        Bfs { source, dist, parent }
+        Bfs {
+            source,
+            dist,
+            parent,
+        }
     }
 
     /// The source node of this search.

@@ -45,8 +45,12 @@ impl RootedTree {
     /// root (including parent cycles).
     pub fn from_parents(parents: &[Option<NodeId>]) -> Result<Self, GraphError> {
         let n = parents.len();
-        let roots: Vec<usize> =
-            parents.iter().enumerate().filter(|(_, p)| p.is_none()).map(|(i, _)| i).collect();
+        let roots: Vec<usize> = parents
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .collect();
         if roots.len() != 1 {
             return Err(GraphError::InvalidParameter {
                 reason: format!("expected exactly one root, found {}", roots.len()),
@@ -57,7 +61,10 @@ impl RootedTree {
         for (i, p) in parents.iter().enumerate() {
             if let Some(p) = *p {
                 if p.index() >= n {
-                    return Err(GraphError::NodeOutOfRange { node: p.index(), len: n });
+                    return Err(GraphError::NodeOutOfRange {
+                        node: p.index(),
+                        len: n,
+                    });
                 }
                 children[p.index()].push(NodeId::new(i));
             }
@@ -79,7 +86,12 @@ impl RootedTree {
         if depth.contains(&Dist::MAX) {
             return Err(GraphError::Disconnected);
         }
-        Ok(RootedTree { root, parent: parents.to_vec(), children, depth })
+        Ok(RootedTree {
+            root,
+            parent: parents.to_vec(),
+            children,
+            depth,
+        })
     }
 
     /// Builds the BFS tree of a completed search.
@@ -166,7 +178,10 @@ impl EulerTour {
         let n = tree.len();
         assert!(n > 0, "cannot tour an empty tree");
         if n == 1 {
-            return EulerTour { cycle: vec![tree.root()], tau: vec![0] };
+            return EulerTour {
+                cycle: vec![tree.root()],
+                tau: vec![0],
+            };
         }
         let mut cycle = Vec::with_capacity(2 * (n - 1));
         let mut tau = vec![usize::MAX; n];

@@ -1,4 +1,4 @@
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{OracleCost, QuantumError, SearchState};
 
@@ -18,7 +18,10 @@ pub struct AmplifyParams {
 impl AmplifyParams {
     /// Parameters with the given `ε` and the default `δ = 0.01`.
     pub fn with_min_mass(min_mass: f64) -> Self {
-        AmplifyParams { min_mass, failure_prob: 0.01 }
+        AmplifyParams {
+            min_mass,
+            failure_prob: 0.01,
+        }
     }
 
     /// Replaces the failure probability.
@@ -111,7 +114,10 @@ pub fn amplify<R: Rng + ?Sized>(
         cost.charge_measurement();
         cost.charge_verification();
         if marked(x) {
-            return Ok(AmplifyOutcome { found: Some(x), cost });
+            return Ok(AmplifyOutcome {
+                found: Some(x),
+                cost,
+            });
         }
         // Grow the iteration bound, capped at the critical 1/√ε scale.
         m = (m * 1.5).min(1.0 / params.min_mass.sqrt() + 1.0);
@@ -154,7 +160,9 @@ mod tests {
         let init = SearchState::uniform(1 << 14);
         let mut rng = StdRng::seed_from_u64(9);
         let run = |eps: f64, rng: &mut StdRng| {
-            amplify(&init, |_| false, AmplifyParams::with_min_mass(eps), rng).unwrap().cost
+            amplify(&init, |_| false, AmplifyParams::with_min_mass(eps), rng)
+                .unwrap()
+                .cost
         };
         let c1 = run(1.0 / 1024.0, &mut rng);
         let c2 = run(1.0 / (16.0 * 1024.0), &mut rng);
@@ -174,7 +182,11 @@ mod tests {
         let marked = |x: usize| x.is_multiple_of(64); // 4 marked elements
         let mut hits = 0;
         for _ in 0..100 {
-            if amplify(&init, marked, params, &mut rng).unwrap().found.is_some() {
+            if amplify(&init, marked, params, &mut rng)
+                .unwrap()
+                .found
+                .is_some()
+            {
                 hits += 1;
             }
         }
@@ -189,7 +201,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..40 {
-            if let Some(x) = amplify(&init, |x| x == 7 || x == 21, params, &mut rng).unwrap().found
+            if let Some(x) = amplify(&init, |x| x == 7 || x == 21, params, &mut rng)
+                .unwrap()
+                .found
             {
                 seen.insert(x);
             }
@@ -202,10 +216,22 @@ mod tests {
         let init = SearchState::uniform(4);
         let mut rng = StdRng::seed_from_u64(0);
         for params in [
-            AmplifyParams { min_mass: 0.0, failure_prob: 0.1 },
-            AmplifyParams { min_mass: 1.5, failure_prob: 0.1 },
-            AmplifyParams { min_mass: 0.5, failure_prob: 0.0 },
-            AmplifyParams { min_mass: 0.5, failure_prob: 1.0 },
+            AmplifyParams {
+                min_mass: 0.0,
+                failure_prob: 0.1,
+            },
+            AmplifyParams {
+                min_mass: 1.5,
+                failure_prob: 0.1,
+            },
+            AmplifyParams {
+                min_mass: 0.5,
+                failure_prob: 0.0,
+            },
+            AmplifyParams {
+                min_mass: 0.5,
+                failure_prob: 1.0,
+            },
         ] {
             assert!(amplify(&init, |_| true, params, &mut rng).is_err());
         }

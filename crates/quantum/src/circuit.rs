@@ -26,7 +26,7 @@
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A complex amplitude. Minimal on purpose: only the operations the
 /// simulator needs.
@@ -56,26 +56,38 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Scales by a real factor.
     pub fn scale(self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -92,7 +104,10 @@ impl Mul for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -159,7 +174,11 @@ impl Register {
     }
 
     fn check_qubit(&self, q: usize) {
-        assert!(q < self.n_qubits, "qubit {q} out of range for {}-qubit register", self.n_qubits);
+        assert!(
+            q < self.n_qubits,
+            "qubit {q} out of range for {}-qubit register",
+            self.n_qubits
+        );
     }
 
     /// Hadamard gate on qubit `q`.
@@ -264,7 +283,10 @@ impl Register {
         self.check_qubit(c1);
         self.check_qubit(c2);
         self.check_qubit(t);
-        assert!(c1 != c2 && c1 != t && c2 != t, "toffoli requires distinct qubits");
+        assert!(
+            c1 != c2 && c1 != t && c2 != t,
+            "toffoli requires distinct qubits"
+        );
         let m1 = 1usize << c1;
         let m2 = 1usize << c2;
         let mt = 1usize << t;
@@ -289,7 +311,11 @@ impl Register {
             .sum();
         let outcome = rng.random::<f64>() < p_one;
         let keep_mask_set = outcome;
-        let norm = if outcome { p_one.sqrt() } else { (1.0 - p_one).sqrt() };
+        let norm = if outcome {
+            p_one.sqrt()
+        } else {
+            (1.0 - p_one).sqrt()
+        };
         for (i, a) in self.amps.iter_mut().enumerate() {
             if (i & mask != 0) == keep_mask_set {
                 *a = a.scale(1.0 / norm);
@@ -493,8 +519,14 @@ mod tests {
             let expect = SearchState::grover_success_probability(p, k);
             let reg_p = reg.probability_where(marked);
             let amp_p = amp_state.probability_of(marked);
-            assert!((reg_p - expect).abs() < 1e-9, "gate-level k={k}: {reg_p} vs {expect}");
-            assert!((amp_p - expect).abs() < 1e-9, "amplitude k={k}: {amp_p} vs {expect}");
+            assert!(
+                (reg_p - expect).abs() < 1e-9,
+                "gate-level k={k}: {reg_p} vs {expect}"
+            );
+            assert!(
+                (amp_p - expect).abs() < 1e-9,
+                "amplitude k={k}: {amp_p} vs {expect}"
+            );
             // Full per-amplitude equivalence (gate-level state stays real).
             for i in 0..n {
                 let g = reg.amplitude(i);
@@ -593,9 +625,12 @@ mod tests {
 
     #[test]
     fn toffoli_truth_table() {
-        for (c1, c2, expect_flip) in
-            [(false, false, false), (true, false, false), (false, true, false), (true, true, true)]
-        {
+        for (c1, c2, expect_flip) in [
+            (false, false, false),
+            (true, false, false),
+            (false, true, false),
+            (true, true, true),
+        ] {
             let mut r = Register::new(3);
             if c1 {
                 r.x(0);
@@ -605,7 +640,10 @@ mod tests {
             }
             r.toffoli(0, 1, 2);
             let expected = usize::from(c1) | usize::from(c2) << 1 | usize::from(expect_flip) << 2;
-            assert!((r.probability(expected) - 1.0).abs() < EPS, "inputs {c1}/{c2}");
+            assert!(
+                (r.probability(expected) - 1.0).abs() < EPS,
+                "inputs {c1}/{c2}"
+            );
         }
     }
 
@@ -630,10 +668,16 @@ mod tests {
             // Perfect correlation: the second qubit must agree.
             let second = r.measure_qubit(1, &mut rng);
             assert_eq!(first, second, "Bell pair correlation broken");
-            assert!((r.norm_squared() - 1.0).abs() < EPS, "collapse must renormalize");
+            assert!(
+                (r.norm_squared() - 1.0).abs() < EPS,
+                "collapse must renormalize"
+            );
             ones += usize::from(first);
         }
-        assert!((10..=30).contains(&ones), "outcomes far from 50/50: {ones}/40");
+        assert!(
+            (10..=30).contains(&ones),
+            "outcomes far from 50/50: {ones}/40"
+        );
     }
 
     #[test]

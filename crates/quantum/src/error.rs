@@ -31,8 +31,13 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(QuantumError::EmptyState.to_string(), "search state is empty or has zero norm");
-        let e = QuantumError::InvalidParameter { reason: "eps must be positive".into() };
+        assert_eq!(
+            QuantumError::EmptyState.to_string(),
+            "search state is empty or has zero norm"
+        );
+        let e = QuantumError::InvalidParameter {
+            reason: "eps must be positive".into(),
+        };
         assert!(e.to_string().contains("eps"));
     }
 

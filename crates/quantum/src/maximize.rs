@@ -24,7 +24,11 @@ impl MaximizeParams {
     /// Parameters with the given `ε` and defaults `δ = 0.01`,
     /// `cap_factor = 400`.
     pub fn with_min_mass(min_mass: f64) -> Self {
-        MaximizeParams { min_mass, failure_prob: 0.01, cap_factor: 400.0 }
+        MaximizeParams {
+            min_mass,
+            failure_prob: 0.01,
+            cap_factor: 400.0,
+        }
     }
 
     /// Replaces the failure probability.
@@ -152,7 +156,13 @@ where
             }
         }
     }
-    Ok(MaximizeOutcome { argmax, cost, improvements, stages, aborted })
+    Ok(MaximizeOutcome {
+        argmax,
+        cost,
+        improvements,
+        stages,
+        aborted,
+    })
 }
 
 #[cfg(test)]
@@ -239,14 +249,20 @@ mod tests {
             let mut total = 0u64;
             let reps = 10;
             for _ in 0..reps {
-                total += maximize(&init, f, params, &mut rng).unwrap().cost.total_ops();
+                total += maximize(&init, f, params, &mut rng)
+                    .unwrap()
+                    .cost
+                    .total_ops();
             }
             total as f64 / reps as f64
         };
         let c_small = cost_for(64, 1);
         let c_big = cost_for(64 * 16, 1);
         let ratio = c_big / c_small;
-        assert!(ratio < 12.0, "16x domain grew cost by {ratio}x; expected ≈4x");
+        assert!(
+            ratio < 12.0,
+            "16x domain grew cost by {ratio}x; expected ≈4x"
+        );
     }
 
     #[test]
@@ -265,9 +281,21 @@ mod tests {
         let init = SearchState::uniform(4);
         let mut rng = StdRng::seed_from_u64(0);
         let bad = [
-            MaximizeParams { min_mass: 0.0, failure_prob: 0.1, cap_factor: 10.0 },
-            MaximizeParams { min_mass: 0.5, failure_prob: 2.0, cap_factor: 10.0 },
-            MaximizeParams { min_mass: 0.5, failure_prob: 0.1, cap_factor: 0.0 },
+            MaximizeParams {
+                min_mass: 0.0,
+                failure_prob: 0.1,
+                cap_factor: 10.0,
+            },
+            MaximizeParams {
+                min_mass: 0.5,
+                failure_prob: 2.0,
+                cap_factor: 10.0,
+            },
+            MaximizeParams {
+                min_mass: 0.5,
+                failure_prob: 0.1,
+                cap_factor: 0.0,
+            },
         ];
         for params in bad {
             assert!(maximize(&init, |x| x, params, &mut rng).is_err());

@@ -1,4 +1,4 @@
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::QuantumError;
 
@@ -34,7 +34,9 @@ impl SearchState {
     /// Panics if `n == 0`.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "domain must be nonempty");
-        SearchState { amps: vec![1.0 / (n as f64).sqrt(); n] }
+        SearchState {
+            amps: vec![1.0 / (n as f64).sqrt(); n],
+        }
     }
 
     /// A state with the given amplitudes, normalized.
@@ -49,7 +51,9 @@ impl SearchState {
             return Err(QuantumError::EmptyState);
         }
         let norm = norm2.sqrt();
-        Ok(SearchState { amps: amps.into_iter().map(|a| a / norm).collect() })
+        Ok(SearchState {
+            amps: amps.into_iter().map(|a| a / norm).collect(),
+        })
     }
 
     /// The uniform superposition over the items selected by `support`.
@@ -184,8 +188,14 @@ mod tests {
 
     #[test]
     fn from_amplitudes_rejects_zero_norm() {
-        assert_eq!(SearchState::from_amplitudes(vec![]), Err(QuantumError::EmptyState));
-        assert_eq!(SearchState::from_amplitudes(vec![0.0, 0.0]), Err(QuantumError::EmptyState));
+        assert_eq!(
+            SearchState::from_amplitudes(vec![]),
+            Err(QuantumError::EmptyState)
+        );
+        assert_eq!(
+            SearchState::from_amplitudes(vec![0.0, 0.0]),
+            Err(QuantumError::EmptyState)
+        );
     }
 
     #[test]
@@ -252,7 +262,10 @@ mod tests {
             counts[s.measure(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((800..1200).contains(&c), "counts {counts:?} far from uniform");
+            assert!(
+                (800..1200).contains(&c),
+                "counts {counts:?} far from uniform"
+            );
         }
     }
 

@@ -1,0 +1,376 @@
+//! The structured event model.
+//!
+//! Every observable fact about a CONGEST run is one of these variants. The
+//! JSONL encoding is a flat object per event with a `"type"` discriminant,
+//! decoded losslessly by [`TraceEvent::from_json`].
+
+use crate::json::Json;
+
+/// Which half of a distributed-oracle application an event charges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OracleOp {
+    /// A Setup application (state preparation / database load).
+    Setup,
+    /// An Evaluation application (one call to the evaluation circuit).
+    Evaluation,
+}
+
+impl OracleOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            OracleOp::Setup => "setup",
+            OracleOp::Evaluation => "evaluation",
+        }
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// One synchronous round completed on a network, delivering `delivered`
+    /// messages.
+    Round {
+        /// Round index within the current network execution (1-based,
+        /// matching `RunStats::rounds` after the step).
+        round: u64,
+        /// Messages delivered during this round.
+        delivered: u64,
+    },
+    /// One message crossed an edge.
+    Message {
+        /// Round in which the message was delivered.
+        round: u64,
+        /// Sending node id.
+        from: u64,
+        /// Receiving node id.
+        to: u64,
+        /// Payload width in bits.
+        bits: u64,
+    },
+    /// A message exceeded the per-edge bandwidth budget under
+    /// `BandwidthPolicy::Track`.
+    Violation {
+        /// Round in which the violation occurred.
+        round: u64,
+        /// Sending node id.
+        from: u64,
+        /// Receiving node id.
+        to: u64,
+        /// Offending payload width in bits.
+        bits: u64,
+        /// The configured per-edge budget in bits.
+        budget: u64,
+    },
+    /// A labeled phase span: the aggregate cost of one algorithm phase,
+    /// optionally repeated.
+    Phase {
+        /// Human-readable phase label (matches `RoundsLedger` labels).
+        label: String,
+        /// Rounds for one repetition of the phase.
+        rounds: u64,
+        /// Messages for one repetition.
+        messages: u64,
+        /// Total payload bits for one repetition.
+        bits: u64,
+        /// Number of repetitions charged.
+        reps: u64,
+        /// Bandwidth violations observed in one repetition.
+        violations: u64,
+        /// True when the span is an accounting artifact (e.g. the Figure 2
+        /// uncomputation, charged as a mirror of steps 1–3, or a scheduled
+        /// quantum cost) rather than a physically simulated execution; only
+        /// non-derived spans reconcile against `Message` events.
+        derived: bool,
+    },
+    /// One application of a distributed oracle inside the quantum
+    /// optimization loop.
+    Oracle {
+        /// Which circuit was applied.
+        op: OracleOp,
+        /// Application index (0-based within its kind).
+        index: u64,
+        /// CONGEST rounds charged for this application.
+        rounds: u64,
+    },
+    /// A qubit high-water sample for a memory scope.
+    Qubits {
+        /// Scope the sample applies to (e.g. `"per-node"`, `"leader"`).
+        scope: String,
+        /// Qubit count.
+        qubits: u64,
+    },
+    /// A wave-propagation observation at one node in one round (Figure 2,
+    /// Lemmas 2–4): `surviving` counts fresh wave messages that beat the
+    /// node's current birth date, `distinct` the distinct fresh values.
+    Wave {
+        /// Round of the observation.
+        round: u64,
+        /// Observing node id.
+        node: u64,
+        /// Fresh wave messages surviving the staleness filter this round.
+        surviving: u64,
+        /// Distinct `(tau, dist)` values among the surviving messages.
+        distinct: u64,
+    },
+    /// A named scalar outcome (e.g. the evaluated `f(u0)`).
+    Value {
+        /// What the scalar is.
+        label: String,
+        /// The scalar.
+        value: u64,
+    },
+}
+
+fn int(v: u64) -> Json {
+    Json::Int(i128::from(v))
+}
+
+impl TraceEvent {
+    /// Encodes the event as one compact JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let obj = match self {
+            TraceEvent::Round { round, delivered } => Json::obj([
+                ("type", Json::Str("round".into())),
+                ("round", int(*round)),
+                ("delivered", int(*delivered)),
+            ]),
+            TraceEvent::Message {
+                round,
+                from,
+                to,
+                bits,
+            } => Json::obj([
+                ("type", Json::Str("message".into())),
+                ("round", int(*round)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("bits", int(*bits)),
+            ]),
+            TraceEvent::Violation {
+                round,
+                from,
+                to,
+                bits,
+                budget,
+            } => Json::obj([
+                ("type", Json::Str("violation".into())),
+                ("round", int(*round)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("bits", int(*bits)),
+                ("budget", int(*budget)),
+            ]),
+            TraceEvent::Phase {
+                label,
+                rounds,
+                messages,
+                bits,
+                reps,
+                violations,
+                derived,
+            } => Json::obj([
+                ("type", Json::Str("phase".into())),
+                ("label", Json::Str(label.clone())),
+                ("rounds", int(*rounds)),
+                ("messages", int(*messages)),
+                ("bits", int(*bits)),
+                ("reps", int(*reps)),
+                ("violations", int(*violations)),
+                ("derived", Json::Bool(*derived)),
+            ]),
+            TraceEvent::Oracle { op, index, rounds } => Json::obj([
+                ("type", Json::Str("oracle".into())),
+                ("op", Json::Str(op.as_str().into())),
+                ("index", int(*index)),
+                ("rounds", int(*rounds)),
+            ]),
+            TraceEvent::Qubits { scope, qubits } => Json::obj([
+                ("type", Json::Str("qubits".into())),
+                ("scope", Json::Str(scope.clone())),
+                ("qubits", int(*qubits)),
+            ]),
+            TraceEvent::Wave {
+                round,
+                node,
+                surviving,
+                distinct,
+            } => Json::obj([
+                ("type", Json::Str("wave".into())),
+                ("round", int(*round)),
+                ("node", int(*node)),
+                ("surviving", int(*surviving)),
+                ("distinct", int(*distinct)),
+            ]),
+            TraceEvent::Value { label, value } => Json::obj([
+                ("type", Json::Str("value".into())),
+                ("label", Json::Str(label.clone())),
+                ("value", int(*value)),
+            ]),
+        };
+        obj.render()
+    }
+
+    /// Decodes one event from its JSON object form.
+    pub fn from_json(line: &str) -> Result<TraceEvent, String> {
+        let obj = Json::parse(line).map_err(|e| e.to_string())?;
+        let kind = obj
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "event missing \"type\"".to_string())?;
+        let u = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{kind} event missing integer \"{key}\""))
+        };
+        let s = |key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{kind} event missing string \"{key}\""))
+        };
+        match kind {
+            "round" => Ok(TraceEvent::Round {
+                round: u("round")?,
+                delivered: u("delivered")?,
+            }),
+            "message" => Ok(TraceEvent::Message {
+                round: u("round")?,
+                from: u("from")?,
+                to: u("to")?,
+                bits: u("bits")?,
+            }),
+            "violation" => Ok(TraceEvent::Violation {
+                round: u("round")?,
+                from: u("from")?,
+                to: u("to")?,
+                bits: u("bits")?,
+                budget: u("budget")?,
+            }),
+            "phase" => Ok(TraceEvent::Phase {
+                label: s("label")?,
+                rounds: u("rounds")?,
+                messages: u("messages")?,
+                bits: u("bits")?,
+                reps: u("reps")?,
+                violations: u("violations")?,
+                derived: obj
+                    .get("derived")
+                    .and_then(Json::as_bool)
+                    .ok_or("phase event missing bool \"derived\"")?,
+            }),
+            "oracle" => Ok(TraceEvent::Oracle {
+                op: match s("op")?.as_str() {
+                    "setup" => OracleOp::Setup,
+                    "evaluation" => OracleOp::Evaluation,
+                    other => return Err(format!("unknown oracle op {other:?}")),
+                },
+                index: u("index")?,
+                rounds: u("rounds")?,
+            }),
+            "qubits" => Ok(TraceEvent::Qubits {
+                scope: s("scope")?,
+                qubits: u("qubits")?,
+            }),
+            "wave" => Ok(TraceEvent::Wave {
+                round: u("round")?,
+                node: u("node")?,
+                surviving: u("surviving")?,
+                distinct: u("distinct")?,
+            }),
+            "value" => Ok(TraceEvent::Value {
+                label: s("label")?,
+                value: u("value")?,
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Round {
+                round: 3,
+                delivered: 12,
+            },
+            TraceEvent::Message {
+                round: 3,
+                from: 0,
+                to: 5,
+                bits: 17,
+            },
+            TraceEvent::Violation {
+                round: 9,
+                from: 2,
+                to: 4,
+                bits: 40,
+                budget: 32,
+            },
+            TraceEvent::Phase {
+                label: "step 1: dfs walk (2d moves)".into(),
+                rounds: 15,
+                messages: 14,
+                bits: 98,
+                reps: 2,
+                violations: 0,
+                derived: false,
+            },
+            TraceEvent::Oracle {
+                op: OracleOp::Setup,
+                index: 0,
+                rounds: 11,
+            },
+            TraceEvent::Oracle {
+                op: OracleOp::Evaluation,
+                index: 7,
+                rounds: 61,
+            },
+            TraceEvent::Qubits {
+                scope: "per-node".into(),
+                qubits: 9,
+            },
+            TraceEvent::Wave {
+                round: 4,
+                node: 31,
+                surviving: 1,
+                distinct: 1,
+            },
+            TraceEvent::Value {
+                label: "ecc \"leader\"".into(),
+                value: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for event in samples() {
+            let line = event.to_json();
+            assert_eq!(TraceEvent::from_json(&line).unwrap(), event, "{line}");
+        }
+    }
+
+    #[test]
+    fn labels_with_quotes_and_newlines_survive() {
+        let event = TraceEvent::Value {
+            label: "odd \"label\"\nwith\tcontrol".into(),
+            value: 1,
+        };
+        assert_eq!(TraceEvent::from_json(&event.to_json()).unwrap(), event);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_events() {
+        assert!(TraceEvent::from_json("{}").is_err());
+        assert!(TraceEvent::from_json(r#"{"type":"nope"}"#).is_err());
+        assert!(TraceEvent::from_json(r#"{"type":"round","round":1}"#).is_err());
+        assert!(
+            TraceEvent::from_json(r#"{"type":"oracle","op":"mystery","index":0,"rounds":1}"#)
+                .is_err()
+        );
+        assert!(TraceEvent::from_json("not json").is_err());
+    }
+}

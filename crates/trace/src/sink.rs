@@ -1,0 +1,214 @@
+//! Sinks: where emitted events go.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::event::TraceEvent;
+
+/// A consumer of trace events.
+pub trait TraceSink {
+    /// Receives one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Flushes any buffered output. The default is a no-op.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A shareable, installable sink handle.
+pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
+
+/// An in-memory sink that keeps every event, in order.
+#[derive(Default)]
+pub struct Recorder {
+    events: Vec<TraceEvent>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// A recorder wrapped for installation via [`crate::install`].
+    pub fn shared() -> Rc<RefCell<Recorder>> {
+        Rc::new(RefCell::new(Recorder::new()))
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Removes and returns all recorded events.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A sink that appends one JSON object per line to a file.
+///
+/// Write errors are latched rather than panicking mid-run; check
+/// [`FileSink::take_error`] (or the result of `flush`) after the run.
+pub struct FileSink {
+    writer: BufWriter<File>,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl FileSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(FileSink {
+            writer: BufWriter::new(file),
+            error: None,
+            lines: 0,
+        })
+    }
+
+    /// A file sink wrapped for installation via [`crate::install`].
+    pub fn shared(path: impl AsRef<Path>) -> io::Result<Rc<RefCell<FileSink>>> {
+        Ok(Rc::new(RefCell::new(FileSink::create(path)?)))
+    }
+
+    /// Number of events written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Returns (and clears) the first latched write error, if any.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+}
+
+impl TraceSink for FileSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json();
+        if let Err(e) = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+        {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Reads a JSONL trace file back into events.
+///
+/// Blank lines are skipped; a malformed line aborts with its line number.
+pub fn read_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<TraceEvent>> {
+    let text = std::fs::read_to_string(path)?;
+    parse_jsonl(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Parses JSONL trace text (one event per line).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event = TraceEvent::from_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OracleOp;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Round {
+                round: 1,
+                delivered: 4,
+            },
+            TraceEvent::Message {
+                round: 1,
+                from: 2,
+                to: 3,
+                bits: 12,
+            },
+            TraceEvent::Oracle {
+                op: OracleOp::Evaluation,
+                index: 0,
+                rounds: 55,
+            },
+            TraceEvent::Value {
+                label: "needs \"escaping\"".into(),
+                value: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn recorder_keeps_order_and_take_drains() {
+        let mut recorder = Recorder::new();
+        for event in sample_events() {
+            recorder.record(&event);
+        }
+        assert_eq!(recorder.events(), sample_events().as_slice());
+        assert_eq!(recorder.take(), sample_events());
+        assert!(recorder.events().is_empty());
+    }
+
+    #[test]
+    fn file_sink_round_trips_jsonl() {
+        let path = std::env::temp_dir().join(format!("trace-sink-{}.jsonl", std::process::id()));
+        {
+            let mut sink = FileSink::create(&path).unwrap();
+            for event in sample_events() {
+                sink.record(&event);
+            }
+            assert_eq!(sink.lines_written(), 4);
+            sink.flush().unwrap();
+            assert!(sink.take_error().is_none());
+        }
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, sample_events());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_jsonl_skips_blanks_and_reports_line_numbers() {
+        let good = "\n{\"type\":\"round\",\"round\":1,\"delivered\":0}\n\n";
+        assert_eq!(parse_jsonl(good).unwrap().len(), 1);
+        let bad = "{\"type\":\"round\",\"round\":1,\"delivered\":0}\nnot json\n";
+        let err = parse_jsonl(bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no package registry, so this crate implements
+//! the benchmark-harness subset the workspace's benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short warm-up, then
+//! `sample_size` timed samples (each sample batches iterations to reach a
+//! minimum measurable duration); the median, minimum and maximum sample
+//! times are printed. When invoked with a `--test` argument (as `cargo
+//! test` does for harness-less bench targets) each benchmark body runs
+//! exactly once, untimed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name with a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    mode: Mode,
+    /// Median/min/max sample durations, filled by `iter`.
+    result: Option<(Duration, Duration, Duration)>,
+    sample_size: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records wall-clock statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::TestOnce {
+            black_box(f());
+            return;
+        }
+        // Warm-up: at least one call, up to ~50ms.
+        let warmup_deadline = Instant::now() + Duration::from_millis(50);
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed();
+        while Instant::now() < warmup_deadline && first < Duration::from_millis(25) {
+            black_box(f());
+        }
+        // Batch iterations so one sample is at least ~1ms of work.
+        let per_iter = first.max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as usize;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed() / batch as u32);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, samples[0], samples[samples.len() - 1]));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let mode = self.criterion.mode;
+        let sample_size = self.sample_size;
+        Criterion::run_one(&full, mode, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let mode = self.criterion.mode;
+        let sample_size = self.sample_size;
+        Criterion::run_one(&full, mode, sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Any explicit filter args are
+        // ignored by this stand-in.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure
+            },
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Kept for API compatibility; configuration comes from `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mode = self.mode;
+        let sample_size = self.sample_size;
+        Criterion::run_one(&id.name, mode, sample_size, |b| f(b));
+        self
+    }
+
+    fn run_one(name: &str, mode: Mode, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode,
+            result: None,
+            sample_size,
+        };
+        f(&mut bencher);
+        match (mode, bencher.result) {
+            (Mode::TestOnce, _) => println!("test {name} ... ok"),
+            (Mode::Measure, Some((median, min, max))) => println!(
+                "{name:<60} median {:>12} (min {}, max {}, n={sample_size})",
+                format_duration(median),
+                format_duration(min),
+                format_duration(max),
+            ),
+            (Mode::Measure, None) => println!("{name:<60} (no measurement: iter never called)"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("bfs", 128).name, "bfs/128");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+        assert_eq!(BenchmarkId::from("plain").name, "plain");
+    }
+
+    #[test]
+    fn measure_records_samples() {
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            result: None,
+            sample_size: 3,
+        };
+        let mut acc = 0u64;
+        bencher.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let (median, min, max) = bencher.result.expect("samples recorded");
+        assert!(min <= median && median <= max);
+    }
+
+    #[test]
+    fn groups_run_bodies() {
+        let mut criterion = Criterion {
+            mode: Mode::TestOnce,
+            sample_size: 2,
+        };
+        let mut group = criterion.benchmark_group("g");
+        let mut ran = 0;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("h", 1), &5usize, |b, &x| {
+            b.iter(|| black_box(x))
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(5)), "5.000 µs");
+        assert_eq!(format_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(5)), "5.000 s");
+    }
+}

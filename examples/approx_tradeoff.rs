@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = graphs::generators::random_sparse(n, 7.0, 3);
     let cfg = Config::for_graph(&g);
     println!("\nCluster-size sweep at n = {n} (Figure 3 phases):");
-    println!("{:>6} {:>12} {:>12} {:>12}", "s", "prep", "quantum", "total");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "s", "prep", "quantum", "total"
+    );
     for &s in &[4usize, 16, 48, 96, 192, 384] {
         let q = approx::diameter(&g, ApproxParams::new(5).with_s(s), cfg)?;
         println!(

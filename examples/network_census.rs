@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("hypercube 6", graphs::generators::hypercube(6)),
         ("torus 8x8", graphs::generators::torus(8, 8)),
         ("barbell 20+24", graphs::generators::barbell(20, 24)),
-        ("sparse random", graphs::generators::random_sparse(64, 5.0, 3)),
+        (
+            "sparse random",
+            graphs::generators::random_sparse(64, 5.0, 3),
+        ),
         ("random tree", graphs::generators::random_tree(64, 9)),
     ];
 
@@ -53,7 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nLP13 (S, γ, σ)-source detection on the 8x8 grid:");
     let g = graphs::generators::grid(8, 8);
     let cfg = Config::for_graph(&g);
-    let landmarks = [NodeId::new(0), NodeId::new(7), NodeId::new(56), NodeId::new(63)];
+    let landmarks = [
+        NodeId::new(0),
+        NodeId::new(7),
+        NodeId::new(56),
+        NodeId::new(63),
+    ];
     let out = source_detection::detect(&g, &landmarks, 2, 14, cfg)?;
     println!(
         "  every node knows its 2 nearest corners in {} rounds (γ + σ + 2)",
@@ -67,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|&(d, s)| format!("corner {s} at distance {d}"))
             .collect::<Vec<_>>()
     );
-    assert_eq!(out.lists, source_detection::reference(&g, &landmarks, 2, 14));
+    assert_eq!(
+        out.lists,
+        source_detection::reference(&g, &landmarks, 2, 14)
+    );
 
     println!("\nall quantities verified against centralized references.");
     Ok(())

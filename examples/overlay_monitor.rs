@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example overlay_monitor`
 
-use congest_diameter::prelude::*;
 use classical::hprw::{self, HprwParams};
+use congest_diameter::prelude::*;
 use graphs::GraphBuilder;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2026);
     let mut overlay = graphs::generators::random_sparse(n, 6.0, 11);
 
-    println!("overlay: {n} peers, ~{} links, churn 15%/epoch", overlay.num_edges());
+    println!(
+        "overlay: {n} peers, ~{} links, churn 15%/epoch",
+        overlay.num_edges()
+    );
     println!(
         "\n{:>5} {:>4} {:>11} {:>11} {:>11} {:>13}",
         "epoch", "D", "approx D̄", "3/2-approx", "exact (n)", "exact quantum"
@@ -84,8 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let exact_q = quantum_diameter::exact::diameter(&overlay, ExactParams::new(epoch), cfg)?;
         assert_eq!(exact_c.diameter, truth);
         assert_eq!(exact_q.value, truth);
-        q_consts
-            .push(exact_q.rounds() as f64 / ((n as f64) * f64::from(truth.max(1))).sqrt());
+        q_consts.push(exact_q.rounds() as f64 / ((n as f64) * f64::from(truth.max(1))).sqrt());
 
         println!(
             "{:>5} {:>4} {:>11} {:>11} {:>11} {:>13}",

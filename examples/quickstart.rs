@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quantum = quantum_diameter::exact::diameter(&g, ExactParams::new(7), cfg)?;
     assert_eq!(quantum.value, reference);
     println!("\nquantum exact (Theorem 1):");
-    println!("  initialization rounds: {}", quantum.init_ledger.total_rounds());
+    println!(
+        "  initialization rounds: {}",
+        quantum.init_ledger.total_rounds()
+    );
     println!(
         "  oracle calls: {} (setup {}, evaluation {})",
         quantum.oracle.total_ops(),
@@ -61,7 +64,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let big_n = (n as u64) * scale;
         let c = classical::apsp::predicted_rounds(big_n, d as u64);
         let q = q_const * (big_n as f64).sqrt();
-        println!("{:>10} {:>14} {:>14.0}{}", big_n, c, q, if q < c as f64 { "  ← quantum wins" } else { "" });
+        println!(
+            "{:>10} {:>14} {:>14.0}{}",
+            big_n,
+            c,
+            q,
+            if q < c as f64 {
+                "  ← quantum wins"
+            } else {
+                ""
+            }
+        );
     }
     Ok(())
 }

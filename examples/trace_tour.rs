@@ -1,0 +1,82 @@
+//! Tour of the telemetry layer: run the Section 3.1 simple quantum exact
+//! algorithm on a small torus with an in-memory [`trace::Recorder`]
+//! installed, aggregate the event stream, and cross-check the per-phase
+//! breakdown against the run's own ledgers — the trace is an observer and
+//! must agree with the algorithm's accounting to the round.
+//!
+//! Run with: `cargo run --release --example trace_tour`
+
+use congest_diameter::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = graphs::generators::torus(5, 5);
+    let cfg = Config::for_graph(&g);
+    println!(
+        "network: 5x5 torus, {} nodes, {} edges",
+        g.len(),
+        g.num_edges()
+    );
+
+    // Install a recorder for the duration of the run. Tracing is strictly
+    // opt-in: without this guard the same call emits nothing and takes the
+    // zero-overhead path.
+    let recorder = trace::Recorder::shared();
+    let run = {
+        let _guard = trace::install(recorder.clone());
+        quantum_diameter::exact_simple::diameter(&g, ExactParams::new(3), cfg)?
+    };
+    let events = recorder.borrow_mut().take();
+    println!(
+        "diameter: {} ({} trace events captured)\n",
+        run.value,
+        events.len()
+    );
+
+    // Aggregate the raw stream. `Summary` is itself a `TraceSink`, so this
+    // could equally have been installed directly instead of the recorder.
+    let summary = trace::Summary::from_events(&events);
+    println!("{summary}");
+
+    // Cross-check: every phase span the trace saw must match the run's own
+    // ledgers, and the charged oracle applications must re-add to the
+    // Theorem 7 round conversion.
+    println!("\ncross-check against DiameterRun:");
+    let ledgered =
+        run.init_ledger.total_rounds() + run.probe_ledger.total_rounds() + run.quantum_rounds;
+    assert_eq!(summary.total_phase_rounds(), ledgered);
+    println!(
+        "  phase spans: {} rounds == init {} + probes {} + quantum {}",
+        summary.total_phase_rounds(),
+        run.init_ledger.total_rounds(),
+        run.probe_ledger.total_rounds(),
+        run.quantum_rounds
+    );
+
+    assert_eq!(summary.oracle_setup_ops, run.oracle.setup_ops());
+    assert_eq!(summary.oracle_evaluation_ops, run.oracle.evaluation_ops());
+    assert_eq!(
+        summary.oracle_setup_rounds + summary.oracle_evaluation_rounds,
+        run.quantum_rounds
+    );
+    println!(
+        "  oracle events: {} setup + {} evaluation applications, {} rounds total",
+        summary.oracle_setup_ops,
+        summary.oracle_evaluation_ops,
+        summary.oracle_setup_rounds + summary.oracle_evaluation_rounds
+    );
+
+    // Per-message events reconcile with the physically simulated (non-
+    // derived) spans only — derived spans charge rounds without traffic.
+    assert_eq!(
+        summary.messages_delivered,
+        summary.simulated_phase_messages()
+    );
+    assert_eq!(summary.round_ticks, summary.simulated_phase_rounds());
+    println!(
+        "  traffic: {} messages / {} round ticks, all inside simulated spans",
+        summary.messages_delivered, summary.round_ticks
+    );
+
+    println!("\nall trace aggregates agree with the run's own accounting.");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, and the tier-1 test suite.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+if cargo fmt --version >/dev/null 2>&1; then
+  echo "=== cargo fmt --check ==="
+  cargo fmt --all --check || status=1
+else
+  echo "=== cargo fmt not installed; skipping format check ==="
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "=== cargo clippy ==="
+  cargo clippy --workspace --all-targets --offline -- -D warnings || status=1
+else
+  echo "=== cargo clippy not installed; skipping lint check ==="
+fi
+
+echo "=== tier-1: cargo build --release && cargo test ==="
+cargo build --release --offline || status=1
+cargo test -q --offline || status=1
+
+echo "=== workspace tests ==="
+cargo test -q --offline --workspace || status=1
+
+if [ "$status" -ne 0 ]; then
+  echo "CHECK FAILED" >&2
+  exit 1
+fi
+echo "all checks passed"

@@ -5,11 +5,31 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
 cargo build --release -p bench --bins
+
+failures=0
 for bin in table1_exact table1_approx table1_lower_bounds \
            fig1_bfs fig2_evaluation fig3_approx_phases fig4_hw_gadget \
            fig5_7_simulation fig8_stretched_gadget \
            ablation_window memory_scaling qdisj_protocol; do
   echo "=== $bin ==="
-  ./target/release/$bin | tee "results/$bin.txt"
+  if ! ./target/release/$bin | tee "results/$bin.txt"; then
+    echo "FAILED: $bin" >&2
+    failures=$((failures + 1))
+  fi
 done
-echo "all experiment outputs written to results/"
+
+# The structured-output harnesses must also have written machine-readable
+# results (bench::write_results_json); a missing file means the run died
+# before its sweep finished.
+for name in table1_exact table1_approx table1_lower_bounds fig2_evaluation; do
+  if [ ! -s "results/$name.json" ]; then
+    echo "FAILED: results/$name.json missing or empty" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures experiment(s) failed" >&2
+  exit 1
+fi
+echo "all experiment outputs written to results/ (*.txt tables, *.json structured)"

@@ -4,20 +4,28 @@
 //! qdiam exact --family sparse --n 256 --seed 7 --verbose
 //! qdiam classical --family cycle --n 64
 //! qdiam approx --family er --n 200 --p 0.05 --s 20
+//! qdiam exact --family grid --n 64 --trace run.jsonl
+//! qdiam trace-summary run.jsonl
 //! ```
 
 use congest_diameter::cli;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match cli::parse(&args) {
-        Ok(opts) => match cli::run(&opts) {
-            Ok(report) => print!("{report}"),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+    match cli::parse_command(&args) {
+        Ok(cmd) => {
+            let result = match cmd {
+                cli::Command::Run(opts) => cli::run(&opts),
+                cli::Command::TraceSummary(path) => cli::trace_summary(&path),
+            };
+            match result {
+                Ok(report) => print!("{report}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
             }
-        },
+        }
         Err(msg) => {
             if msg.is_empty() {
                 print!("{}", cli::USAGE);

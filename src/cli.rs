@@ -112,6 +112,8 @@ pub struct Options {
     pub file: Option<String>,
     /// Print per-phase ledgers.
     pub verbose: bool,
+    /// Write a JSONL event trace of the run to this path.
+    pub trace: Option<String>,
 }
 
 impl Default for Options {
@@ -127,6 +129,7 @@ impl Default for Options {
             delta: 0.01,
             file: None,
             verbose: false,
+            trace: None,
         }
     }
 }
@@ -136,6 +139,7 @@ pub const USAGE: &str = "\
 qdiam — quantum CONGEST diameter computation (Le Gall & Magniez, PODC 2018)
 
 USAGE: qdiam <ALGORITHM> [OPTIONS]
+       qdiam trace-summary <TRACE.jsonl>
 
 ALGORITHMS:
   exact             quantum exact diameter, Õ(√(nD)) rounds   (Theorem 1)
@@ -145,6 +149,10 @@ ALGORITHMS:
   classical-approx  classical 3/2-approximation, Õ(√n+D)      (HPRW14)
   two-approx        eccentricity of a leader, O(D) rounds
   girth             classical girth computation, Θ(n) rounds  (PRT12)
+
+COMMANDS:
+  trace-summary     aggregate a --trace JSONL file into per-phase/per-edge
+                    rollups and print them
 
 OPTIONS:
   --family F   path|cycle|grid|tree|sparse|er|barbell|lollipop|hypercube|file
@@ -156,9 +164,36 @@ OPTIONS:
   --p P        edge probability for --family er (default: 0.1)
   --s S        cluster-size override for the approximations
   --delta D    quantum failure probability (default: 0.01)
+  --trace PATH write a JSONL event trace of the run to PATH
   --verbose    print per-phase round ledgers
   --help       this message
 ";
+
+/// A fully parsed invocation: either an algorithm run or a trace-file query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run an algorithm with the given options.
+    Run(Options),
+    /// Summarize a previously written `--trace` JSONL file.
+    TraceSummary(String),
+}
+
+/// Parses a full command line (without the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// As for [`parse`].
+pub fn parse_command(args: &[String]) -> Result<Command, String> {
+    if args.first().map(String::as_str) == Some("trace-summary") {
+        match args {
+            [_, path] => Ok(Command::TraceSummary(path.clone())),
+            [_] => Err("trace-summary requires a path".into()),
+            _ => Err("trace-summary takes exactly one path".into()),
+        }
+    } else {
+        parse(args).map(Command::Run)
+    }
+}
 
 /// Parses arguments (without the program name).
 ///
@@ -186,19 +221,28 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     return Err("--n must be positive".into());
                 }
             }
-            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--degree" => {
-                opts.degree = value("--degree")?.parse().map_err(|e| format!("--degree: {e}"))?
+                opts.degree = value("--degree")?
+                    .parse()
+                    .map_err(|e| format!("--degree: {e}"))?
             }
             "--p" => opts.p = value("--p")?.parse().map_err(|e| format!("--p: {e}"))?,
             "--s" => opts.s = Some(value("--s")?.parse().map_err(|e| format!("--s: {e}"))?),
             "--delta" => {
-                opts.delta = value("--delta")?.parse().map_err(|e| format!("--delta: {e}"))?;
+                opts.delta = value("--delta")?
+                    .parse()
+                    .map_err(|e| format!("--delta: {e}"))?;
                 if !(opts.delta > 0.0 && opts.delta < 1.0) {
                     return Err("--delta must be in (0, 1)".into());
                 }
             }
             "--file" => opts.file = Some(value("--file")?.clone()),
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
             "--verbose" => opts.verbose = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -250,9 +294,12 @@ pub fn build_graph(opts: &Options) -> Result<Graph, String> {
             graphs::generators::hypercube(dim.clamp(1, 20))
         }
         Family::File => {
-            let path = opts.file.as_ref().ok_or("--family file requires --file PATH")?;
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read '{path}': {e}"))?;
+            let path = opts
+                .file
+                .as_ref()
+                .ok_or("--family file requires --file PATH")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
             graphs::io::parse_edge_list(&text).map_err(|e| format!("'{path}': {e}"))?
         }
     };
@@ -261,10 +308,46 @@ pub fn build_graph(opts: &Options) -> Result<Graph, String> {
 
 /// Runs the selected algorithm and renders a report.
 ///
+/// With `opts.trace` set, a [`trace::FileSink`] is installed for the
+/// duration of the run and every event the algorithms emit is written to
+/// the given JSONL path (see `qdiam trace-summary`).
+///
 /// # Errors
 ///
-/// Propagates algorithm errors as strings.
+/// Propagates algorithm errors (and trace I/O errors) as strings.
 pub fn run(opts: &Options) -> Result<String, String> {
+    let Some(path) = &opts.trace else {
+        return run_report(opts);
+    };
+    let sink = trace::FileSink::shared(path).map_err(|e| format!("--trace '{path}': {e}"))?;
+    let report = {
+        let _guard = trace::install(sink.clone());
+        run_report(opts)
+    }?;
+    let mut file = sink.borrow_mut();
+    trace::TraceSink::flush(&mut *file).map_err(|e| format!("--trace '{path}': {e}"))?;
+    if let Some(e) = file.take_error() {
+        return Err(format!("--trace '{path}': {e}"));
+    }
+    Ok(format!(
+        "{report}trace: {} events -> {path}\n",
+        file.lines_written()
+    ))
+}
+
+/// Reads a `--trace` JSONL file back and renders the aggregated
+/// [`trace::Summary`].
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors as strings.
+pub fn trace_summary(path: &str) -> Result<String, String> {
+    let events = trace::read_jsonl(path).map_err(|e| format!("'{path}': {e}"))?;
+    let summary = trace::Summary::from_events(&events);
+    Ok(format!("{summary}"))
+}
+
+fn run_report(opts: &Options) -> Result<String, String> {
     let g = build_graph(opts)?;
     let cfg = Config::for_graph(&g);
     let mut out = String::new();
@@ -301,6 +384,13 @@ pub fn run(opts: &Options) -> Result<String, String> {
             );
             if opts.verbose {
                 let _ = writeln!(out, "--- initialization ledger ---\n{}", run.init_ledger);
+                if !run.probe_ledger.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "--- probe/verification ledger ---\n{}",
+                        run.probe_ledger
+                    );
+                }
             }
         }
         Algorithm::Approx => {
@@ -320,6 +410,13 @@ pub fn run(opts: &Options) -> Result<String, String> {
             );
             if opts.verbose {
                 let _ = writeln!(out, "--- preparation ledger ---\n{}", run.prep_ledger);
+                if !run.probe_ledger.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "--- probe/verification ledger ---\n{}",
+                        run.probe_ledger
+                    );
+                }
             }
         }
         Algorithm::Classical => {
@@ -409,7 +506,9 @@ mod tests {
 
     #[test]
     fn build_graph_families() {
-        for family in ["path", "cycle", "grid", "tree", "sparse", "er", "barbell", "lollipop"] {
+        for family in [
+            "path", "cycle", "grid", "tree", "sparse", "er", "barbell", "lollipop",
+        ] {
             let o = parse(&args(&format!("exact --family {family} --n 24"))).unwrap();
             let g = build_graph(&o).unwrap();
             assert!(graphs::traversal::is_connected(&g), "{family}");
@@ -424,9 +523,16 @@ mod tests {
         let dir = std::env::temp_dir().join("qdiam-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ring.edges");
-        std::fs::write(&path, graphs::io::to_edge_list(&graphs::generators::cycle(12))).unwrap();
-        let o = parse(&args(&format!("classical --family file --file {}", path.display())))
-            .unwrap();
+        std::fs::write(
+            &path,
+            graphs::io::to_edge_list(&graphs::generators::cycle(12)),
+        )
+        .unwrap();
+        let o = parse(&args(&format!(
+            "classical --family file --file {}",
+            path.display()
+        )))
+        .unwrap();
         let report = run(&o).unwrap();
         assert!(report.contains("diameter: 6"), "{report}");
         // Missing --file is a clear error.
@@ -435,13 +541,61 @@ mod tests {
     }
 
     #[test]
+    fn parse_command_dispatches() {
+        assert_eq!(
+            parse_command(&args("trace-summary /tmp/x.jsonl")).unwrap(),
+            Command::TraceSummary("/tmp/x.jsonl".into())
+        );
+        assert!(parse_command(&args("trace-summary")).is_err());
+        assert!(parse_command(&args("trace-summary a b")).is_err());
+        let o = parse_command(&args("exact --trace out.jsonl")).unwrap();
+        assert_eq!(
+            o,
+            Command::Run(Options {
+                trace: Some("out.jsonl".into()),
+                ..Options::default()
+            })
+        );
+    }
+
+    #[test]
+    fn trace_flag_writes_a_summarizable_jsonl_file() {
+        let dir = std::env::temp_dir().join("qdiam-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exact.jsonl");
+        let o = parse(&args(&format!(
+            "exact --family grid --n 16 --trace {}",
+            path.display()
+        )))
+        .unwrap();
+        let report = run(&o).unwrap();
+        assert!(report.contains("trace:"), "{report}");
+        let rendered = trace_summary(path.to_str().unwrap()).unwrap();
+        assert!(rendered.contains("leader election"), "{rendered}");
+        assert!(rendered.contains("oracle"), "{rendered}");
+        // A second run without the flag must not touch the file.
+        let events_before = trace::read_jsonl(&path).unwrap().len();
+        run(&parse(&args("exact --family grid --n 16")).unwrap()).unwrap();
+        assert_eq!(trace::read_jsonl(&path).unwrap().len(), events_before);
+    }
+
+    #[test]
     fn run_each_algorithm_end_to_end() {
-        for algo in
-            ["exact", "simple", "approx", "classical", "classical-approx", "two-approx", "girth"]
-        {
+        for algo in [
+            "exact",
+            "simple",
+            "approx",
+            "classical",
+            "classical-approx",
+            "two-approx",
+            "girth",
+        ] {
             let o = parse(&args(&format!("{algo} --family cycle --n 16 --verbose"))).unwrap();
             let report = run(&o).unwrap_or_else(|e| panic!("{algo}: {e}"));
-            assert!(report.contains("rounds"), "{algo} report missing rounds:\n{report}");
+            assert!(
+                report.contains("rounds"),
+                "{algo} report missing rounds:\n{report}"
+            );
         }
     }
 

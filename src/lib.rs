@@ -49,10 +49,10 @@ pub mod cli;
 pub use classical;
 pub use commcc;
 pub use congest;
-pub use graphs;
-pub use quantum;
 /// The paper's quantum diameter algorithms (the `diameter-quantum` crate).
 pub use diameter_quantum as quantum_diameter;
+pub use graphs;
+pub use quantum;
 
 /// Convenient glob-import surface for examples and downstream experiments.
 pub mod prelude {

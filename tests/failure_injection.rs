@@ -15,7 +15,10 @@ fn starved_bandwidth_is_detected() {
     let tight = Config::new(2); // 2 bits per edge per round: hopeless
     let err = classical::apsp::exact_diameter(&g, tight).unwrap_err();
     assert!(
-        matches!(err, AlgoError::Congest(CongestError::BandwidthExceeded { .. })),
+        matches!(
+            err,
+            AlgoError::Congest(CongestError::BandwidthExceeded { .. })
+        ),
         "expected bandwidth error, got {err:?}"
     );
     let err = exact::diameter(&g, ExactParams::new(0), tight).unwrap_err();
@@ -32,8 +35,11 @@ fn tracked_bandwidth_reports_violations() {
     let tight = Config::new(2).with_policy(BandwidthPolicy::Track);
     let out = classical::apsp::exact_diameter(&g, tight).unwrap();
     assert_eq!(out.diameter, 6);
-    let violations: u64 =
-        out.ledger.phases().map(|(_, s, reps)| s.bandwidth_violations * reps).sum();
+    let violations: u64 = out
+        .ledger
+        .phases()
+        .map(|(_, s, reps)| s.bandwidth_violations * reps)
+        .sum();
     assert!(violations > 0, "starved run must report violations");
 }
 
@@ -61,8 +67,14 @@ fn disconnection_is_typed_everywhere() {
         classical::apsp::exact_diameter(&g, cfg),
         Err(AlgoError::Disconnected)
     ));
-    assert!(matches!(classical::girth::compute(&g, cfg), Err(AlgoError::Disconnected)));
-    assert!(matches!(classical::ecc::two_approx(&g, cfg), Err(AlgoError::Disconnected)));
+    assert!(matches!(
+        classical::girth::compute(&g, cfg),
+        Err(AlgoError::Disconnected)
+    ));
+    assert!(matches!(
+        classical::ecc::two_approx(&g, cfg),
+        Err(AlgoError::Disconnected)
+    ));
     assert!(matches!(
         hprw::approx_diameter(&g, HprwParams::classical(6, 0), cfg),
         Err(AlgoError::Disconnected)
@@ -102,15 +114,26 @@ fn tiny_networks_everywhere() {
         };
         let cfg = Config::for_graph(&g);
         let expect = (n - 1) as graphs::Dist;
-        assert_eq!(classical::apsp::exact_diameter(&g, cfg).unwrap().diameter, expect);
-        assert_eq!(exact::diameter(&g, ExactParams::new(0), cfg).unwrap().value, expect);
+        assert_eq!(
+            classical::apsp::exact_diameter(&g, cfg).unwrap().diameter,
+            expect
+        );
+        assert_eq!(
+            exact::diameter(&g, ExactParams::new(0), cfg).unwrap().value,
+            expect
+        );
         assert_eq!(
             quantum_diameter::exact_simple::diameter(&g, ExactParams::new(0), cfg)
                 .unwrap()
                 .value,
             expect
         );
-        assert_eq!(approx::diameter(&g, ApproxParams::new(0), cfg).unwrap().estimate, expect);
+        assert_eq!(
+            approx::diameter(&g, ApproxParams::new(0), cfg)
+                .unwrap()
+                .estimate,
+            expect
+        );
         assert_eq!(classical::girth::compute(&g, cfg).unwrap().girth, None);
     }
 }

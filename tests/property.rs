@@ -21,8 +21,7 @@ fn arb_graph() -> impl Strategy<Value = graphs::Graph> {
 
 /// A random connected tree.
 fn arb_tree() -> impl Strategy<Value = graphs::Graph> {
-    (2usize..30, 0u64..1_000_000)
-        .prop_map(|(n, seed)| graphs::generators::random_tree(n, seed))
+    (2usize..30, 0u64..1_000_000).prop_map(|(n, seed)| graphs::generators::random_tree(n, seed))
 }
 
 proptest! {
