@@ -1,13 +1,14 @@
 //! Criterion benches for the PRT12/LP13 substrate extensions: distributed
-//! girth and (S, γ, σ)-source detection — plus the tracing-overhead
-//! comparison guarding the telemetry layer's opt-in contract.
+//! girth and (S, γ, σ)-source detection — plus the tracing-overhead and
+//! scheduler-hot-loop comparisons guarding the simulator's performance
+//! contracts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use congest::Config;
-use graphs::NodeId;
+use congest::{bits, Config, Network, NodeProgram, Payload, RoundCtx, Status};
+use graphs::{Graph, NodeId};
 
 fn bench_girth(c: &mut Criterion) {
     let mut group = c.benchmark_group("prt12_girth");
@@ -115,10 +116,178 @@ fn bench_tracing_overhead(c: &mut Criterion) {
     );
 }
 
+/// The message-heavy workload the scheduler rework targets: every node
+/// floods the smallest id it has seen, re-broadcasting on every
+/// improvement, until quiescence.
+#[derive(Clone, Debug)]
+struct IdMsg(u32, usize);
+impl Payload for IdMsg {
+    fn size_bits(&self) -> usize {
+        bits::for_node(self.1)
+    }
+}
+struct MinIdFlood {
+    best: u32,
+}
+impl NodeProgram for MinIdFlood {
+    type Msg = IdMsg;
+    type Output = u32;
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, IdMsg>) -> Status {
+        let mut improved = ctx.round() == 0;
+        for &(_, IdMsg(v, _)) in ctx.inbox() {
+            if v < self.best {
+                self.best = v;
+                improved = true;
+            }
+        }
+        if improved {
+            ctx.broadcast(IdMsg(self.best, ctx.num_nodes()));
+        }
+        Status::Halted
+    }
+    fn finish(self, _node: NodeId) -> u32 {
+        self.best
+    }
+}
+
+fn flood(g: &Graph, cfg: Config) -> (congest::RunStats, Vec<u32>) {
+    let mut net = Network::new(g, cfg, |v| MinIdFlood { best: u32::from(v) });
+    let stats = net.run_until_quiescent(100_000).unwrap();
+    (stats, net.into_outputs())
+}
+
+/// A faithful replica of the *seed* scheduler's hot loop running the same
+/// min-id flood: fresh `vec![Vec::new(); n]` inbox tables and one fresh
+/// outbox `Vec` per node every round, a per-node `sort_by_key` on the
+/// inbox, and the O(deg²) `sent_to.contains` duplicate scan — exactly the
+/// costs the reworked `Network::step` removed. Kept as the baseline the
+/// `scheduler_hot_loop` gate measures against.
+fn seed_replica_flood(g: &Graph) -> (u64, Vec<u32>) {
+    let n = g.len();
+    let msg_bits = bits::for_node(n);
+    let mut best: Vec<u32> = (0..n as u32).collect();
+    let mut inboxes: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    let mut in_flight = 0usize;
+    let mut rounds = 0u64;
+    let mut messages = 0u64;
+    let mut total_bits = 0u64;
+    loop {
+        if rounds > 0 && in_flight == 0 {
+            break;
+        }
+        let mut current = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+        in_flight = 0;
+        for i in 0..n {
+            let mut inbox = std::mem::take(&mut current[i]);
+            inbox.sort_by_key(|&(from, _)| from);
+            let mut improved = rounds == 0;
+            for &(_, v) in &inbox {
+                if v < best[i] {
+                    best[i] = v;
+                    improved = true;
+                }
+            }
+            let mut outbox: Vec<(usize, u32)> = Vec::new();
+            if improved {
+                for &to in g.neighbors(NodeId::new(i)) {
+                    outbox.push((to.index(), best[i]));
+                }
+            }
+            let mut sent_to: Vec<usize> = Vec::with_capacity(outbox.len());
+            for (to, v) in outbox {
+                assert!(!sent_to.contains(&to), "duplicate send");
+                sent_to.push(to);
+                messages += 1;
+                total_bits += msg_bits as u64;
+                inboxes[to].push((i, v));
+                in_flight += 1;
+            }
+        }
+        rounds += 1;
+    }
+    black_box(total_bits);
+    black_box(messages);
+    (rounds, best)
+}
+
+/// The scheduler rework's performance contract: the allocation-free
+/// sequential path must not be slower than the seed scheduler's hot loop
+/// (it should be measurably faster), and the sharded path must produce the
+/// same results while scaling with available cores. The criterion group
+/// gives the full comparison; the trailing gate hard-asserts the
+/// sequential bound at <5% overhead, mirroring `tracing_overhead`.
+fn bench_scheduler_hot_loop(c: &mut Criterion) {
+    let g96 = graphs::generators::random_sparse(96, 5.0, 4);
+    let g256 = graphs::generators::random_sparse(256, 6.0, 9);
+
+    // Cross-check before timing: the replica and the scheduler agree on
+    // the flood's result and round count, so they do equivalent work.
+    for g in [&g96, &g256] {
+        let cfg = Config::for_graph(g);
+        let (stats, outputs) = flood(g, cfg);
+        let (replica_rounds, replica_best) = seed_replica_flood(g);
+        assert_eq!(outputs, replica_best, "flood outputs diverge from replica");
+        assert_eq!(stats.rounds, replica_rounds, "flood rounds diverge");
+        for shards in [2, 4] {
+            let (sharded_stats, sharded_outputs) = flood(g, cfg.with_shards(shards));
+            assert_eq!(sharded_stats, stats, "sharded stats diverge");
+            assert_eq!(sharded_outputs, outputs, "sharded outputs diverge");
+        }
+    }
+
+    let mut group = c.benchmark_group("scheduler_hot_loop");
+    group.sample_size(10);
+    for (n, g) in [(96usize, &g96), (256usize, &g256)] {
+        let cfg = Config::for_graph(g);
+        group.bench_with_input(BenchmarkId::new("seed_replica", n), g, |b, g| {
+            b.iter(|| black_box(seed_replica_flood(black_box(g))))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), g, |b, g| {
+            b.iter(|| black_box(flood(black_box(g), cfg)))
+        });
+        for shards in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded{shards}"), n),
+                g,
+                |b, g| b.iter(|| black_box(flood(black_box(g), cfg.with_shards(shards)))),
+            );
+        }
+    }
+    group.finish();
+
+    let samples = 30;
+    let cfg = Config::for_graph(&g96);
+    let mut seed_times = Vec::with_capacity(samples);
+    let mut new_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        black_box(seed_replica_flood(&g96));
+        seed_times.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        black_box(flood(&g96, cfg));
+        new_times.push(t.elapsed().as_secs_f64());
+    }
+    let seed_med = median(seed_times);
+    let new_med = median(new_times);
+    println!(
+        "scheduler hot loop: seed replica {:.1} µs, reworked sequential {:.1} µs \
+         ({:+.1}% vs seed)",
+        seed_med * 1e6,
+        new_med * 1e6,
+        (new_med / seed_med - 1.0) * 100.0
+    );
+    assert!(
+        new_med <= seed_med * 1.05,
+        "reworked sequential step() is {:.1}% slower than the seed hot loop (budget: 5%)",
+        (new_med / seed_med - 1.0) * 100.0
+    );
+}
+
 criterion_group!(
     benches,
     bench_girth,
     bench_source_detection,
-    bench_tracing_overhead
+    bench_tracing_overhead,
+    bench_scheduler_hot_loop
 );
 criterion_main!(benches);

@@ -24,7 +24,7 @@ fn main() {
     let mut ratios = Vec::new();
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, d) = bench::dialed_diameter_instance(n, target, 11);
-        let cfg = Config::for_graph(&g);
+        let cfg = Config::for_graph(&g).with_shards(bench::shards());
         let simple = mean(
             &(0..seeds)
                 .map(|s| {

@@ -30,7 +30,7 @@ fn main() {
         ),
     ];
     for (name, g) in families {
-        let cfg = Config::for_graph(&g);
+        let cfg = Config::for_graph(&g).with_shards(bench::shards());
         let root = NodeId::new(0);
         let ecc = graphs::metrics::eccentricity(&g, root).expect("connected");
         let out = classical::bfs::build(&g, root, cfg).expect("bfs");

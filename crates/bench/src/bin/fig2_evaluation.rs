@@ -24,7 +24,7 @@ fn main() {
     let mut n_rows = Vec::new();
     for &n in &[64usize, 128, 256, 512].map(|n| n * scale) {
         let g = graphs::generators::random_sparse(n, 8.0, 5);
-        let cfg = Config::for_graph(&g);
+        let cfg = Config::for_graph(&g).with_shards(bench::shards());
         let b = classical::bfs::build(&g, NodeId::new(0), cfg).expect("bfs");
         let tree = TreeView::from(&b);
         let d = b.depth;
@@ -92,7 +92,7 @@ fn main() {
     let mut d_rows = Vec::new();
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, _) = bench::dialed_diameter_instance(n, target, 3);
-        let cfg = Config::for_graph(&g);
+        let cfg = Config::for_graph(&g).with_shards(bench::shards());
         let b = classical::bfs::build(&g, NodeId::new(0), cfg).expect("bfs");
         let tree = TreeView::from(&b);
         let run = evaluation::run_figure2(&g, &tree, b.depth, NodeId::new(1), cfg).unwrap();

@@ -11,7 +11,7 @@ fn main() {
     let scale = scale();
     let n = 512 * scale;
     let g = graphs::generators::random_sparse(n, 8.0, 9);
-    let cfg = Config::for_graph(&g);
+    let cfg = Config::for_graph(&g).with_shards(bench::shards());
     let d = graphs::metrics::diameter(&g).expect("connected");
 
     rule("Figure 3: phase costs across the cluster-size sweep");

@@ -77,7 +77,7 @@ fn main() {
         let sg = red.build_layered(&x, &y);
         let partition = Partition::for_stretched(&sg);
         assert!(partition.is_layered(&sg.inner.graph));
-        let cfg = Config::for_graph(&sg.inner.graph);
+        let cfg = Config::for_graph(&sg.inner.graph).with_shards(bench::shards());
         // Run a real protocol (min-id flood) with the boundary meter.
         let mut net = Network::new(&sg.inner.graph, cfg, |v| Probe { best: u32::from(v) });
         let meter = attach_cut_meter(&mut net, partition);

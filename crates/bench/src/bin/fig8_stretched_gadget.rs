@@ -58,7 +58,7 @@ fn main() {
             let red = StretchedReduction::new(base, d);
             let (x, y) = disj::random_instance(base.k(), disjoint, 7);
             let g = red.build(&x, &y);
-            let cfg = Config::for_graph(&g.graph);
+            let cfg = Config::for_graph(&g.graph).with_shards(bench::shards());
             let out = decide_disj_via_diameter(&red, &x, &y, 64, cfg).expect("pipeline");
             assert_eq!(out.answer, disjoint);
             println!(

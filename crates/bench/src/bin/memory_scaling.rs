@@ -20,7 +20,7 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &[64usize, 256, 1024, 4096].map(|n| n * scale) {
         let g = graphs::generators::random_sparse(n, 8.0, 2);
-        let cfg = Config::for_graph(&g);
+        let cfg = Config::for_graph(&g).with_shards(bench::shards());
         let run = exact::diameter(&g, ExactParams::new(0), cfg).expect("quantum");
         let log_n = (n as f64).log2();
         println!(

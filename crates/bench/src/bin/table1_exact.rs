@@ -95,7 +95,7 @@ fn main() {
     let mut d_rows = Vec::new();
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, d) = bench::dialed_diameter_instance(n, target, 7);
-        let cfg = Config::for_graph(&g);
+        let cfg = Config::for_graph(&g).with_shards(bench::shards());
         let c = classical::apsp::exact_diameter(&g, cfg)
             .expect("classical")
             .rounds() as f64;

@@ -63,11 +63,25 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
+/// Scheduler worker-shard count read from the `QD_SHARDS` environment
+/// variable (default 1 = sequential). Experiment binaries thread this into
+/// their [`Config`]s, so `QD_SHARDS=4 cargo run --release --bin fig1_bfs`
+/// runs every simulation sharded — results are byte-identical to the
+/// sequential scheduler, only the wall clock changes.
+pub fn shards() -> usize {
+    std::env::var("QD_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// A sweep instance: a sparse random network with roughly constant degree
-/// (so the diameter grows only logarithmically), plus its CONGEST config.
+/// (so the diameter grows only logarithmically), plus its CONGEST config
+/// (sharded per [`shards`]).
 pub fn sparse_instance(n: usize, seed: u64) -> (Graph, Config) {
     let g = graphs::generators::random_sparse(n, 8.0, seed);
-    let cfg = Config::for_graph(&g);
+    let cfg = Config::for_graph(&g).with_shards(shards());
     (g, cfg)
 }
 
@@ -164,6 +178,11 @@ mod tests {
     #[test]
     fn scale_defaults_to_one() {
         assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn shards_defaults_to_sequential() {
+        assert!(shards() >= 1);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`NodeProgram`] — the per-node state machine an algorithm implements.
 //! * [`Network`] — the synchronous scheduler: delivers messages, enforces or
 //!   tracks the per-edge bandwidth budget, detects quiescence, and collects
-//!   [`RunStats`].
+//!   [`RunStats`]. Rounds run allocation-free over double-buffered inbox
+//!   arenas; [`Config::with_shards`] opts into multi-threaded execution
+//!   with byte-identical results.
 //! * [`Payload`] — messages declare their size in bits; the [`bits`] module
 //!   has helpers for honest field sizes.
 //! * [`RoundsLedger`] — accumulates round/bit accounting across the phases of

@@ -26,11 +26,13 @@ pub enum BandwidthPolicy {
 /// let g = generators::cycle(64);
 /// let cfg = Config::for_graph(&g).with_policy(BandwidthPolicy::Track);
 /// assert!(cfg.bandwidth_bits() >= 4 * 6);
+/// assert_eq!(cfg.shards(), 1);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Config {
     bandwidth_bits: usize,
     policy: BandwidthPolicy,
+    shards: usize,
 }
 
 impl Config {
@@ -40,6 +42,7 @@ impl Config {
         Config {
             bandwidth_bits,
             policy: BandwidthPolicy::Enforce,
+            shards: 1,
         }
     }
 
@@ -62,6 +65,17 @@ impl Config {
         self
     }
 
+    /// Opts into sharded execution: node programs run on `shards` worker
+    /// threads per round (scoped threads, partitioned by contiguous node-id
+    /// ranges). Validation, accounting, delivery, and trace emission stay
+    /// sequential in node-id order, so a sharded run produces **byte
+    /// identical** outputs, [`RunStats`], and trace streams to the
+    /// sequential scheduler. Values below 1 are clamped to 1 (sequential).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// The per-edge per-round budget in bits.
     pub fn bandwidth_bits(&self) -> usize {
         self.bandwidth_bits
@@ -70,6 +84,11 @@ impl Config {
     /// The configured bandwidth policy.
     pub fn policy(&self) -> BandwidthPolicy {
         self.policy
+    }
+
+    /// The configured worker-shard count (1 = sequential execution).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 }
 
@@ -106,10 +125,30 @@ pub type MessageObserver = Box<dyn FnMut(Round, NodeId, NodeId, usize)>;
 
 /// The synchronous CONGEST scheduler.
 ///
-/// Holds one [`NodeProgram`] instance per node and executes rounds: deliver
-/// the previous round's messages, run every node, validate and queue the new
-/// messages. Node iteration order is fixed (by id) and programs receive
-/// sorted inboxes, so runs are fully deterministic.
+/// Holds one [`NodeProgram`] instance per node and executes rounds in four
+/// phases:
+///
+/// 1. **flip** — the double-buffered inbox arenas swap: messages staged last
+///    round become this round's inboxes, and last round's (drained) buffers
+///    become the staging arena. No per-round allocation after warm-up.
+/// 2. **execute** — every program runs against its inbox and stages an
+///    outbox into a per-node scratch buffer. With
+///    [`Config::with_shards`]` > 1` this phase fans out across scoped
+///    worker threads (contiguous node-id ranges); trace events emitted by
+///    programs on worker threads are captured per shard and replayed in
+///    node-id order.
+/// 3. **validate** — every staged outbox is checked (neighbor, one message
+///    per directed edge per round, bandwidth under
+///    [`BandwidthPolicy::Enforce`]) *before any effect commits*: a failed
+///    `step()` leaves [`RunStats`], the round counter, and the next round's
+///    inboxes untouched.
+/// 4. **commit** — sequential in node-id order regardless of shard count:
+///    statistics, observers, trace events, and delivery into the next
+///    round's inboxes.
+///
+/// Node iteration order is fixed (by id) and inboxes arrive sorted by
+/// sender id (an invariant the scheduler `debug_assert!`s), so runs are
+/// fully deterministic and shard-count independent.
 ///
 /// See the [crate-level example](crate).
 pub struct Network<'g, P: NodeProgram> {
@@ -119,6 +158,18 @@ pub struct Network<'g, P: NodeProgram> {
     statuses: Vec<Status>,
     /// Messages to be delivered at the start of the next round.
     inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Recycled inbox buffers (the other half of the double buffer): after
+    /// the flip they hold the current round's inboxes; they are drained and
+    /// cleared — capacity retained — when the round commits.
+    arena: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Per-node staged outboxes, reused across rounds.
+    staged: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Epoch-stamped duplicate-send marks, one slot per destination node.
+    /// `seen[to] == seen_epoch` means the sender currently being validated
+    /// already sent to `to` this round — an O(1) check replacing the seed
+    /// scheduler's O(deg²) scan.
+    seen: Vec<u64>,
+    seen_epoch: u64,
     in_flight: usize,
     round: Round,
     stats: RunStats,
@@ -133,11 +184,16 @@ impl<'g, P: NodeProgram> Network<'g, P> {
     /// node with `make`.
     pub fn new(graph: &'g Graph, config: Config, mut make: impl FnMut(NodeId) -> P) -> Self {
         let programs: Vec<P> = graph.nodes().map(&mut make).collect();
+        let n = programs.len();
         Network {
             graph,
             config,
-            statuses: vec![Status::Active; programs.len()],
-            inboxes: vec![Vec::new(); programs.len()],
+            statuses: vec![Status::Active; n],
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            arena: (0..n).map(|_| Vec::new()).collect(),
+            staged: (0..n).map(|_| Vec::new()).collect(),
+            seen: vec![0; n],
+            seen_epoch: 0,
             in_flight: 0,
             round: 0,
             programs,
@@ -178,68 +234,99 @@ impl<'g, P: NodeProgram> Network<'g, P> {
         self.in_flight == 0 && self.statuses.iter().all(|&s| s == Status::Halted)
     }
 
+    /// Consumes the network and extracts every node's local output, in node
+    /// id order.
+    pub fn into_outputs(self) -> Vec<P::Output> {
+        self.programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.finish(NodeId::new(i)))
+            .collect()
+    }
+}
+
+impl<'g, P> Network<'g, P>
+where
+    P: NodeProgram + Send,
+    P::Msg: Send + Sync,
+{
     /// Executes a single round.
     ///
     /// # Errors
     ///
     /// Returns an error on invalid sends, or on over-budget messages under
-    /// [`BandwidthPolicy::Enforce`].
-    #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
+    /// [`BandwidthPolicy::Enforce`]. A failed `step()` commits nothing: the
+    /// round counter, [`RunStats`], and the next round's inboxes are left
+    /// exactly as they were before the call (program state is not rolled
+    /// back — an errored network should be discarded, not resumed).
     pub fn step(&mut self) -> Result<(), CongestError> {
         let n = self.programs.len();
         let round = self.round;
         // Fetched once per round, not once per message; `None` (the
         // default) keeps the message loop free of tracing work.
         let tracer = trace::current();
-        let mut sent_this_round: u64 = 0;
-        // Take this round's inboxes; outgoing messages are staged into the
-        // next round's inboxes after validation.
-        let mut inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
-        self.in_flight = 0;
+        // Everything staged last round is handed to the programs now, so
+        // this round delivers exactly the previously in-flight messages.
+        let delivered = self.in_flight as u64;
+
+        // Phase 1: flip the double buffer. `arena` now holds this round's
+        // inboxes; `inboxes` holds the cleared buffers staging the next
+        // round's traffic.
+        std::mem::swap(&mut self.inboxes, &mut self.arena);
+
+        // Phase 2: execute every program, staging outboxes.
+        let shards = self.config.shards.clamp(1, n.max(1));
+        if shards > 1 {
+            self.execute_sharded(round, shards, &tracer);
+        } else {
+            run_chunk(ChunkCtx {
+                graph: self.graph,
+                round,
+                num_nodes: n,
+                base: 0,
+                inboxes: &self.arena,
+                programs: &mut self.programs,
+                statuses: &mut self.statuses,
+                staged: &mut self.staged,
+            });
+        }
+
+        // Phase 3: validate every staged outbox before committing any
+        // effect, so an error leaves the accounting of this round as if the
+        // step never ran.
+        if let Err(e) = self.validate_staged(round) {
+            for buf in &mut self.staged {
+                buf.clear();
+            }
+            for buf in &mut self.arena {
+                buf.clear();
+            }
+            return Err(e);
+        }
+
+        // Phase 4: commit, sequentially in node-id order (this is what
+        // keeps sharded runs byte-identical to sequential ones). Inboxes
+        // are filled in ascending sender order — the invariant behind the
+        // sorted-inbox contract of `NodeProgram::on_round`.
+        let budget = self.config.bandwidth_bits;
+        let mut staged_count = 0usize;
         for i in 0..n {
             let node = NodeId::new(i);
-            let mut inbox = std::mem::take(&mut inboxes[i]);
-            inbox.sort_by_key(|&(from, _)| from);
-            let mut ctx = RoundCtx::new(node, round, n, self.graph.neighbors(node), &inbox);
-            self.statuses[i] = self.programs[i].on_round(&mut ctx);
-            let outbox = ctx.into_outbox();
-            let mut sent_to: Vec<NodeId> = Vec::with_capacity(outbox.len());
-            for (to, msg) in outbox {
-                if !self.graph.has_edge(node, to) {
-                    return Err(CongestError::NotANeighbor { from: node, to });
-                }
-                if sent_to.contains(&to) {
-                    return Err(CongestError::DuplicateSend {
-                        from: node,
-                        to,
-                        round,
-                    });
-                }
-                sent_to.push(to);
+            let mut outbox = std::mem::take(&mut self.staged[i]);
+            for (to, msg) in outbox.drain(..) {
                 let bits = msg.size_bits();
-                if bits > self.config.bandwidth_bits {
-                    match self.config.policy {
-                        BandwidthPolicy::Enforce => {
-                            return Err(CongestError::BandwidthExceeded {
-                                from: node,
-                                to,
-                                round,
-                                bits,
-                                budget: self.config.bandwidth_bits,
-                            });
-                        }
-                        BandwidthPolicy::Track => {
-                            self.stats.bandwidth_violations += 1;
-                            if let Some(sink) = &tracer {
-                                sink.borrow_mut().record(&trace::TraceEvent::Violation {
-                                    round,
-                                    from: node.index() as u64,
-                                    to: to.index() as u64,
-                                    bits: bits as u64,
-                                    budget: self.config.bandwidth_bits as u64,
-                                });
-                            }
-                        }
+                if bits > budget {
+                    // `Enforce` was rejected during validation, so an
+                    // over-budget message here is tracked, not fatal.
+                    self.stats.bandwidth_violations += 1;
+                    if let Some(sink) = &tracer {
+                        sink.borrow_mut().record(&trace::TraceEvent::Violation {
+                            round,
+                            from: node.index() as u64,
+                            to: to.index() as u64,
+                            bits: bits as u64,
+                            budget: budget as u64,
+                        });
                     }
                 }
                 self.stats.messages += 1;
@@ -249,7 +336,6 @@ impl<'g, P: NodeProgram> Network<'g, P> {
                     observer(round, node, to, bits);
                 }
                 if let Some(sink) = &tracer {
-                    sent_this_round += 1;
                     sink.borrow_mut().record(&trace::TraceEvent::Message {
                         round,
                         from: node.index() as u64,
@@ -258,16 +344,129 @@ impl<'g, P: NodeProgram> Network<'g, P> {
                     });
                 }
                 self.inboxes[to.index()].push((node, msg));
-                self.in_flight += 1;
+                staged_count += 1;
             }
+            self.staged[i] = outbox;
         }
+        self.in_flight = staged_count;
+
+        // Phase 5: recycle this round's drained inboxes (capacity kept).
+        for buf in &mut self.arena {
+            buf.clear();
+        }
+
         self.round += 1;
         self.stats.rounds = self.round;
         if let Some(sink) = &tracer {
-            sink.borrow_mut().record(&trace::TraceEvent::Round {
+            sink.borrow_mut()
+                .record(&trace::TraceEvent::Round { round, delivered });
+        }
+        Ok(())
+    }
+
+    /// Runs the execute phase across `shards` scoped worker threads. The
+    /// first chunk runs on the calling thread (with the caller's trace sink
+    /// still installed); events emitted by programs on worker threads are
+    /// captured per shard and replayed to `tracer` in shard (= node-id)
+    /// order, so the stream is identical to a sequential run.
+    fn execute_sharded(&mut self, round: Round, shards: usize, tracer: &Option<trace::SharedSink>) {
+        let n = self.programs.len();
+        let chunk_len = n.div_ceil(shards);
+        let graph = self.graph;
+        let inboxes = &self.arena;
+        let capture = tracer.is_some();
+        let (head_p, mut rest_p) = self.programs.split_at_mut(chunk_len);
+        let (head_s, mut rest_s) = self.statuses.split_at_mut(chunk_len);
+        let (head_o, mut rest_o) = self.staged.split_at_mut(chunk_len);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards - 1);
+            let mut base = chunk_len;
+            while !rest_p.is_empty() {
+                let take = chunk_len.min(rest_p.len());
+                let (p, pr) = rest_p.split_at_mut(take);
+                let (s, sr) = rest_s.split_at_mut(take);
+                let (o, or) = rest_o.split_at_mut(take);
+                rest_p = pr;
+                rest_s = sr;
+                rest_o = or;
+                let start = base;
+                base += take;
+                handles.push(scope.spawn(move || {
+                    let recorder = capture.then(trace::Recorder::shared);
+                    let _guard = recorder.clone().map(|r| trace::install(r));
+                    run_chunk(ChunkCtx {
+                        graph,
+                        round,
+                        num_nodes: n,
+                        base: start,
+                        inboxes,
+                        programs: p,
+                        statuses: s,
+                        staged: o,
+                    });
+                    recorder.map_or_else(Vec::new, |r| r.borrow_mut().take())
+                }));
+            }
+            // The first chunk runs here, concurrently with the workers; its
+            // trace events flow straight to the installed sink, which is
+            // exactly their sequential position (lowest node ids first).
+            run_chunk(ChunkCtx {
+                graph,
                 round,
-                delivered: sent_this_round,
+                num_nodes: n,
+                base: 0,
+                inboxes,
+                programs: head_p,
+                statuses: head_s,
+                staged: head_o,
             });
+            for handle in handles {
+                let events = match handle.join() {
+                    Ok(events) => events,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                };
+                if let Some(sink) = tracer {
+                    let mut sink = sink.borrow_mut();
+                    for event in &events {
+                        sink.record(event);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Checks every staged outbox (neighbor, duplicate-send, bandwidth
+    /// under `Enforce`) without committing anything.
+    fn validate_staged(&mut self, round: Round) -> Result<(), CongestError> {
+        for (i, outbox) in self.staged.iter().enumerate() {
+            let node = NodeId::new(i);
+            self.seen_epoch += 1;
+            for &(to, ref msg) in outbox {
+                if !self.graph.has_edge(node, to) {
+                    return Err(CongestError::NotANeighbor { from: node, to });
+                }
+                let slot = &mut self.seen[to.index()];
+                if *slot == self.seen_epoch {
+                    return Err(CongestError::DuplicateSend {
+                        from: node,
+                        to,
+                        round,
+                    });
+                }
+                *slot = self.seen_epoch;
+                if self.config.policy == BandwidthPolicy::Enforce {
+                    let bits = msg.size_bits();
+                    if bits > self.config.bandwidth_bits {
+                        return Err(CongestError::BandwidthExceeded {
+                            from: node,
+                            to,
+                            round,
+                            bits,
+                            budget: self.config.bandwidth_bits,
+                        });
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -300,15 +499,62 @@ impl<'g, P: NodeProgram> Network<'g, P> {
         }
         Ok(self.stats)
     }
+}
 
-    /// Consumes the network and extracts every node's local output, in node
-    /// id order.
-    pub fn into_outputs(self) -> Vec<P::Output> {
-        self.programs
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| p.finish(NodeId::new(i)))
-            .collect()
+/// Everything one execute-phase chunk needs: the shared round inputs plus
+/// this chunk's disjoint mutable slices (`base` is the node id of the first
+/// element of each slice).
+struct ChunkCtx<'a, 'g, P: NodeProgram> {
+    graph: &'g Graph,
+    round: Round,
+    num_nodes: usize,
+    base: usize,
+    inboxes: &'a [Vec<(NodeId, P::Msg)>],
+    programs: &'a mut [P],
+    statuses: &'a mut [Status],
+    staged: &'a mut [Vec<(NodeId, P::Msg)>],
+}
+
+/// Runs the execute phase for one contiguous chunk of nodes: hand each
+/// program its inbox, collect its outbox into the reusable staging buffer.
+fn run_chunk<P: NodeProgram>(ctx: ChunkCtx<'_, '_, P>) {
+    let ChunkCtx {
+        graph,
+        round,
+        num_nodes,
+        base,
+        inboxes,
+        programs,
+        statuses,
+        staged,
+    } = ctx;
+    for (j, ((program, status), out)) in programs
+        .iter_mut()
+        .zip(statuses.iter_mut())
+        .zip(staged.iter_mut())
+        .enumerate()
+    {
+        let i = base + j;
+        let node = NodeId::new(i);
+        let inbox = &inboxes[i];
+        // The commit phase fills inboxes in ascending sender order with at
+        // most one message per directed edge; programs rely on this (see
+        // `NodeProgram::on_round`), so enforce it where a future scheduler
+        // change would first break it.
+        debug_assert!(
+            inbox.windows(2).all(|w| w[0].0 < w[1].0),
+            "inbox of {node} is not strictly sorted by sender id"
+        );
+        let mut ctx = RoundCtx::new(
+            node,
+            round,
+            num_nodes,
+            graph.neighbors(node),
+            inbox,
+            std::mem::take(out),
+        );
+        *status = program.on_round(&mut ctx);
+        *out = ctx.into_outbox();
     }
 }
 
@@ -325,7 +571,7 @@ impl<P: NodeProgram> std::fmt::Debug for Network<'_, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Payload;
+    use crate::{bits, Payload};
     use graphs::generators;
 
     /// Test message with an explicit size.
@@ -377,6 +623,50 @@ mod tests {
         })
     }
 
+    /// Everyone floods the minimum id they have seen.
+    #[derive(Clone, Debug)]
+    struct Id(u32, usize);
+    impl Payload for Id {
+        fn size_bits(&self) -> usize {
+            bits::for_node(self.1)
+        }
+    }
+    struct MinId {
+        best: u32,
+    }
+    impl NodeProgram for MinId {
+        type Msg = Id;
+        type Output = u32;
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Id>) -> Status {
+            let mut improved = ctx.round() == 0;
+            for &(_, Id(v, _)) in ctx.inbox() {
+                if v < self.best {
+                    self.best = v;
+                    improved = true;
+                }
+            }
+            if improved {
+                ctx.broadcast(Id(self.best, ctx.num_nodes()));
+            }
+            Status::Halted
+        }
+        fn finish(self, _node: NodeId) -> u32 {
+            self.best
+        }
+    }
+
+    fn min_id_run(g: &Graph, cfg: Config) -> (RunStats, Vec<u32>, Vec<trace::TraceEvent>) {
+        let recorder = trace::Recorder::shared();
+        let (stats, outputs) = {
+            let _guard = trace::install(recorder.clone());
+            let mut net = Network::new(g, cfg, |v| MinId { best: u32::from(v) });
+            let stats = net.run_until_quiescent(1000).unwrap();
+            (stats, net.into_outputs())
+        };
+        let events = recorder.borrow_mut().take();
+        (stats, outputs, events)
+    }
+
     #[test]
     fn bandwidth_enforced() {
         let g = generators::path(3);
@@ -421,6 +711,54 @@ mod tests {
         let mut net = one_shot_net(&g, 1, false, true, BandwidthPolicy::Enforce);
         let err = net.run_until_quiescent(10).unwrap_err();
         assert!(matches!(err, CongestError::DuplicateSend { .. }));
+    }
+
+    /// Regression (round accounting bugfix): a failed `step()` must leave
+    /// `stats()` and `round()` exactly as they were — the seed scheduler
+    /// committed the effects of every outbox it had processed before the
+    /// offending message.
+    #[test]
+    fn failed_step_leaves_accounting_unchanged() {
+        /// Node 0 sends a valid message; node 2 then misbehaves.
+        struct GoodThenBad {
+            bad_bits: usize,
+            duplicate: bool,
+        }
+        impl NodeProgram for GoodThenBad {
+            type Msg = Sized;
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
+                if ctx.round() == 0 {
+                    if ctx.node() == NodeId::new(0) {
+                        ctx.send(NodeId::new(1), Sized(8));
+                    }
+                    if ctx.node() == NodeId::new(2) {
+                        ctx.send(NodeId::new(1), Sized(self.bad_bits));
+                        if self.duplicate {
+                            ctx.send(NodeId::new(1), Sized(self.bad_bits));
+                        }
+                    }
+                }
+                Status::Halted
+            }
+            fn finish(self, _node: NodeId) {}
+        }
+        let g = generators::path(3);
+        for (bad_bits, duplicate) in [(17, false), (8, true)] {
+            let mut net = Network::new(&g, Config::new(16), move |_| GoodThenBad {
+                bad_bits,
+                duplicate,
+            });
+            let before = *net.stats();
+            let err = net.step().unwrap_err();
+            if duplicate {
+                assert!(matches!(err, CongestError::DuplicateSend { .. }));
+            } else {
+                assert!(matches!(err, CongestError::BandwidthExceeded { .. }));
+            }
+            assert_eq!(*net.stats(), before, "failed step mutated stats");
+            assert_eq!(net.round(), 0, "failed step advanced the round");
+        }
     }
 
     #[test]
@@ -491,8 +829,9 @@ mod tests {
     }
 
     /// With a sink installed, the scheduler emits one `Message` event per
-    /// delivered message, a `Violation` per tracked overflow, and one
-    /// `Round` tick per executed round.
+    /// sent message, a `Violation` per tracked overflow, and one `Round`
+    /// tick per executed round carrying the number of messages *delivered*
+    /// at the start of that round (i.e. staged during the previous round).
     #[test]
     fn tracing_captures_messages_rounds_and_violations() {
         let g = generators::path(3);
@@ -519,13 +858,15 @@ mod tests {
                     to: 1,
                     bits: 17
                 },
+                // Round 0 delivers nothing: node 0's message is only staged
+                // during it. Round 1 delivers it.
                 trace::TraceEvent::Round {
                     round: 0,
-                    delivered: 1
+                    delivered: 0
                 },
                 trace::TraceEvent::Round {
                     round: 1,
-                    delivered: 0
+                    delivered: 1
                 },
             ]
         );
@@ -535,42 +876,52 @@ mod tests {
         assert!(recorder.borrow().events().is_empty());
     }
 
+    /// Regression (round accounting bugfix): `Round { delivered }` counts
+    /// messages drained from inboxes at the start of the round, so the sum
+    /// of `delivered` over a quiescent run equals the messages sent — the
+    /// seed scheduler attributed staged traffic to the staging round
+    /// instead.
+    #[test]
+    fn round_ticks_count_actual_deliveries() {
+        let g = generators::path(4);
+        let recorder = trace::Recorder::shared();
+        let stats = {
+            let _guard = trace::install(recorder.clone());
+            let mut net = Network::new(&g, Config::for_graph(&g), |v| MinId { best: u32::from(v) });
+            net.run_until_quiescent(100).unwrap()
+        };
+        let events = recorder.borrow_mut().take();
+        let mut delivered_by_round = Vec::new();
+        let mut sent_by_round = Vec::new();
+        for event in &events {
+            match *event {
+                trace::TraceEvent::Round { round, delivered } => {
+                    assert_eq!(round, delivered_by_round.len() as u64);
+                    delivered_by_round.push(delivered);
+                }
+                trace::TraceEvent::Message { round, .. } => {
+                    sent_by_round.resize(round as usize + 1, 0u64);
+                    sent_by_round[round as usize] += 1;
+                }
+                _ => {}
+            }
+        }
+        // Nothing can be delivered in round 0, and every round's deliveries
+        // are exactly the previous round's sends.
+        assert_eq!(delivered_by_round[0], 0);
+        for (r, &delivered) in delivered_by_round.iter().enumerate().skip(1) {
+            assert_eq!(
+                delivered,
+                sent_by_round.get(r - 1).copied().unwrap_or(0),
+                "round {r}"
+            );
+        }
+        assert_eq!(delivered_by_round.iter().sum::<u64>(), stats.messages);
+    }
+
     /// Deterministic replay: two identical runs produce identical stats.
     #[test]
     fn runs_are_deterministic() {
-        use crate::bits;
-
-        #[derive(Clone, Debug)]
-        struct Id(u32, usize);
-        impl Payload for Id {
-            fn size_bits(&self) -> usize {
-                bits::for_node(self.1)
-            }
-        }
-        /// Everyone floods the minimum id they have seen.
-        struct MinId {
-            best: u32,
-        }
-        impl NodeProgram for MinId {
-            type Msg = Id;
-            type Output = u32;
-            fn on_round(&mut self, ctx: &mut RoundCtx<'_, Id>) -> Status {
-                let mut improved = ctx.round() == 0;
-                for &(_, Id(v, _)) in ctx.inbox() {
-                    if v < self.best {
-                        self.best = v;
-                        improved = true;
-                    }
-                }
-                if improved {
-                    ctx.broadcast(Id(self.best, ctx.num_nodes()));
-                }
-                Status::Halted
-            }
-            fn finish(self, _node: NodeId) -> u32 {
-                self.best
-            }
-        }
         let g = generators::random_connected(24, 0.15, 3);
         let run = || {
             let mut net = Network::new(&g, Config::for_graph(&g), |v| MinId { best: u32::from(v) });
@@ -582,5 +933,27 @@ mod tests {
         assert_eq!(s1, s2);
         assert_eq!(o1, o2);
         assert!(o1.iter().all(|&b| b == 0), "min-id flood converged to 0");
+    }
+
+    /// The determinism contract across shard counts: outputs, stats, and
+    /// the full trace stream are byte-identical to the sequential run.
+    #[test]
+    fn sharded_runs_match_sequential() {
+        let g = generators::random_connected(25, 0.15, 7);
+        let cfg = Config::for_graph(&g);
+        let (stats1, out1, events1) = min_id_run(&g, cfg);
+        for shards in [2, 3, 4, 7, 25, 64] {
+            let (stats_k, out_k, events_k) = min_id_run(&g, cfg.with_shards(shards));
+            assert_eq!(stats_k, stats1, "stats diverged at {shards} shards");
+            assert_eq!(out_k, out1, "outputs diverged at {shards} shards");
+            assert_eq!(events_k, events1, "trace diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn with_shards_clamps_to_sequential() {
+        let cfg = Config::new(16).with_shards(0);
+        assert_eq!(cfg.shards(), 1);
+        assert_eq!(Config::new(16).with_shards(5).shards(), 5);
     }
 }

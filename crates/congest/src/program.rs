@@ -30,20 +30,25 @@ pub struct RoundCtx<'a, M: Payload> {
 }
 
 impl<'a, M: Payload> RoundCtx<'a, M> {
+    /// `outbox` is a recycled staging buffer owned by the scheduler: handed
+    /// in empty (capacity retained across rounds) and reclaimed via
+    /// [`RoundCtx::into_outbox`], so steady-state rounds allocate nothing.
     pub(crate) fn new(
         node: NodeId,
         round: Round,
         num_nodes: usize,
         neighbors: &'a [NodeId],
         inbox: &'a [(NodeId, M)],
+        outbox: Vec<(NodeId, M)>,
     ) -> Self {
+        debug_assert!(outbox.is_empty(), "staging buffer handed in non-empty");
         RoundCtx {
             node,
             round,
             num_nodes,
             neighbors,
             inbox,
-            outbox: Vec::new(),
+            outbox,
         }
     }
 
@@ -72,8 +77,10 @@ impl<'a, M: Payload> RoundCtx<'a, M> {
         self.neighbors.len()
     }
 
-    /// Messages received this round, as `(sender, message)` pairs sorted by
-    /// sender id.
+    /// Messages received this round, as `(sender, message)` pairs strictly
+    /// sorted by sender id (at most one message per directed edge per
+    /// round — see [`NodeProgram::on_round`](crate::NodeProgram::on_round)
+    /// for why programs may rely on this).
     pub fn inbox(&self) -> &[(NodeId, M)] {
         self.inbox
     }
@@ -124,6 +131,16 @@ pub trait NodeProgram: Sized {
     type Output;
 
     /// Executes one synchronous round at this node.
+    ///
+    /// # Inbox ordering invariant
+    ///
+    /// [`RoundCtx::inbox`] is **strictly sorted by sender id**, with at most
+    /// one message per directed edge per round. This is load-bearing, not
+    /// cosmetic: deterministic tie-breaks such as the "smallest-id
+    /// activator" rule in the BFS program rely on iterating senders in
+    /// ascending order. The scheduler guarantees the invariant for every
+    /// execution mode (sequential and sharded) and `debug_assert!`s it each
+    /// round before handing over the inbox.
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> Status;
 
     /// Consumes the program and returns the node's local output.
@@ -138,7 +155,7 @@ mod tests {
     fn ctx_send_and_broadcast_fill_outbox() {
         let neighbors = [NodeId::new(1), NodeId::new(2)];
         let inbox: Vec<(NodeId, bool)> = vec![(NodeId::new(1), true)];
-        let mut ctx = RoundCtx::new(NodeId::new(0), 3, 5, &neighbors, &inbox);
+        let mut ctx = RoundCtx::new(NodeId::new(0), 3, 5, &neighbors, &inbox, Vec::new());
         assert_eq!(ctx.node(), NodeId::new(0));
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.num_nodes(), 5);

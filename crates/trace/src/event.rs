@@ -30,15 +30,19 @@ pub enum TraceEvent {
     /// One synchronous round completed on a network, delivering `delivered`
     /// messages.
     Round {
-        /// Round index within the current network execution (1-based,
-        /// matching `RunStats::rounds` after the step).
+        /// Round index within the current network execution, counted from 0
+        /// (the event for round `r` is emitted as `RunStats::rounds` becomes
+        /// `r + 1`).
         round: u64,
-        /// Messages delivered during this round.
+        /// Messages actually delivered at the start of this round, i.e. the
+        /// messages staged during round `round - 1` and drained from the
+        /// inboxes when this round began. Round 0 always delivers 0.
         delivered: u64,
     },
     /// One message crossed an edge.
     Message {
-        /// Round in which the message was delivered.
+        /// Round in which the message was *sent*; it is delivered at the
+        /// start of round `round + 1`.
         round: u64,
         /// Sending node id.
         from: u64,

@@ -43,6 +43,10 @@ pub struct Summary {
     pub events: u64,
     /// Round ticks seen (`Round` events).
     pub round_ticks: u64,
+    /// Sum of `Round::delivered` over all round ticks — messages drained
+    /// from inboxes at round starts. At most `messages_delivered` (sent
+    /// messages still in flight when a run ends are never drained).
+    pub round_deliveries: u64,
     /// Messages delivered (`Message` events).
     pub messages_delivered: u64,
     /// Total payload bits delivered.
@@ -157,7 +161,10 @@ impl TraceSink for Summary {
     fn record(&mut self, event: &TraceEvent) {
         self.events += 1;
         match event {
-            TraceEvent::Round { .. } => self.round_ticks += 1,
+            TraceEvent::Round { delivered, .. } => {
+                self.round_ticks += 1;
+                self.round_deliveries += delivered;
+            }
             TraceEvent::Message { from, to, bits, .. } => {
                 self.messages_delivered += 1;
                 self.bits_delivered += bits;
@@ -386,6 +393,7 @@ mod tests {
         let summary = Summary::from_events(&events);
         assert_eq!(summary.events, events.len() as u64);
         assert_eq!(summary.round_ticks, 1);
+        assert_eq!(summary.round_deliveries, 2);
         assert_eq!(summary.messages_delivered, 3);
         assert_eq!(summary.bits_delivered, 20);
         assert_eq!(summary.violations, 1);

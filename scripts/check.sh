@@ -27,6 +27,14 @@ cargo test -q --offline || status=1
 echo "=== workspace tests ==="
 cargo test -q --offline --workspace || status=1
 
+echo "=== shard equivalence (QD_TEST_SHARDS=4) ==="
+QD_TEST_SHARDS=4 cargo test -q --offline -p congest-diameter --test property sharded || status=1
+
+echo "=== scheduler_hot_loop bench smoke (sequential <5% overhead gate) ==="
+# The vendored criterion stub runs every group once in --test mode; the
+# Instant-based gates (tracing_overhead, scheduler_hot_loop) always run.
+cargo bench -q --offline -p bench --bench bench_substrate -- --test || status=1
+
 if [ "$status" -ne 0 ]; then
   echo "CHECK FAILED" >&2
   exit 1

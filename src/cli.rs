@@ -114,6 +114,8 @@ pub struct Options {
     pub verbose: bool,
     /// Write a JSONL event trace of the run to this path.
     pub trace: Option<String>,
+    /// Worker shards for the simulator's execute phase (1 = sequential).
+    pub shards: usize,
 }
 
 impl Default for Options {
@@ -130,6 +132,7 @@ impl Default for Options {
             file: None,
             verbose: false,
             trace: None,
+            shards: 1,
         }
     }
 }
@@ -165,6 +168,8 @@ OPTIONS:
   --s S        cluster-size override for the approximations
   --delta D    quantum failure probability (default: 0.01)
   --trace PATH write a JSONL event trace of the run to PATH
+  --shards K   run node programs on K worker threads per round (default: 1);
+               results are byte-identical to the sequential scheduler
   --verbose    print per-phase round ledgers
   --help       this message
 ";
@@ -243,6 +248,14 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--file" => opts.file = Some(value("--file")?.clone()),
             "--trace" => opts.trace = Some(value("--trace")?.clone()),
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be positive".into());
+                }
+            }
             "--verbose" => opts.verbose = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -349,7 +362,7 @@ pub fn trace_summary(path: &str) -> Result<String, String> {
 
 fn run_report(opts: &Options) -> Result<String, String> {
     let g = build_graph(opts)?;
-    let cfg = Config::for_graph(&g);
+    let cfg = Config::for_graph(&g).with_shards(opts.shards);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -481,7 +494,7 @@ mod tests {
         let o = parse(&args("exact")).unwrap();
         assert_eq!(o, Options::default());
         let o = parse(&args(
-            "approx --family cycle --n 64 --seed 9 --s 12 --delta 0.001 --verbose",
+            "approx --family cycle --n 64 --seed 9 --s 12 --delta 0.001 --shards 4 --verbose",
         ))
         .unwrap();
         assert_eq!(o.algorithm, Algorithm::Approx);
@@ -490,6 +503,7 @@ mod tests {
         assert_eq!(o.seed, 9);
         assert_eq!(o.s, Some(12));
         assert_eq!(o.delta, 0.001);
+        assert_eq!(o.shards, 4);
         assert!(o.verbose);
     }
 
@@ -501,7 +515,21 @@ mod tests {
         assert!(parse(&args("exact --n 0")).is_err());
         assert!(parse(&args("exact --delta 2")).is_err());
         assert!(parse(&args("exact --what 3")).is_err());
+        assert!(parse(&args("exact --shards 0")).is_err());
+        assert!(parse(&args("exact --shards some")).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    /// `--shards` is a throughput knob, never a semantics knob: every
+    /// algorithm's report is identical under sharded execution.
+    #[test]
+    fn sharded_reports_are_identical_to_sequential() {
+        for algo in ["exact", "classical", "classical-approx"] {
+            let base = format!("{algo} --family grid --n 25 --seed 3");
+            let sequential = run(&parse(&args(&base)).unwrap()).unwrap();
+            let sharded = run(&parse(&args(&format!("{base} --shards 3"))).unwrap()).unwrap();
+            assert_eq!(sequential, sharded, "{algo} diverged under --shards");
+        }
     }
 
     #[test]

@@ -242,6 +242,189 @@ proptest! {
     }
 }
 
+/// Shard counts exercised by the scheduler-equivalence properties, plus
+/// any extra count injected via `QD_TEST_SHARDS` (used by `check.sh`).
+fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![2usize, 4, 7];
+    if let Some(k) = std::env::var("QD_TEST_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if k >= 1 && !counts.contains(&k) {
+            counts.push(k);
+        }
+    }
+    counts
+}
+
+/// Min-id flood: the message-heavy scheduler workload (every node floods
+/// the smallest id it has seen until quiescence).
+#[derive(Clone, Debug)]
+struct IdMsg(u32, usize);
+impl congest::Payload for IdMsg {
+    fn size_bits(&self) -> usize {
+        congest::bits::for_node(self.1)
+    }
+}
+struct MinIdFlood {
+    best: u32,
+}
+impl congest::NodeProgram for MinIdFlood {
+    type Msg = IdMsg;
+    type Output = u32;
+    fn on_round(&mut self, ctx: &mut congest::RoundCtx<'_, IdMsg>) -> congest::Status {
+        let mut improved = ctx.round() == 0;
+        for &(_, IdMsg(v, _)) in ctx.inbox() {
+            if v < self.best {
+                self.best = v;
+                improved = true;
+            }
+        }
+        if improved {
+            ctx.broadcast(IdMsg(self.best, ctx.num_nodes()));
+        }
+        congest::Status::Halted
+    }
+    fn finish(self, _node: NodeId) -> u32 {
+        self.best
+    }
+}
+
+/// Runs the flood under `cfg` with a recorder installed, returning
+/// everything the determinism contract covers: outputs, stats, and the
+/// full trace event stream.
+fn flood_run(g: &Graph, cfg: Config) -> (RunStats, Vec<u32>, Vec<trace::TraceEvent>) {
+    let recorder = trace::Recorder::shared();
+    let (stats, outputs) = {
+        let _guard = trace::install(recorder.clone());
+        let mut net = congest::Network::new(g, cfg, |v| MinIdFlood { best: u32::from(v) });
+        let stats = net.run_until_quiescent(100_000).unwrap();
+        (stats, net.into_outputs())
+    };
+    let events = recorder.borrow_mut().take();
+    (stats, outputs, events)
+}
+
+/// The *seed* scheduler's semantics, hand-rolled: per-round reallocation,
+/// per-node inbox sort, linear duplicate scan. Returns the flood's outputs
+/// and the accounting the seed scheduler would have reported, as the
+/// pre-change reference the reworked scheduler must still match.
+fn seed_reference_flood(g: &Graph) -> (Vec<u32>, u64, u64, u64) {
+    let n = g.len();
+    let msg_bits = congest::bits::for_node(n) as u64;
+    let mut best: Vec<u32> = (0..n as u32).collect();
+    let mut inboxes: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    let (mut rounds, mut messages, mut total_bits) = (0u64, 0u64, 0u64);
+    let mut in_flight = 0usize;
+    loop {
+        if rounds > 0 && in_flight == 0 {
+            break;
+        }
+        let mut current = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+        in_flight = 0;
+        for i in 0..n {
+            let mut inbox = std::mem::take(&mut current[i]);
+            inbox.sort_by_key(|&(from, _)| from);
+            let mut improved = rounds == 0;
+            for &(_, v) in &inbox {
+                if v < best[i] {
+                    best[i] = v;
+                    improved = true;
+                }
+            }
+            if !improved {
+                continue;
+            }
+            let mut sent_to: Vec<usize> = Vec::new();
+            for &to in g.neighbors(NodeId::new(i)) {
+                assert!(!sent_to.contains(&to.index()));
+                sent_to.push(to.index());
+                messages += 1;
+                total_bits += msg_bits;
+                inboxes[to.index()].push((i, best[i]));
+                in_flight += 1;
+            }
+        }
+        rounds += 1;
+    }
+    (best, rounds, messages, total_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole's determinism contract on a message-heavy flood:
+    /// sharded execution is byte-identical to sequential (outputs, stats,
+    /// trace events), and the reworked sequential scheduler still matches
+    /// the seed scheduler's outputs and accounting.
+    #[test]
+    fn sharded_flood_equivalence(g in arb_graph()) {
+        let cfg = Config::for_graph(&g);
+        let (stats, outputs, events) = flood_run(&g, cfg);
+
+        // Against the pre-change sequential scheduler's semantics.
+        let (seed_outputs, seed_rounds, seed_messages, seed_bits) = seed_reference_flood(&g);
+        prop_assert_eq!(&outputs, &seed_outputs);
+        prop_assert_eq!(stats.rounds, seed_rounds);
+        prop_assert_eq!(stats.messages, seed_messages);
+        prop_assert_eq!(stats.total_bits, seed_bits);
+        prop_assert!(outputs.iter().all(|&b| b == 0));
+
+        // Across shard counts.
+        for shards in shard_counts() {
+            let (stats_k, outputs_k, events_k) = flood_run(&g, cfg.with_shards(shards));
+            prop_assert_eq!(stats_k, stats, "stats diverged at {} shards", shards);
+            prop_assert_eq!(&outputs_k, &outputs, "outputs diverged at {} shards", shards);
+            prop_assert_eq!(&events_k, &events, "trace diverged at {} shards", shards);
+        }
+    }
+
+    /// The same contract on the Figure 2 pipelined wave phase — whose
+    /// program emits `Wave` trace events from *inside* `on_round`, so this
+    /// exercises the worker-thread trace capture path — checked against
+    /// the centralized per-node `max_u d(u, v)` ground truth.
+    #[test]
+    fn sharded_waves_equivalence(g in arb_graph()) {
+        let cfg = Config::for_graph(&g);
+        let root = NodeId::new(0);
+        let b = classical::bfs::build(&g, root, cfg).unwrap();
+        let view = classical::TreeView::from(&b);
+        let steps = 2 * (g.len() as u64 - 1);
+        let dfs = classical::dfs_walk::walk(&g, &view, root, steps, cfg).unwrap();
+        let sources: Vec<(NodeId, u64)> = g
+            .nodes()
+            .map(|v| (v, dfs.tau[v.index()].unwrap()))
+            .collect();
+        let duration = 2 * steps + g.len() as u64 + 2;
+
+        let wave_run = |shards: usize| {
+            let recorder = trace::Recorder::shared();
+            let out = {
+                let _guard = trace::install(recorder.clone());
+                classical::waves::run(&g, &sources, duration, cfg.with_shards(shards)).unwrap()
+            };
+            let events = recorder.borrow_mut().take();
+            (out.max_dist, out.stats, events)
+        };
+
+        let (max_dist, stats, events) = wave_run(1);
+        for v in g.nodes() {
+            let expect = g
+                .nodes()
+                .map(|u| graphs::traversal::Bfs::run(&g, u).dist(v).unwrap())
+                .max()
+                .unwrap();
+            prop_assert_eq!(max_dist[v.index()], expect, "node {}", v);
+        }
+        for shards in shard_counts() {
+            let (max_dist_k, stats_k, events_k) = wave_run(shards);
+            prop_assert_eq!(&max_dist_k, &max_dist, "outputs diverged at {} shards", shards);
+            prop_assert_eq!(stats_k, stats, "stats diverged at {} shards", shards);
+            prop_assert_eq!(&events_k, &events, "trace diverged at {} shards", shards);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -70,6 +70,13 @@ fn traced_exact_run_reconciles_with_its_own_accounting() {
     assert_eq!(summary.round_ticks, summary.simulated_phase_rounds());
     assert!(summary.messages_delivered > 0);
 
+    // Round ticks carry *actual* deliveries (messages drained at round
+    // start), so their sum can never exceed the sent-message count, and
+    // falls short exactly by the messages still in flight when a
+    // fixed-duration phase (the Figure 2 waves) ends.
+    assert!(summary.round_deliveries > 0);
+    assert!(summary.round_deliveries <= summary.messages_delivered);
+
     // Per-edge rollups partition the global message count.
     let edge_messages: u64 = summary.edges().values().map(|e| e.messages).sum();
     assert_eq!(edge_messages, summary.messages_delivered);
@@ -145,6 +152,8 @@ fn traced_approx_run_reconciles_with_its_own_accounting() {
         summary.simulated_phase_messages()
     );
     assert_eq!(summary.round_ticks, summary.simulated_phase_rounds());
+    assert!(summary.round_deliveries > 0);
+    assert!(summary.round_deliveries <= summary.messages_delivered);
     assert_eq!(summary.oracle_setup_ops, run.oracle.setup_ops());
     assert_eq!(summary.oracle_evaluation_ops, run.oracle.evaluation_ops());
     assert!(summary
