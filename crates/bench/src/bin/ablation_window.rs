@@ -6,7 +6,6 @@
 //! `√D` — the paper's central algorithmic idea, isolated.
 
 use bench::{loglog_slope, mean, rule, scale};
-use congest::Config;
 use diameter_quantum::exact::ExactParams;
 use diameter_quantum::{exact, exact_simple};
 
@@ -24,7 +23,7 @@ fn main() {
     let mut ratios = Vec::new();
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, d) = bench::dialed_diameter_instance(n, target, 11);
-        let cfg = Config::for_graph(&g).with_shards(bench::shards());
+        let cfg = bench::config_for(&g);
         let simple = mean(
             &(0..seeds)
                 .map(|s| {

@@ -3,7 +3,6 @@
 //! `n` at fixed depth.
 
 use bench::{rule, scale};
-use congest::Config;
 use graphs::NodeId;
 
 fn main() {
@@ -30,7 +29,7 @@ fn main() {
         ),
     ];
     for (name, g) in families {
-        let cfg = Config::for_graph(&g).with_shards(bench::shards());
+        let cfg = bench::config_for(&g);
         let root = NodeId::new(0);
         let ecc = graphs::metrics::eccentricity(&g, root).expect("connected");
         let out = classical::bfs::build(&g, root, cfg).expect("bfs");

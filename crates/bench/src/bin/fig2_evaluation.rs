@@ -6,7 +6,6 @@
 
 use bench::{rule, scale, write_results_json};
 use classical::TreeView;
-use congest::Config;
 use diameter_quantum::dfs_window::Windows;
 use diameter_quantum::evaluation;
 use graphs::tree::{EulerTour, RootedTree};
@@ -24,7 +23,7 @@ fn main() {
     let mut n_rows = Vec::new();
     for &n in &[64usize, 128, 256, 512].map(|n| n * scale) {
         let g = graphs::generators::random_sparse(n, 8.0, 5);
-        let cfg = Config::for_graph(&g).with_shards(bench::shards());
+        let cfg = bench::config_for(&g);
         let b = classical::bfs::build(&g, NodeId::new(0), cfg).expect("bfs");
         let tree = TreeView::from(&b);
         let d = b.depth;
@@ -92,7 +91,7 @@ fn main() {
     let mut d_rows = Vec::new();
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, _) = bench::dialed_diameter_instance(n, target, 3);
-        let cfg = Config::for_graph(&g).with_shards(bench::shards());
+        let cfg = bench::config_for(&g);
         let b = classical::bfs::build(&g, NodeId::new(0), cfg).expect("bfs");
         let tree = TreeView::from(&b);
         let run = evaluation::run_figure2(&g, &tree, b.depth, NodeId::new(1), cfg).unwrap();

@@ -4,14 +4,13 @@
 //! that `s = Θ(n^{2/3} D^{-1/3})` balances.
 
 use bench::{loglog_slope, rule, scale};
-use congest::Config;
 use diameter_quantum::approx::{self, ApproxParams};
 
 fn main() {
     let scale = scale();
     let n = 512 * scale;
     let g = graphs::generators::random_sparse(n, 8.0, 9);
-    let cfg = Config::for_graph(&g).with_shards(bench::shards());
+    let cfg = bench::config_for(&g);
     let d = graphs::metrics::diameter(&g).expect("connected");
 
     rule("Figure 3: phase costs across the cluster-size sweep");

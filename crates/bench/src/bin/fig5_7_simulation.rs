@@ -8,7 +8,7 @@ use commcc::bit_gadget::BitGadgetReduction;
 use commcc::disj;
 use commcc::simulation::{attach_cut_meter, Owner, Partition, TwoPartyPlan};
 use commcc::stretch::{self, StretchedReduction};
-use congest::{Config, Network};
+use congest::Network;
 
 fn main() {
     let scale = scale();
@@ -77,7 +77,7 @@ fn main() {
         let sg = red.build_layered(&x, &y);
         let partition = Partition::for_stretched(&sg);
         assert!(partition.is_layered(&sg.inner.graph));
-        let cfg = Config::for_graph(&sg.inner.graph).with_shards(bench::shards());
+        let cfg = bench::config_for(&sg.inner.graph);
         // Run a real protocol (min-id flood) with the boundary meter.
         let mut net = Network::new(&sg.inner.graph, cfg, |v| Probe { best: u32::from(v) });
         let meter = attach_cut_meter(&mut net, partition);

@@ -10,7 +10,6 @@ use commcc::reduction::{check_instance, Reduction};
 use commcc::simulation::decide_disj_via_diameter;
 use commcc::stretch::StretchedReduction;
 use commcc::{bounds, disj};
-use congest::Config;
 
 fn main() {
     let scale = scale();
@@ -58,7 +57,7 @@ fn main() {
             let red = StretchedReduction::new(base, d);
             let (x, y) = disj::random_instance(base.k(), disjoint, 7);
             let g = red.build(&x, &y);
-            let cfg = Config::for_graph(&g.graph).with_shards(bench::shards());
+            let cfg = bench::config_for(&g.graph);
             let out = decide_disj_via_diameter(&red, &x, &y, 64, cfg).expect("pipeline");
             assert_eq!(out.answer, disjoint);
             println!(

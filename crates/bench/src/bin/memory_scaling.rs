@@ -6,7 +6,6 @@
 //! three decades of `n`, and fits them against `log n` and `log² n`.
 
 use bench::{rule, scale};
-use congest::Config;
 use diameter_quantum::exact::{self, ExactParams};
 
 fn main() {
@@ -20,7 +19,7 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &[64usize, 256, 1024, 4096].map(|n| n * scale) {
         let g = graphs::generators::random_sparse(n, 8.0, 2);
-        let cfg = Config::for_graph(&g).with_shards(bench::shards());
+        let cfg = bench::config_for(&g);
         let run = exact::diameter(&g, ExactParams::new(0), cfg).expect("quantum");
         let log_n = (n as f64).log2();
         println!(

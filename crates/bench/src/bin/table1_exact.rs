@@ -12,7 +12,6 @@
 //! real Dürr–Høyer search put it beyond direct-simulation sizes.
 
 use bench::{loglog_slope, mean, rule, scale, sparse_instance, write_results_json};
-use congest::Config;
 use diameter_quantum::exact::{self, ExactParams};
 use trace::Json;
 
@@ -95,7 +94,7 @@ fn main() {
     let mut d_rows = Vec::new();
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, d) = bench::dialed_diameter_instance(n, target, 7);
-        let cfg = Config::for_graph(&g).with_shards(bench::shards());
+        let cfg = bench::config_for(&g);
         let c = classical::apsp::exact_diameter(&g, cfg)
             .expect("classical")
             .rounds() as f64;

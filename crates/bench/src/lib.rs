@@ -76,12 +76,37 @@ pub fn shards() -> usize {
         .max(1)
 }
 
+/// Fault-injection plan read from the `QD_FAULTS` environment variable
+/// (default: none). The spec grammar is [`congest::FaultPlan::parse`]'s —
+/// e.g. `QD_FAULTS=drop=0.01,seed=7 cargo run --release --bin table1_exact`
+/// reruns a sweep under 1% message loss. Experiment binaries thread this
+/// into their [`Config`]s via [`sparse_instance`] or [`config_for`].
+///
+/// # Panics
+///
+/// Panics on a malformed spec: a typo'd fault experiment must not silently
+/// run fault-free.
+pub fn faults() -> Option<congest::FaultPlan> {
+    let spec = std::env::var("QD_FAULTS").ok()?;
+    Some(congest::FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("QD_FAULTS '{spec}': {e}")))
+}
+
+/// The CONGEST config every experiment binary should use: sharded per
+/// [`shards`], with any `QD_FAULTS` plan applied.
+pub fn config_for(g: &Graph) -> Config {
+    let mut cfg = Config::for_graph(g).with_shards(shards());
+    if let Some(plan) = faults() {
+        cfg = cfg.with_faults(plan);
+    }
+    cfg
+}
+
 /// A sweep instance: a sparse random network with roughly constant degree
 /// (so the diameter grows only logarithmically), plus its CONGEST config
-/// (sharded per [`shards`]).
+/// (sharded per [`shards`], faulted per [`faults`]).
 pub fn sparse_instance(n: usize, seed: u64) -> (Graph, Config) {
     let g = graphs::generators::random_sparse(n, 8.0, seed);
-    let cfg = Config::for_graph(&g).with_shards(shards());
+    let cfg = config_for(&g);
     (g, cfg)
 }
 

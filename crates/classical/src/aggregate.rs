@@ -68,12 +68,12 @@ impl AggProgram {
 
 impl NodeProgram for AggProgram {
     type Msg = AggMsg;
-    type Output = (u64, NodeId);
+    type Output = ((u64, NodeId), bool);
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, AggMsg>) -> Status {
         for (_, msg) in ctx.inbox() {
             self.combine(msg.value, msg.witness);
-            self.pending -= 1;
+            self.pending = self.pending.saturating_sub(1);
         }
         if self.pending == 0 && !self.sent {
             self.sent = true;
@@ -92,8 +92,8 @@ impl NodeProgram for AggProgram {
         Status::Halted
     }
 
-    fn finish(self, _node: NodeId) -> (u64, NodeId) {
-        (self.acc, NodeId::from(self.witness))
+    fn finish(self, _node: NodeId) -> ((u64, NodeId), bool) {
+        ((self.acc, NodeId::from(self.witness)), self.sent)
     }
 }
 
@@ -147,6 +147,7 @@ pub fn convergecast(
             reason: "values/tree size mismatch".into(),
         });
     }
+    let fault_aware = config.has_faults();
     let mut net = Network::new(graph, config, |v| AggProgram {
         parent: tree.parent(v),
         pending: tree.children(v).len(),
@@ -157,9 +158,25 @@ pub fn convergecast(
         sent: false,
     });
     let cap = 2 * graph.len() as u64 + 16;
-    let stats = net.run_until_quiescent(cap)?;
+    let stats = net
+        .run_until_quiescent(cap)
+        .map_err(|e| AlgoError::from_congest(e, fault_aware))?;
     let outputs = net.into_outputs();
-    let (value, witness) = outputs[tree.root().index()];
+    if fault_aware {
+        // Every node sends its partial aggregate exactly once, after all
+        // children report. A node that never fired means some child message
+        // was lost and the chain up to the root stalled — the root's value
+        // would silently miss a whole subtree.
+        if let Some(stalled) = outputs.iter().position(|&(_, sent)| !sent) {
+            return Err(AlgoError::FaultDetected {
+                round: stats.rounds,
+                detail: format!(
+                    "convergecast stalled at node {stalled}: a child aggregate never arrived"
+                ),
+            });
+        }
+    }
+    let ((value, witness), _) = outputs[tree.root().index()];
     Ok(AggOutcome {
         value,
         witness,
@@ -240,6 +257,7 @@ pub fn broadcast(
     config: Config,
 ) -> Result<BroadcastOutcome, AlgoError> {
     let root = tree.root();
+    let fault_aware = config.has_faults();
     let mut net = Network::new(graph, config, |v| BcastProgram {
         children: tree.children(v).to_vec(),
         value: (v == root).then_some(value),
@@ -248,11 +266,25 @@ pub fn broadcast(
         sent: false,
     });
     let cap = 2 * graph.len() as u64 + 16;
-    let stats = net.run_until_quiescent(cap)?;
-    let values: Option<Vec<u64>> = net.into_outputs().into_iter().collect();
-    let values = values.ok_or(AlgoError::Protocol {
-        reason: "broadcast did not reach every node".into(),
-    })?;
+    let stats = net
+        .run_until_quiescent(cap)
+        .map_err(|e| AlgoError::from_congest(e, fault_aware))?;
+    let outputs = net.into_outputs();
+    if let Some(missed) = outputs.iter().position(Option::is_none) {
+        return Err(if fault_aware {
+            AlgoError::FaultDetected {
+                round: stats.rounds,
+                detail: format!(
+                    "broadcast never reached node {missed}: a tree-edge message was lost"
+                ),
+            }
+        } else {
+            AlgoError::Protocol {
+                reason: "broadcast did not reach every node".into(),
+            }
+        });
+    }
+    let values = outputs.into_iter().flatten().collect();
     Ok(BroadcastOutcome { values, stats })
 }
 

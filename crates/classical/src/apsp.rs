@@ -97,6 +97,7 @@ pub fn exact_diameter(graph: &Graph, config: Config) -> Result<ExactDiameterOutc
         });
     }
     let n = graph.len() as u64;
+    let fault_aware = config.has_faults();
     let mut ledger = RoundsLedger::new();
 
     // Phase 1: leader election + BFS tree.
@@ -122,15 +123,31 @@ pub fn exact_diameter(graph: &Graph, config: Config) -> Result<ExactDiameterOutc
     ledger.add("dfs numbering", dfs.stats);
 
     // Phase 3: pipelined waves from every node.
-    let sources: Vec<(NodeId, u64)> = dfs
-        .tau
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (NodeId::new(i), t.expect("full tour visits every node")))
-        .collect();
+    let mut sources: Vec<(NodeId, u64)> = Vec::with_capacity(dfs.tau.len());
+    for (i, t) in dfs.tau.iter().enumerate() {
+        match t {
+            Some(t) => sources.push((NodeId::new(i), *t)),
+            // The completed full tour visits every node; dfs_walk already
+            // errors on a lost token, so a hole here can only be fault
+            // degradation it could not see (e.g. a crashed node).
+            None if fault_aware => {
+                return Err(AlgoError::FaultDetected {
+                    round: dfs.stats.rounds,
+                    detail: format!("DFS tour never visited node {i}: no wave offset for it"),
+                })
+            }
+            None => panic!("full tour visits every node"),
+        }
+    }
     let duration = 2 * steps + u64::from(b.depth) + 2;
     let wave = waves::run(graph, &sources, duration, config)?;
     ledger.add("eccentricity waves", wave.stats);
+    if fault_aware {
+        // Lemmas 2-4 guarantee one surviving wave per (source, node) pair;
+        // any node that processed fewer waves than sources silently holds
+        // an under-estimate of its eccentricity.
+        wave.verify_complete(&sources)?;
+    }
 
     // Phase 4: convergecast the maximum (diameter) and minimum (radius) to
     // the leader.

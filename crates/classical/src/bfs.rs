@@ -38,11 +38,17 @@ struct BfsProgram {
     parent: Option<NodeId>,
     dist: Option<Dist>,
     children: Vec<NodeId>,
+    /// With a fault plan active, schedule violations are recorded rather
+    /// than trusted away: a BFS activation adopting distance `d` must
+    /// happen exactly in round `d` (the flood advances one hop per round),
+    /// so a late activation betrays dropped or delayed activate messages.
+    fault_aware: bool,
+    violation: Option<(u64, String)>,
 }
 
 impl NodeProgram for BfsProgram {
     type Msg = Msg;
-    type Output = BfsNode;
+    type Output = (BfsNode, Option<(u64, String)>);
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Msg>) -> Status {
         // Record child claims.
@@ -70,6 +76,18 @@ impl NodeProgram for BfsProgram {
             if let Some((parent, d)) = activator {
                 self.parent = Some(parent);
                 self.dist = Some(d + 1);
+                if self.fault_aware && ctx.round() != u64::from(d + 1) {
+                    self.violation = Some((
+                        ctx.round(),
+                        format!(
+                            "BFS activation at {} adopted distance {} in round {}: \
+                             activate messages were delayed or rerouted",
+                            ctx.node(),
+                            d + 1,
+                            ctx.round()
+                        ),
+                    ));
+                }
                 ctx.broadcast_except(
                     parent,
                     Msg::Activate {
@@ -83,13 +101,16 @@ impl NodeProgram for BfsProgram {
         Status::Halted
     }
 
-    fn finish(mut self, _node: NodeId) -> BfsNode {
+    fn finish(mut self, _node: NodeId) -> (BfsNode, Option<(u64, String)>) {
         self.children.sort_unstable();
-        BfsNode {
-            parent: self.parent,
-            dist: self.dist,
-            children: self.children,
-        }
+        (
+            BfsNode {
+                parent: self.parent,
+                dist: self.dist,
+                children: self.children,
+            },
+            self.violation,
+        )
     }
 }
 
@@ -144,25 +165,60 @@ pub struct BfsOutcome {
 /// ```
 pub fn build(graph: &Graph, root: NodeId, config: Config) -> Result<BfsOutcome, AlgoError> {
     assert!(root.index() < graph.len(), "root out of range");
+    let fault_aware = config.has_faults();
     let mut net = Network::new(graph, config, |_| BfsProgram {
         root,
         parent: None,
         dist: None,
         children: Vec::new(),
+        fault_aware,
+        violation: None,
     });
     let cap = 2 * graph.len() as u64 + 16;
     let stats = net.run_until_quiescent(cap)?;
-    let nodes = net.into_outputs();
-    let mut parents = Vec::with_capacity(nodes.len());
-    let mut dists = Vec::with_capacity(nodes.len());
-    let mut children = Vec::with_capacity(nodes.len());
+    let outcomes = net.into_outputs();
+    if let Some((round, detail)) = outcomes
+        .iter()
+        .filter_map(|(_, v)| v.clone())
+        .min_by_key(|&(round, _)| round)
+    {
+        return Err(AlgoError::FaultDetected { round, detail });
+    }
+    let mut parents = Vec::with_capacity(outcomes.len());
+    let mut dists = Vec::with_capacity(outcomes.len());
+    let mut children = Vec::with_capacity(outcomes.len());
     let mut depth = 0;
-    for node in nodes {
-        let dist = node.dist.ok_or(AlgoError::Disconnected)?;
+    for (i, (node, _)) in outcomes.into_iter().enumerate() {
+        let dist = node.dist.ok_or(if fault_aware {
+            // On a connected graph an unreached node means the flood was
+            // severed, not that the graph is disconnected.
+            AlgoError::FaultDetected {
+                round: stats.rounds,
+                detail: format!("node {i} was never activated: the BFS flood was cut off"),
+            }
+        } else {
+            AlgoError::Disconnected
+        })?;
         depth = depth.max(dist);
         parents.push(node.parent);
         dists.push(dist);
         children.push(node.children);
+    }
+    if fault_aware {
+        // Lost Claim messages leave a parent ignorant of a child — fatal
+        // for the DFS token walk built on these child lists.
+        for (i, parent) in parents.iter().enumerate() {
+            if let Some(p) = parent {
+                if !children[p.index()].contains(&NodeId::new(i)) {
+                    return Err(AlgoError::FaultDetected {
+                        round: stats.rounds,
+                        detail: format!(
+                            "parent {p} never learned of child {i}: a claim message was lost"
+                        ),
+                    });
+                }
+            }
+        }
     }
     Ok(BfsOutcome {
         root,

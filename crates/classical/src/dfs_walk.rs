@@ -40,6 +40,11 @@ struct WalkProgram {
     steps: u64,
     t_bits: usize,
     tau: Option<u64>,
+    /// Largest move index this node has ever seen the token carry. A
+    /// completed walk ends with some node observing `t == steps`; under
+    /// injected faults a lost token leaves every node short of that, which
+    /// is how the driver detects the loss.
+    max_t: u64,
 }
 
 enum Arrival {
@@ -81,7 +86,7 @@ impl WalkProgram {
 
 impl NodeProgram for WalkProgram {
     type Msg = Token;
-    type Output = Option<u64>;
+    type Output = (Option<u64>, u64);
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Token>) -> Status {
         if self.is_start && ctx.round() == 0 {
@@ -93,6 +98,7 @@ impl NodeProgram for WalkProgram {
             if self.tau.is_none() {
                 self.tau = Some(t);
             }
+            self.max_t = self.max_t.max(t);
             let arrival = if Some(from) == self.parent {
                 Arrival::Descend
             } else {
@@ -103,8 +109,8 @@ impl NodeProgram for WalkProgram {
         Status::Halted
     }
 
-    fn finish(self, _node: NodeId) -> Option<u64> {
-        self.tau
+    fn finish(self, _node: NodeId) -> (Option<u64>, u64) {
+        (self.tau, self.max_t)
     }
 }
 
@@ -176,6 +182,7 @@ pub fn walk(
         });
     }
     let t_bits = bits::for_value(steps.max(1));
+    let fault_aware = config.has_faults();
     let mut net = Network::new(graph, config, |v| WalkProgram {
         parent: tree.parent(v),
         children: tree.children(v).to_vec(),
@@ -183,13 +190,31 @@ pub fn walk(
         steps,
         t_bits,
         tau: None,
+        max_t: 0,
     });
     let cap: Round = steps + 4;
-    let stats = net.run_until_quiescent(cap)?;
-    Ok(DfsWalkOutcome {
-        tau: net.into_outputs(),
-        stats,
-    })
+    let stats = net
+        .run_until_quiescent(cap)
+        .map_err(|e| AlgoError::from_congest(e, fault_aware))?;
+    let (tau, max_t): (Vec<Option<u64>>, Vec<u64>) = net.into_outputs().into_iter().unzip();
+    if fault_aware {
+        // A single token carries the whole walk, so any lost message ends
+        // it early: the network goes quiescent without any node ever seeing
+        // move index `steps`. (The start node making zero moves — an
+        // isolated restricted view — legitimately ends at 0.)
+        let walk_can_move = tree.parent(start).is_some() || !tree.children(start).is_empty();
+        let reached = max_t.iter().copied().max().unwrap_or(0);
+        if walk_can_move && reached < steps {
+            return Err(AlgoError::FaultDetected {
+                round: stats.rounds,
+                detail: format!(
+                    "DFS token lost after move {reached} of {steps}: the walk \
+                     went quiescent before completing its tour"
+                ),
+            });
+        }
+    }
+    Ok(DfsWalkOutcome { tau, stats })
 }
 
 #[cfg(test)]

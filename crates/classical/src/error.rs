@@ -28,6 +28,31 @@ pub enum AlgoError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// Injected faults (see `congest::faults`) broke a protocol invariant
+    /// the algorithm depends on; the result would have been wrong, so the
+    /// driver reports where degradation was first detected instead.
+    FaultDetected {
+        /// Simulation round at which the violation was detected.
+        round: u64,
+        /// Which invariant broke, and where.
+        detail: String,
+    },
+}
+
+impl AlgoError {
+    /// Wraps a simulator error from a fault-aware driver, reinterpreting a
+    /// blown round cap as fault degradation: injected delivery jitter can
+    /// push a protocol past its deterministic schedule, which is a fault
+    /// symptom, not a caller bug.
+    pub(crate) fn from_congest(e: CongestError, fault_aware: bool) -> Self {
+        match e {
+            CongestError::RoundLimitExceeded { limit } if fault_aware => AlgoError::FaultDetected {
+                round: limit,
+                detail: "round cap exceeded: injected delays stalled the protocol schedule".into(),
+            },
+            e => AlgoError::Congest(e),
+        }
+    }
 }
 
 impl fmt::Display for AlgoError {
@@ -38,6 +63,9 @@ impl fmt::Display for AlgoError {
             AlgoError::Protocol { reason } => write!(f, "protocol invariant violated: {reason}"),
             AlgoError::Aborted { reason } => write!(f, "algorithm aborted: {reason}"),
             AlgoError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            AlgoError::FaultDetected { round, detail } => {
+                write!(f, "fault detected at round {round}: {detail}")
+            }
         }
     }
 }

@@ -86,13 +86,30 @@ pub struct LeaderOutcome {
 /// # Ok::<(), classical::AlgoError>(())
 /// ```
 pub fn elect(graph: &Graph, config: Config) -> Result<LeaderOutcome, AlgoError> {
+    let fault_aware = config.has_faults();
     let mut net = Network::new(graph, config, |v| Elect { best: u32::from(v) });
     let cap = 4 * graph.len() as u64 + 16;
-    let stats = net.run_until_quiescent(cap)?;
+    let stats = net
+        .run_until_quiescent(cap)
+        .map_err(|e| AlgoError::from_congest(e, fault_aware))?;
     let outputs = net.into_outputs();
     let leader = outputs[0];
-    if !outputs.iter().all(|&l| l == leader) {
-        return Err(AlgoError::Disconnected);
+    if let Some(dissenter) = outputs.iter().position(|&l| l != leader) {
+        // On a connected fault-free graph disagreement means the graph was
+        // not connected after all; under faults it means the min-id flood
+        // was severed before every node heard the winner.
+        return Err(if fault_aware {
+            AlgoError::FaultDetected {
+                round: stats.rounds,
+                detail: format!(
+                    "leader election disagrees: node {dissenter} elected {}, node 0 elected \
+                     {leader}",
+                    outputs[dissenter]
+                ),
+            }
+        } else {
+            AlgoError::Disconnected
+        });
     }
     Ok(LeaderOutcome { leader, stats })
 }

@@ -53,12 +53,41 @@ struct WaveProgram {
     last_tau: i64,
     /// Running maximum distance recorded (`d_v` in the figure).
     max_dist: Dist,
+    /// Waves processed (fresh arrivals adopted); under a full schedule
+    /// every node ends at `|sources|` minus one if it is itself a source.
+    processed: u64,
     tau_bits: usize,
+    /// With a fault plan active, Lemma violations are *recorded* (first
+    /// one wins) instead of panicking: degraded schedules are an expected
+    /// outcome there, and the driver turns the record into a typed
+    /// [`AlgoError::FaultDetected`].
+    fault_aware: bool,
+    violation: Option<(Round, String)>,
+}
+
+/// Per-node result of the wave phase.
+#[derive(Clone, Debug)]
+struct WaveNodeOutcome {
+    max_dist: Dist,
+    processed: u64,
+    violation: Option<(Round, String)>,
+}
+
+impl WaveProgram {
+    /// Records (fault-aware) or panics on (fault-free) a Lemma violation.
+    fn flag(&mut self, round: Round, detail: String) {
+        if !self.fault_aware {
+            panic!("{detail}");
+        }
+        if self.violation.is_none() {
+            self.violation = Some((round, detail));
+        }
+    }
 }
 
 impl NodeProgram for WaveProgram {
     type Msg = WaveMsg;
-    type Output = Dist;
+    type Output = WaveNodeOutcome;
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, WaveMsg>) -> Status {
         // Telemetry for the Lemmas 2–4 congestion argument, emitted before
@@ -93,26 +122,35 @@ impl NodeProgram for WaveProgram {
             }
             match kept {
                 None => kept = Some((tau, delta)),
-                Some(k) => assert_eq!(
-                    k,
-                    (tau, delta),
-                    "Lemma 4 violated at {} round {}: distinct concurrent waves",
-                    ctx.node(),
-                    ctx.round()
-                ),
+                Some(k) => {
+                    if k != (tau, delta) {
+                        self.flag(
+                            ctx.round(),
+                            format!(
+                                "Lemma 4 violated at {} round {}: distinct concurrent waves",
+                                ctx.node(),
+                                ctx.round()
+                            ),
+                        );
+                    }
+                }
             }
         }
         if let Some((tau, delta)) = kept {
             let my_dist = delta + 1;
             // Lemma 3: a first arrival happens exactly at 2τ' + d(u, v).
-            assert_eq!(
-                ctx.round(),
-                2 * tau + my_dist as Round,
-                "Lemma 3 violated at {}: wave {tau} arrived off schedule",
-                ctx.node()
-            );
+            if ctx.round() != 2 * tau + my_dist as Round {
+                self.flag(
+                    ctx.round(),
+                    format!(
+                        "Lemma 3 violated at {}: wave {tau} arrived off schedule",
+                        ctx.node()
+                    ),
+                );
+            }
             self.last_tau = tau as i64;
             self.max_dist = self.max_dist.max(my_dist);
+            self.processed += 1;
             ctx.broadcast(WaveMsg {
                 tau,
                 delta: my_dist,
@@ -123,11 +161,12 @@ impl NodeProgram for WaveProgram {
         // Step 2: start this node's own wave at round 2τ'(v).
         if let Some((start, tau)) = self.source {
             if ctx.round() == start {
-                assert!(
-                    kept.is_none(),
-                    "wave collision at source {} round {start}",
-                    ctx.node()
-                );
+                if kept.is_some() {
+                    self.flag(
+                        ctx.round(),
+                        format!("wave collision at source {} round {start}", ctx.node()),
+                    );
+                }
                 self.last_tau = tau as i64;
                 ctx.broadcast(WaveMsg {
                     tau,
@@ -140,8 +179,12 @@ impl NodeProgram for WaveProgram {
         Status::Halted
     }
 
-    fn finish(self, _node: NodeId) -> Dist {
-        self.max_dist
+    fn finish(self, _node: NodeId) -> WaveNodeOutcome {
+        WaveNodeOutcome {
+            max_dist: self.max_dist,
+            processed: self.processed,
+            violation: self.violation,
+        }
     }
 }
 
@@ -151,6 +194,10 @@ pub struct WaveOutcome {
     /// Per node `v`: `max_u d(u, v)` over all wave sources `u` whose wave
     /// reached `v` within the duration.
     pub max_dist: Vec<Dist>,
+    /// Per node: waves processed (fresh arrivals adopted). Under a
+    /// fault-free schedule whose duration covers full propagation this is
+    /// `|sources|` everywhere (one less at nodes that are sources).
+    pub processed: Vec<u64>,
     /// Round/bit accounting.
     pub stats: RunStats,
 }
@@ -160,6 +207,37 @@ impl WaveOutcome {
     /// covered full propagation.
     pub fn global_max(&self) -> Dist {
         self.max_dist.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Completeness check for schedules whose duration covers full
+    /// propagation: every node must have processed one wave per source
+    /// (its own excepted). A shortfall means waves were lost or stalled —
+    /// under a fault plan, the expected symptom of message loss.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::FaultDetected`] naming the first underfed node;
+    /// `round` is the end of the wave phase (the earliest round at which
+    /// the shortfall is decidable).
+    pub fn verify_complete(&self, sources: &[(NodeId, u64)]) -> Result<(), AlgoError> {
+        let mut is_source = vec![false; self.processed.len()];
+        for &(v, _) in sources {
+            is_source[v.index()] = true;
+        }
+        let total = sources.len() as u64;
+        for (i, &processed) in self.processed.iter().enumerate() {
+            let expected = total - u64::from(is_source[i]);
+            if processed != expected {
+                return Err(AlgoError::FaultDetected {
+                    round: self.stats.rounds,
+                    detail: format!(
+                        "node {i} processed {processed} of {expected} waves: \
+                         wave messages were lost or stalled"
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -177,6 +255,9 @@ impl WaveOutcome {
 /// # Errors
 ///
 /// Returns a wrapped simulator error; `Protocol` on malformed inputs.
+/// When `config` carries a fault plan, schedule invariants (Lemmas 3–4,
+/// source collisions) are detected instead of asserted and surface as
+/// [`AlgoError::FaultDetected`] naming the first offending round.
 pub fn run(
     graph: &Graph,
     sources: &[(NodeId, u64)],
@@ -201,15 +282,33 @@ pub fn run(
         max_tau = max_tau.max(tau);
     }
     let tau_bits = bits::for_value(max_tau);
+    let fault_aware = config.has_faults();
     let mut net = Network::new(graph, config, |v| WaveProgram {
         source: starts[v.index()],
         last_tau: -1,
         max_dist: 0,
+        processed: 0,
         tau_bits,
+        fault_aware,
+        violation: None,
     });
     let stats = net.run_rounds(duration)?;
+    let outcomes = net.into_outputs();
+    // Surface the earliest recorded Lemma violation as a typed error.
+    if let Some((round, detail)) = outcomes
+        .iter()
+        .filter_map(|o| o.violation.clone())
+        .min_by_key(|&(round, _)| round)
+    {
+        return Err(AlgoError::FaultDetected { round, detail });
+    }
+    let (max_dist, processed) = outcomes
+        .into_iter()
+        .map(|o| (o.max_dist, o.processed))
+        .unzip();
     Ok(WaveOutcome {
-        max_dist: net.into_outputs(),
+        max_dist,
+        processed,
         stats,
     })
 }

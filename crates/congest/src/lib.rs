@@ -21,6 +21,10 @@
 //!   has helpers for honest field sizes.
 //! * [`RoundsLedger`] — accumulates round/bit accounting across the phases of
 //!   multi-phase algorithms.
+//! * [`FaultPlan`] — seeded, deterministic fault injection (message loss,
+//!   corruption, link failures, crash-stop nodes, delivery jitter), attached
+//!   via [`Config::with_faults`] and replayable byte-identically per
+//!   `(graph, config, seed)`.
 //!
 //! # Example: flooding a token
 //!
@@ -67,12 +71,14 @@
 
 pub mod bits;
 mod error;
+pub mod faults;
 mod ledger;
 mod message;
 mod network;
 mod program;
 
 pub use error::CongestError;
+pub use faults::{FaultPlan, FaultStats};
 pub use ledger::RoundsLedger;
 pub use message::Payload;
 pub use network::{BandwidthPolicy, Config, Network, RunStats};

@@ -1,5 +1,6 @@
 use graphs::{Graph, NodeId};
 
+use crate::faults::{FaultPlan, FaultStats, FaultsId, MessageFate};
 use crate::{CongestError, NodeProgram, Payload, Round, RoundCtx, Status};
 
 /// What the simulator does when a message exceeds the per-edge bandwidth
@@ -33,6 +34,9 @@ pub struct Config {
     bandwidth_bits: usize,
     policy: BandwidthPolicy,
     shards: usize,
+    /// Interned fault plan, if any — `Config` stays `Copy + Eq` while the
+    /// plan itself (heap-allocated schedules) lives in the fault registry.
+    faults: Option<FaultsId>,
 }
 
 impl Config {
@@ -43,6 +47,7 @@ impl Config {
             bandwidth_bits,
             policy: BandwidthPolicy::Enforce,
             shards: 1,
+            faults: None,
         }
     }
 
@@ -89,6 +94,36 @@ impl Config {
     /// The configured worker-shard count (1 = sequential execution).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Attaches a [`FaultPlan`]: the scheduler will drop/corrupt/delay
+    /// messages, fail links, and crash-stop nodes exactly as the plan
+    /// dictates, deterministically per `(graph, config, seed)` and
+    /// independently of [`Config::with_shards`].
+    ///
+    /// A [passive](FaultPlan::is_passive) plan is equivalent to no plan at
+    /// all: the resulting `Config` compares equal to one that never saw
+    /// `with_faults`, and the scheduler's outputs, stats, and traces are
+    /// bit-for-bit those of a fault-free run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_passive() {
+            None
+        } else {
+            Some(plan.intern())
+        };
+        self
+    }
+
+    /// The attached fault plan, if one is active.
+    pub fn faults(&self) -> Option<FaultPlan> {
+        self.faults.map(FaultPlan::lookup)
+    }
+
+    /// True when a (non-passive) fault plan is attached — the signal
+    /// algorithm drivers use to swap hard invariant assertions for typed
+    /// fault-detection errors.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
     }
 }
 
@@ -177,6 +212,39 @@ pub struct Network<'g, P: NodeProgram> {
     /// traffic breakdowns the aggregate stats don't carry (e.g. bits
     /// crossing a two-party cut).
     observer: Option<MessageObserver>,
+    /// Runtime fault-injection state, present iff the config carries a
+    /// non-passive [`FaultPlan`].
+    fault: Option<FaultState<P::Msg>>,
+}
+
+/// One jittered message waiting in the delay queue.
+struct Delayed<M> {
+    /// Round at whose *start* the message should reach its inbox.
+    due: Round,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// Mutable fault-injection state for one network run.
+struct FaultState<M> {
+    plan: FaultPlan,
+    /// Per-node crash-stop flags (permanent once set).
+    crashed: Vec<bool>,
+    /// Jittered messages not yet merged into an inbox.
+    queue: Vec<Delayed<M>>,
+    stats: FaultStats,
+}
+
+impl<M> FaultState<M> {
+    fn new(plan: FaultPlan, n: usize) -> Self {
+        FaultState {
+            plan,
+            crashed: vec![false; n],
+            queue: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
 }
 
 impl<'g, P: NodeProgram> Network<'g, P> {
@@ -199,6 +267,7 @@ impl<'g, P: NodeProgram> Network<'g, P> {
             programs,
             stats: RunStats::default(),
             observer: None,
+            fault: config.faults().map(|plan| FaultState::new(plan, n)),
         }
     }
 
@@ -229,9 +298,19 @@ impl<'g, P: NodeProgram> Network<'g, P> {
     }
 
     /// Returns `true` if every node voted [`Status::Halted`] in the latest
-    /// round and no messages are waiting for delivery.
+    /// round and no messages are waiting for delivery (including jittered
+    /// messages still held in the fault layer's delay queue).
     pub fn is_quiescent(&self) -> bool {
-        self.in_flight == 0 && self.statuses.iter().all(|&s| s == Status::Halted)
+        self.in_flight == 0
+            && self.fault.as_ref().is_none_or(|f| f.queue.is_empty())
+            && self.statuses.iter().all(|&s| s == Status::Halted)
+    }
+
+    /// Counts of the faults injected so far (all zero when the config has
+    /// no fault plan). Kept out of [`RunStats`] so fault-free accounting is
+    /// byte-identical to a scheduler without fault injection.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Consumes the network and extracts every node's local output, in node
@@ -258,7 +337,9 @@ where
     /// [`BandwidthPolicy::Enforce`]. A failed `step()` commits nothing: the
     /// round counter, [`RunStats`], and the next round's inboxes are left
     /// exactly as they were before the call (program state is not rolled
-    /// back — an errored network should be discarded, not resumed).
+    /// back — an errored network should be discarded, not resumed; crash
+    /// flags applied by a fault plan at the top of the failed round
+    /// likewise persist).
     pub fn step(&mut self) -> Result<(), CongestError> {
         let n = self.programs.len();
         let round = self.round;
@@ -269,6 +350,30 @@ where
         // this round delivers exactly the previously in-flight messages.
         let delivered = self.in_flight as u64;
 
+        // Phase 0 (fault plans only): apply scheduled crash-stops before
+        // anything executes this round. Taking the state out of `self`
+        // keeps the borrows of the execute and commit phases disjoint.
+        let mut fault = self.fault.take();
+        if let Some(f) = fault.as_mut() {
+            for &(node, at) in f.plan.crashes() {
+                if at <= round && node < n && !f.crashed[node] {
+                    f.crashed[node] = true;
+                    self.statuses[node] = Status::Halted;
+                    f.stats.crashes += 1;
+                    if let Some(sink) = &tracer {
+                        sink.borrow_mut().record(&trace::TraceEvent::Fault {
+                            round,
+                            kind: trace::FaultKind::Crash,
+                            from: node as u64,
+                            to: node as u64,
+                            delay: 0,
+                        });
+                    }
+                }
+            }
+        }
+        let crashed = fault.as_ref().map(|f| f.crashed.as_slice());
+
         // Phase 1: flip the double buffer. `arena` now holds this round's
         // inboxes; `inboxes` holds the cleared buffers staging the next
         // round's traffic.
@@ -277,7 +382,7 @@ where
         // Phase 2: execute every program, staging outboxes.
         let shards = self.config.shards.clamp(1, n.max(1));
         if shards > 1 {
-            self.execute_sharded(round, shards, &tracer);
+            self.execute_sharded(round, shards, &tracer, crashed);
         } else {
             run_chunk(ChunkCtx {
                 graph: self.graph,
@@ -288,6 +393,7 @@ where
                 programs: &mut self.programs,
                 statuses: &mut self.statuses,
                 staged: &mut self.staged,
+                crashed,
             });
         }
 
@@ -301,13 +407,17 @@ where
             for buf in &mut self.arena {
                 buf.clear();
             }
+            self.fault = fault;
             return Err(e);
         }
 
         // Phase 4: commit, sequentially in node-id order (this is what
         // keeps sharded runs byte-identical to sequential ones). Inboxes
         // are filled in ascending sender order — the invariant behind the
-        // sorted-inbox contract of `NodeProgram::on_round`.
+        // sorted-inbox contract of `NodeProgram::on_round`. Fault fates are
+        // decided here too: each is a pure function of the message's
+        // `(round, from, to)` coordinates, so sharding the execute phase
+        // cannot change them.
         let budget = self.config.bandwidth_bits;
         let mut staged_count = 0usize;
         for i in 0..n {
@@ -329,6 +439,9 @@ where
                         });
                     }
                 }
+                // Sends are accounted (and observed/traced) whether or not
+                // the message survives the fault layer: a lost message
+                // still spent the sender's bandwidth.
                 self.stats.messages += 1;
                 self.stats.total_bits += bits as u64;
                 self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
@@ -343,12 +456,103 @@ where
                         bits: bits as u64,
                     });
                 }
-                self.inboxes[to.index()].push((node, msg));
-                staged_count += 1;
+                let Some(f) = fault.as_mut() else {
+                    self.inboxes[to.index()].push((node, msg));
+                    staged_count += 1;
+                    continue;
+                };
+                let emit = |kind: trace::FaultKind, delay: u64| {
+                    if let Some(sink) = &tracer {
+                        sink.borrow_mut().record(&trace::TraceEvent::Fault {
+                            round,
+                            kind,
+                            from: node.index() as u64,
+                            to: to.index() as u64,
+                            delay,
+                        });
+                    }
+                };
+                if f.crashed[to.index()] {
+                    // A message to a crashed node is discarded; `from != to`
+                    // distinguishes this from the crash-stop event itself.
+                    f.stats.crash_dropped += 1;
+                    emit(trace::FaultKind::Crash, 0);
+                    continue;
+                }
+                match f.plan.fate(round, node.index(), to.index()) {
+                    MessageFate::Delivered => {
+                        self.inboxes[to.index()].push((node, msg));
+                        staged_count += 1;
+                    }
+                    MessageFate::Dropped => {
+                        f.stats.dropped += 1;
+                        emit(trace::FaultKind::Drop, 0);
+                    }
+                    MessageFate::Corrupted => {
+                        f.stats.corrupted += 1;
+                        emit(trace::FaultKind::Corrupt, 0);
+                    }
+                    MessageFate::LinkDropped => {
+                        f.stats.link_dropped += 1;
+                        emit(trace::FaultKind::LinkDown, 0);
+                    }
+                    MessageFate::Delayed(extra) => {
+                        f.stats.delayed += 1;
+                        emit(trace::FaultKind::Delay, extra);
+                        f.queue.push(Delayed {
+                            due: round + 1 + extra,
+                            from: node,
+                            to,
+                            msg,
+                        });
+                    }
+                }
             }
             self.staged[i] = outbox;
         }
+
+        // Phase 4b (fault plans only): merge jittered messages due at the
+        // start of the next round into the inboxes, preserving the
+        // sorted-by-sender / one-message-per-directed-edge invariant. A
+        // collision with a fresh message from the same sender defers the
+        // delayed one deterministically by one more round.
+        if let Some(f) = fault.as_mut() {
+            let mut i = 0;
+            while i < f.queue.len() {
+                if f.queue[i].due > round + 1 {
+                    i += 1;
+                    continue;
+                }
+                let Delayed { from, to, .. } = f.queue[i];
+                if f.crashed[to.index()] {
+                    f.stats.crash_dropped += 1;
+                    if let Some(sink) = &tracer {
+                        sink.borrow_mut().record(&trace::TraceEvent::Fault {
+                            round,
+                            kind: trace::FaultKind::Crash,
+                            from: from.index() as u64,
+                            to: to.index() as u64,
+                            delay: 0,
+                        });
+                    }
+                    f.queue.remove(i);
+                    continue;
+                }
+                let inbox = &mut self.inboxes[to.index()];
+                let pos = inbox.partition_point(|&(sender, _)| sender < from);
+                if inbox.get(pos).is_some_and(|&(sender, _)| sender == from) {
+                    f.queue[i].due = round + 2;
+                    f.stats.deferred += 1;
+                    i += 1;
+                    continue;
+                }
+                let Delayed { from, to, msg, .. } = f.queue.remove(i);
+                self.inboxes[to.index()].insert(pos, (from, msg));
+                staged_count += 1;
+            }
+        }
         self.in_flight = staged_count;
+        self.fault = fault;
 
         // Phase 5: recycle this round's drained inboxes (capacity kept).
         for buf in &mut self.arena {
@@ -369,7 +573,13 @@ where
     /// still installed); events emitted by programs on worker threads are
     /// captured per shard and replayed to `tracer` in shard (= node-id)
     /// order, so the stream is identical to a sequential run.
-    fn execute_sharded(&mut self, round: Round, shards: usize, tracer: &Option<trace::SharedSink>) {
+    fn execute_sharded(
+        &mut self,
+        round: Round,
+        shards: usize,
+        tracer: &Option<trace::SharedSink>,
+        crashed: Option<&[bool]>,
+    ) {
         let n = self.programs.len();
         let chunk_len = n.div_ceil(shards);
         let graph = self.graph;
@@ -403,6 +613,7 @@ where
                         programs: p,
                         statuses: s,
                         staged: o,
+                        crashed,
                     });
                     recorder.map_or_else(Vec::new, |r| r.borrow_mut().take())
                 }));
@@ -419,6 +630,7 @@ where
                 programs: head_p,
                 statuses: head_s,
                 staged: head_o,
+                crashed,
             });
             for handle in handles {
                 let events = match handle.join() {
@@ -513,6 +725,9 @@ struct ChunkCtx<'a, 'g, P: NodeProgram> {
     programs: &'a mut [P],
     statuses: &'a mut [Status],
     staged: &'a mut [Vec<(NodeId, P::Msg)>],
+    /// Per-node crash-stop flags from the fault layer (`None` when no
+    /// fault plan is active); crashed nodes are skipped entirely.
+    crashed: Option<&'a [bool]>,
 }
 
 /// Runs the execute phase for one contiguous chunk of nodes: hand each
@@ -527,6 +742,7 @@ fn run_chunk<P: NodeProgram>(ctx: ChunkCtx<'_, '_, P>) {
         programs,
         statuses,
         staged,
+        crashed,
     } = ctx;
     for (j, ((program, status), out)) in programs
         .iter_mut()
@@ -535,6 +751,11 @@ fn run_chunk<P: NodeProgram>(ctx: ChunkCtx<'_, '_, P>) {
         .enumerate()
     {
         let i = base + j;
+        if crashed.is_some_and(|c| c[i]) {
+            // Crash-stopped: the node neither reads its inbox nor sends;
+            // its status was pinned to `Halted` when the crash applied.
+            continue;
+        }
         let node = NodeId::new(i);
         let inbox = &inboxes[i];
         // The commit phase fills inboxes in ascending sender order with at
@@ -955,5 +1176,120 @@ mod tests {
         let cfg = Config::new(16).with_shards(0);
         assert_eq!(cfg.shards(), 1);
         assert_eq!(Config::new(16).with_shards(5).shards(), 5);
+    }
+
+    /// A passive plan is indistinguishable from no plan: the configs
+    /// compare equal, so every downstream run is trivially byte-identical.
+    #[test]
+    fn passive_fault_plan_is_identity() {
+        let cfg = Config::new(16);
+        assert_eq!(cfg.with_faults(FaultPlan::new(99)), cfg);
+        assert!(!cfg.with_faults(FaultPlan::new(99)).has_faults());
+        assert!(cfg
+            .with_faults(FaultPlan::new(0).with_drop(0.5))
+            .has_faults());
+    }
+
+    fn min_id_fault_run(
+        g: &Graph,
+        cfg: Config,
+    ) -> (RunStats, FaultStats, Vec<u32>, Vec<trace::TraceEvent>) {
+        let recorder = trace::Recorder::shared();
+        let (stats, faults, outputs) = {
+            let _guard = trace::install(recorder.clone());
+            let mut net = Network::new(g, cfg, |v| MinId { best: u32::from(v) });
+            let stats = net.run_until_quiescent(10_000).unwrap();
+            let faults = net.fault_stats();
+            (stats, faults, net.into_outputs())
+        };
+        let events = recorder.borrow_mut().take();
+        (stats, faults, outputs, events)
+    }
+
+    /// The determinism contract under faults: a lossy, jittery run replays
+    /// byte-identically (stats, fault stats, outputs, trace stream) at
+    /// every shard count.
+    #[test]
+    fn faulty_runs_replay_byte_identically_across_shards() {
+        let g = generators::random_connected(25, 0.15, 7);
+        let plan = FaultPlan::new(11)
+            .with_drop(0.1)
+            .with_corrupt(0.05)
+            .with_delay(0.2, 3)
+            .with_crash(5, 4)
+            .with_link_failure(0, 1, 2..6);
+        let cfg = Config::for_graph(&g).with_faults(plan);
+        let baseline = min_id_fault_run(&g, cfg);
+        assert!(baseline.1.lost() > 0, "plan injected nothing");
+        for shards in [1, 2, 4, 7, 25] {
+            let run = min_id_fault_run(&g, cfg.with_shards(shards));
+            assert_eq!(run, baseline, "faulty run diverged at {shards} shards");
+        }
+    }
+
+    /// A crash-stopped node goes silent: it stops flooding, its output
+    /// freezes at the crash-time state, and traffic addressed to it is
+    /// discarded (and counted).
+    #[test]
+    fn crash_stop_silences_a_node() {
+        let g = generators::path(3);
+        let cfg = Config::for_graph(&g).with_faults(FaultPlan::new(0).with_crash(2, 0));
+        let (stats, faults, outputs, events) = min_id_fault_run(&g, cfg);
+        assert_eq!(outputs, vec![0, 0, 2], "node 2 crashed before learning 0");
+        assert_eq!(faults.crashes, 1);
+        assert!(faults.crash_dropped > 0, "messages to node 2 not discarded");
+        assert!(stats.messages > 0);
+        assert!(events.contains(&trace::TraceEvent::Fault {
+            round: 0,
+            kind: trace::FaultKind::Crash,
+            from: 2,
+            to: 2,
+            delay: 0,
+        }));
+    }
+
+    /// A scheduled link failure loses exactly the messages crossing the
+    /// edge during its interval, in both directions.
+    #[test]
+    fn link_failure_blocks_scheduled_rounds() {
+        let g = generators::path(3);
+        let cfg =
+            Config::for_graph(&g).with_faults(FaultPlan::new(0).with_link_failure(0, 1, 0..100));
+        let (_, faults, outputs, _) = min_id_fault_run(&g, cfg);
+        // The 0-1 link is down for the whole run, so id 0 never escapes
+        // node 0; nodes 1 and 2 converge on 1.
+        assert_eq!(outputs, vec![0, 1, 1]);
+        assert_eq!(faults.link_dropped, 2, "round-0 messages 0→1 and 1→0");
+    }
+
+    /// Full jitter: every message is delayed, yet the flood still converges
+    /// (delayed messages are delivered, the sorted-inbox invariant holds —
+    /// enforced by `debug_assert!` — and quiescence waits for the queue).
+    #[test]
+    fn jitter_delays_but_does_not_lose_messages() {
+        let g = generators::random_connected(12, 0.3, 3);
+        let cfg = Config::for_graph(&g).with_faults(FaultPlan::new(5).with_delay(1.0, 4));
+        let (stats, faults, outputs, _) = min_id_fault_run(&g, cfg);
+        assert!(outputs.iter().all(|&b| b == 0), "flood failed to converge");
+        assert_eq!(faults.delayed, stats.messages, "every send was jittered");
+        assert_eq!(faults.lost(), 0);
+        let no_fault = min_id_run(&g, Config::for_graph(&g));
+        assert!(
+            stats.rounds > no_fault.0.rounds,
+            "jitter should stretch the schedule"
+        );
+    }
+
+    /// Dropped messages still charge the sender's bandwidth: `RunStats`
+    /// counts sends, the fault layer separately counts losses.
+    #[test]
+    fn dropped_messages_are_accounted_as_sent() {
+        let g = generators::path(3);
+        let cfg = Config::for_graph(&g).with_faults(FaultPlan::new(1).with_drop(1.0));
+        let (stats, faults, outputs, _) = min_id_fault_run(&g, cfg);
+        // Round 0's broadcasts all drop; nobody ever improves again.
+        assert_eq!(outputs, vec![0, 1, 2]);
+        assert_eq!(stats.messages, 4, "path(3) round-0 broadcasts");
+        assert_eq!(faults.dropped, 4);
     }
 }

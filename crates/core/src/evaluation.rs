@@ -114,6 +114,11 @@ pub fn run_windowed(
     let sources: Vec<(NodeId, u64)> = window.iter().map(|&(v, t)| (v, t)).collect();
     let wave = waves::run(graph, &sources, 6 * d64 + 1, config)?;
     ledger.add("step 2: waves (6d rounds)", wave.stats);
+    if config.has_faults() {
+        // Lemmas 2-4: exactly one wave per (source, node) pair survives.
+        // Any shortfall means f(u0) would be an undetected under-estimate.
+        wave.verify_complete(&sources)?;
+    }
 
     // Step 3: bottom-up max on the aggregation tree.
     let values: Vec<u64> = wave.max_dist.iter().map(|&x| x as u64).collect();

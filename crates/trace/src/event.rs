@@ -24,6 +24,36 @@ impl OracleOp {
     }
 }
 
+/// The kind of an injected fault (see the `congest::faults` module for the
+/// injection semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A message was lost in transit (random drop).
+    Drop,
+    /// A message arrived garbled and was discarded by the receiver.
+    Corrupt,
+    /// A message was lost to a scheduled link failure.
+    LinkDown,
+    /// A node crash-stopped (`from == to`), or a message addressed to a
+    /// crashed node was discarded (`from != to`).
+    Crash,
+    /// A message was delayed by `delay` extra rounds of jitter.
+    Delay,
+}
+
+impl FaultKind {
+    /// The JSON encoding of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::LinkDown => "link-down",
+            FaultKind::Crash => "crash",
+            FaultKind::Delay => "delay",
+        }
+    }
+}
+
 /// One structured telemetry event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
@@ -116,6 +146,21 @@ pub enum TraceEvent {
         /// Distinct `(tau, dist)` values among the surviving messages.
         distinct: u64,
     },
+    /// One injected fault (emitted by the scheduler's fault layer, exactly
+    /// one event per injected fault).
+    Fault {
+        /// Round in which the fault was injected.
+        round: u64,
+        /// What went wrong.
+        kind: FaultKind,
+        /// Sending node id (for [`FaultKind::Crash`] with `from == to`:
+        /// the crashed node itself).
+        from: u64,
+        /// Receiving node id.
+        to: u64,
+        /// Extra delivery rounds ([`FaultKind::Delay`] only; 0 otherwise).
+        delay: u64,
+    },
     /// A named scalar outcome (e.g. the evaluated `f(u0)`).
     Value {
         /// What the scalar is.
@@ -205,6 +250,20 @@ impl TraceEvent {
                 ("surviving", int(*surviving)),
                 ("distinct", int(*distinct)),
             ]),
+            TraceEvent::Fault {
+                round,
+                kind,
+                from,
+                to,
+                delay,
+            } => Json::obj([
+                ("type", Json::Str("fault".into())),
+                ("round", int(*round)),
+                ("kind", Json::Str(kind.as_str().into())),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("delay", int(*delay)),
+            ]),
             TraceEvent::Value { label, value } => Json::obj([
                 ("type", Json::Str("value".into())),
                 ("label", Json::Str(label.clone())),
@@ -281,6 +340,20 @@ impl TraceEvent {
                 surviving: u("surviving")?,
                 distinct: u("distinct")?,
             }),
+            "fault" => Ok(TraceEvent::Fault {
+                round: u("round")?,
+                kind: match s("kind")?.as_str() {
+                    "drop" => FaultKind::Drop,
+                    "corrupt" => FaultKind::Corrupt,
+                    "link-down" => FaultKind::LinkDown,
+                    "crash" => FaultKind::Crash,
+                    "delay" => FaultKind::Delay,
+                    other => return Err(format!("unknown fault kind {other:?}")),
+                },
+                from: u("from")?,
+                to: u("to")?,
+                delay: u("delay")?,
+            }),
             "value" => Ok(TraceEvent::Value {
                 label: s("label")?,
                 value: u("value")?,
@@ -342,6 +415,20 @@ mod tests {
                 surviving: 1,
                 distinct: 1,
             },
+            TraceEvent::Fault {
+                round: 6,
+                kind: FaultKind::Delay,
+                from: 2,
+                to: 9,
+                delay: 3,
+            },
+            TraceEvent::Fault {
+                round: 1,
+                kind: FaultKind::Crash,
+                from: 4,
+                to: 4,
+                delay: 0,
+            },
             TraceEvent::Value {
                 label: "ecc \"leader\"".into(),
                 value: 8,
@@ -375,6 +462,10 @@ mod tests {
             TraceEvent::from_json(r#"{"type":"oracle","op":"mystery","index":0,"rounds":1}"#)
                 .is_err()
         );
+        assert!(TraceEvent::from_json(
+            r#"{"type":"fault","round":1,"kind":"gremlin","from":0,"to":1,"delay":0}"#
+        )
+        .is_err());
         assert!(TraceEvent::from_json("not json").is_err());
     }
 }

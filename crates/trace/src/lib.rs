@@ -34,7 +34,7 @@ pub mod json;
 pub mod sink;
 pub mod summary;
 
-pub use event::{OracleOp, TraceEvent};
+pub use event::{FaultKind, OracleOp, TraceEvent};
 pub use json::Json;
 pub use sink::{parse_jsonl, read_jsonl, FileSink, Recorder, SharedSink, TraceSink};
 pub use summary::{EdgeTotals, PhaseTotals, Summary};

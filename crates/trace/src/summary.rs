@@ -67,6 +67,10 @@ pub struct Summary {
     pub oracle_evaluation_rounds: u64,
     /// Qubit high-water per scope.
     qubits: Vec<(String, u64)>,
+    /// Injected faults (`Fault` events), total.
+    pub faults: u64,
+    /// Injected faults per kind, in first-seen order.
+    fault_kinds: Vec<(String, u64)>,
     /// Wave observations with at least one surviving message.
     pub wave_observations: u64,
     /// Maximum surviving wave messages seen at any node in any round.
@@ -115,6 +119,11 @@ impl Summary {
     /// Named scalar outcomes, in emission order.
     pub fn values(&self) -> &[(String, u64)] {
         &self.values
+    }
+
+    /// Injected-fault counts per kind, in first-seen order.
+    pub fn fault_kinds(&self) -> &[(String, u64)] {
+        &self.fault_kinds
     }
 
     /// Total rounds charged across non-derived phase spans.
@@ -221,6 +230,15 @@ impl TraceSink for Summary {
                 self.wave_max_surviving = self.wave_max_surviving.max(*surviving);
                 self.wave_max_distinct = self.wave_max_distinct.max(*distinct);
             }
+            TraceEvent::Fault { kind, .. } => {
+                self.faults += 1;
+                let name = kind.as_str();
+                if let Some(entry) = self.fault_kinds.iter_mut().find(|(k, _)| k == name) {
+                    entry.1 += 1;
+                } else {
+                    self.fault_kinds.push((name.to_string(), 1));
+                }
+            }
             TraceEvent::Value { label, value } => {
                 self.values.push((label.clone(), *value));
             }
@@ -269,6 +287,15 @@ impl fmt::Display for Summary {
         }
         for (scope, qubits) in &self.qubits {
             writeln!(f, "  qubit high-water [{scope}]: {qubits}")?;
+        }
+        if self.faults > 0 {
+            let kinds = self
+                .fault_kinds
+                .iter()
+                .map(|(k, c)| format!("{k} {c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(f, "  faults injected: {} ({kinds})", self.faults)?;
         }
         if self.wave_observations > 0 {
             writeln!(
@@ -459,6 +486,43 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn aggregates_faults_per_kind() {
+        use crate::event::FaultKind;
+        let events = vec![
+            TraceEvent::Fault {
+                round: 0,
+                kind: FaultKind::Drop,
+                from: 0,
+                to: 1,
+                delay: 0,
+            },
+            TraceEvent::Fault {
+                round: 1,
+                kind: FaultKind::Drop,
+                from: 1,
+                to: 2,
+                delay: 0,
+            },
+            TraceEvent::Fault {
+                round: 2,
+                kind: FaultKind::Delay,
+                from: 2,
+                to: 0,
+                delay: 4,
+            },
+        ];
+        let summary = Summary::from_events(&events);
+        assert_eq!(summary.faults, 3);
+        assert_eq!(
+            summary.fault_kinds(),
+            &[("drop".to_string(), 2), ("delay".to_string(), 1)]
+        );
+        let text = summary.to_string();
+        assert!(text.contains("faults injected: 3"), "{text}");
+        assert!(text.contains("drop 2"), "{text}");
     }
 
     #[test]

@@ -20,6 +20,9 @@ else
   echo "=== cargo clippy not installed; skipping lint check ==="
 fi
 
+echo "=== rustdoc (warnings are errors) ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet || status=1
+
 echo "=== tier-1: cargo build --release && cargo test ==="
 cargo build --release --offline || status=1
 cargo test -q --offline || status=1

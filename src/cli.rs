@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 
 use classical::hprw::HprwParams;
-use congest::Config;
+use congest::{Config, FaultPlan};
 use diameter_quantum::approx::{self, ApproxParams};
 use diameter_quantum::exact::ExactParams;
 use diameter_quantum::{exact, exact_simple};
@@ -116,6 +116,9 @@ pub struct Options {
     pub trace: Option<String>,
     /// Worker shards for the simulator's execute phase (1 = sequential).
     pub shards: usize,
+    /// Fault-injection spec (see [`congest::FaultPlan::parse`]); validated
+    /// at parse time, kept as the raw text so reports can echo it.
+    pub faults: Option<String>,
 }
 
 impl Default for Options {
@@ -133,6 +136,7 @@ impl Default for Options {
             verbose: false,
             trace: None,
             shards: 1,
+            faults: None,
         }
     }
 }
@@ -170,8 +174,22 @@ OPTIONS:
   --trace PATH write a JSONL event trace of the run to PATH
   --shards K   run node programs on K worker threads per round (default: 1);
                results are byte-identical to the sequential scheduler
+  --faults S   inject deterministic message/node faults; S is a comma-
+               separated list of: seed=<u64>  drop=<p>  corrupt=<p>
+               delay=<p>:<max>  link=<u>-<v>@<start>..<end>
+               crash=<node>@<round>. Algorithms either still answer
+               correctly or fail with a typed fault-detection error.
   --verbose    print per-phase round ledgers
   --help       this message
+
+ENVIRONMENT:
+  QD_FAULTS       fault spec applied when --faults is absent (same grammar);
+                  also honored by the experiment binaries in crates/bench
+  QD_SHARDS       worker shards for the experiment binaries (default 1)
+  QD_SCALE        sweep-size multiplier for the experiment binaries
+  QD_RESULTS_DIR  where experiment binaries write JSON artifacts
+                  (default: results)
+  QD_TEST_SHARDS  shard counts exercised by the property-test suite
 ";
 
 /// A fully parsed invocation: either an algorithm run or a trace-file query.
@@ -255,6 +273,11 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 if opts.shards == 0 {
                     return Err("--shards must be positive".into());
                 }
+            }
+            "--faults" => {
+                let spec = value("--faults")?;
+                FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+                opts.faults = Some(spec.clone());
             }
             "--verbose" => opts.verbose = true,
             other => return Err(format!("unknown option '{other}'")),
@@ -360,9 +383,25 @@ pub fn trace_summary(path: &str) -> Result<String, String> {
     Ok(format!("{summary}"))
 }
 
+/// Resolves the fault spec with `--faults` taking precedence over the
+/// `QD_FAULTS` environment variable. Factored out of [`run`] so precedence
+/// is testable without mutating the test process's environment.
+fn resolve_faults(
+    flag: Option<&str>,
+    env: Option<&str>,
+) -> Result<Option<(String, FaultPlan)>, String> {
+    let Some(spec) = flag.or(env) else {
+        return Ok(None);
+    };
+    let plan = FaultPlan::parse(spec).map_err(|e| format!("fault spec '{spec}': {e}"))?;
+    Ok(Some((spec.to_string(), plan)))
+}
+
 fn run_report(opts: &Options) -> Result<String, String> {
     let g = build_graph(opts)?;
-    let cfg = Config::for_graph(&g).with_shards(opts.shards);
+    let mut cfg = Config::for_graph(&g).with_shards(opts.shards);
+    let env_faults = std::env::var("QD_FAULTS").ok();
+    let faults = resolve_faults(opts.faults.as_deref(), env_faults.as_deref())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -371,6 +410,10 @@ fn run_report(opts: &Options) -> Result<String, String> {
         g.len(),
         g.num_edges()
     );
+    if let Some((spec, plan)) = faults {
+        let _ = writeln!(out, "faults: {spec}");
+        cfg = cfg.with_faults(plan);
+    }
     match opts.algorithm {
         Algorithm::Exact | Algorithm::Simple => {
             let params = ExactParams::new(opts.seed).with_failure_prob(opts.delta);
@@ -530,6 +573,40 @@ mod tests {
             let sharded = run(&parse(&args(&format!("{base} --shards 3"))).unwrap()).unwrap();
             assert_eq!(sequential, sharded, "{algo} diverged under --shards");
         }
+    }
+
+    #[test]
+    fn faults_flag_parses_and_rejects() {
+        let o = parse(&args("classical --faults drop=0.1,seed=7")).unwrap();
+        assert_eq!(o.faults.as_deref(), Some("drop=0.1,seed=7"));
+        assert!(parse(&args("classical --faults drop=two")).is_err());
+        assert!(parse(&args("classical --faults")).is_err());
+    }
+
+    #[test]
+    fn faults_flag_takes_precedence_over_env() {
+        let from_flag = resolve_faults(Some("drop=0.5"), Some("drop=0.1"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(from_flag.0, "drop=0.5");
+        let from_env = resolve_faults(None, Some("crash=3@2")).unwrap().unwrap();
+        assert_eq!(from_env.0, "crash=3@2");
+        assert!(resolve_faults(None, None).unwrap().is_none());
+        assert!(resolve_faults(None, Some("nonsense")).is_err());
+    }
+
+    /// A total drop plan cannot yield a silently wrong answer: the run
+    /// fails with a typed fault-detection error naming a round.
+    #[test]
+    fn faulty_run_degrades_to_a_typed_error() {
+        let o = parse(&args("classical --family path --n 8 --faults drop=1.0")).unwrap();
+        let err = run(&o).unwrap_err();
+        assert!(err.contains("fault detected at round"), "{err}");
+        // A passive plan (seed only) changes nothing but the report header.
+        let o = parse(&args("classical --family path --n 8 --faults seed=5")).unwrap();
+        let report = run(&o).unwrap();
+        assert!(report.contains("diameter: 7"), "{report}");
+        assert!(report.contains("faults: seed=5"), "{report}");
     }
 
     #[test]

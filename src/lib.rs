@@ -44,6 +44,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Compiles and runs every fenced Rust block in README.md as a doctest, so
+/// the quickstart can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 pub mod cli;
 
 pub use classical;

@@ -1,10 +1,14 @@
 //! Failure-injection and edge-case tests: every driver must fail *loudly
-//! and typed* on broken inputs, never return garbage.
+//! and typed* on broken inputs, never return garbage — including under the
+//! seeded fault plans of `congest::faults`, where the contract is "correct
+//! answer or a `FaultDetected` error naming the round", never a silently
+//! wrong diameter.
 
 use congest_diameter::prelude::*;
+use proptest::prelude::*;
 
 use classical::hprw::{self, HprwParams};
-use congest::{BandwidthPolicy, CongestError};
+use congest::{BandwidthPolicy, CongestError, FaultPlan, FaultStats};
 use quantum_diameter::{approx, exact};
 
 /// With a bandwidth budget far below O(log n), every algorithm must abort
@@ -136,6 +140,240 @@ fn tiny_networks_everywhere() {
         );
         assert_eq!(classical::girth::compute(&g, cfg).unwrap().girth, None);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: determinism and graceful degradation.
+// ---------------------------------------------------------------------------
+
+/// Min-id flood used as the fault-determinism workload (mirrors the
+/// scheduler-equivalence workload in `tests/property.rs`).
+#[derive(Clone, Debug)]
+struct IdMsg(u32, usize);
+impl congest::Payload for IdMsg {
+    fn size_bits(&self) -> usize {
+        congest::bits::for_node(self.1)
+    }
+}
+struct MinIdFlood {
+    best: u32,
+}
+impl congest::NodeProgram for MinIdFlood {
+    type Msg = IdMsg;
+    type Output = u32;
+    fn on_round(&mut self, ctx: &mut congest::RoundCtx<'_, IdMsg>) -> congest::Status {
+        let mut improved = ctx.round() == 0;
+        for &(_, IdMsg(v, _)) in ctx.inbox() {
+            if v < self.best {
+                self.best = v;
+                improved = true;
+            }
+        }
+        if improved {
+            ctx.broadcast(IdMsg(self.best, ctx.num_nodes()));
+        }
+        congest::Status::Halted
+    }
+    fn finish(self, _node: NodeId) -> u32 {
+        self.best
+    }
+}
+
+/// Runs the flood under `cfg` with a trace recorder installed, returning
+/// everything the fault-replay contract covers: outputs, run stats, fault
+/// stats, and the full trace event stream (including `Fault` events).
+fn faulty_flood_run(
+    g: &Graph,
+    cfg: Config,
+) -> (RunStats, FaultStats, Vec<u32>, Vec<trace::TraceEvent>) {
+    let recorder = trace::Recorder::shared();
+    let (stats, faults, outputs) = {
+        let _guard = trace::install(recorder.clone());
+        let mut net = congest::Network::new(g, cfg, |v| MinIdFlood { best: u32::from(v) });
+        let stats = net.run_until_quiescent(100_000).unwrap();
+        let faults = net.fault_stats();
+        (stats, faults, net.into_outputs())
+    };
+    let events = recorder.borrow_mut().take();
+    (stats, faults, outputs, events)
+}
+
+/// A connected random graph for the fault-replay properties.
+fn arb_graph() -> impl Strategy<Value = graphs::Graph> {
+    (4usize..24, 0u64..1_000_000)
+        .prop_map(|(n, seed)| graphs::generators::random_connected(n, 0.15, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole's replay contract: a faulty run is byte-identical —
+    /// same RunStats, same FaultStats, same outputs, same trace event
+    /// stream — across shard counts {1, 2, 4}, because fault fates are a
+    /// pure function of (plan seed, round, edge), decided in the
+    /// sequential commit phase.
+    #[test]
+    fn faulty_runs_replay_across_shard_counts(g in arb_graph(), fseed in 0u64..1_000) {
+        let plan = FaultPlan::new(fseed)
+            .with_drop(0.08)
+            .with_corrupt(0.04)
+            .with_delay(0.15, 3)
+            .with_link_failure(0, 1, 1..5)
+            .with_crash(g.len() - 1, 3);
+        let cfg = Config::for_graph(&g).with_faults(plan);
+        let (stats, faults, outputs, events) = faulty_flood_run(&g, cfg);
+        for shards in [2usize, 4] {
+            let (stats_k, faults_k, outputs_k, events_k) =
+                faulty_flood_run(&g, cfg.with_shards(shards));
+            prop_assert_eq!(stats_k, stats, "run stats diverged at {} shards", shards);
+            prop_assert_eq!(faults_k, faults, "fault stats diverged at {} shards", shards);
+            prop_assert_eq!(&outputs_k, &outputs, "outputs diverged at {} shards", shards);
+            prop_assert_eq!(&events_k, &events, "trace diverged at {} shards", shards);
+        }
+    }
+
+    /// A passive plan (seed only, nothing enabled) is a strict identity:
+    /// stats, outputs, and traces match a config with no plan at all, and
+    /// the configs compare equal.
+    #[test]
+    fn passive_fault_plan_is_identity(g in arb_graph(), fseed in 0u64..1_000) {
+        let base = Config::for_graph(&g);
+        let passive = base.with_faults(FaultPlan::new(fseed));
+        prop_assert_eq!(passive, base);
+        let (stats, faults, outputs, events) = faulty_flood_run(&g, base);
+        prop_assert_eq!(faults, FaultStats::default());
+        let (stats_p, faults_p, outputs_p, events_p) = faulty_flood_run(&g, passive);
+        prop_assert_eq!(stats_p, stats);
+        prop_assert_eq!(faults_p, FaultStats::default());
+        prop_assert_eq!(&outputs_p, &outputs);
+        prop_assert_eq!(&events_p, &events);
+    }
+}
+
+/// Asserts the fault contract for one driver result: either the right
+/// answer, or a `FaultDetected` error whose rendering names the round.
+/// Returns whether degradation was detected.
+fn correct_or_detected(
+    result: Result<graphs::Dist, AlgoError>,
+    truth: graphs::Dist,
+    context: &str,
+) -> bool {
+    match result {
+        Ok(d) => {
+            assert_eq!(d, truth, "{context}: silently wrong diameter");
+            false
+        }
+        Err(e @ AlgoError::FaultDetected { .. }) => {
+            assert!(
+                e.to_string().contains("fault detected at round"),
+                "{context}: error does not name a round: {e}"
+            );
+            true
+        }
+        Err(e) => panic!("{context}: untyped failure under faults: {e:?}"),
+    }
+}
+
+/// Message drops: across a sweep of fault seeds, the classical exact
+/// driver and the quantum exact driver (Theorem 1) always either answer
+/// correctly or fail with `FaultDetected` — and the sweep actually
+/// exercises both outcomes.
+#[test]
+fn exact_drivers_degrade_gracefully_under_drops() {
+    let g = graphs::generators::random_connected(22, 0.15, 11);
+    let truth = graphs::metrics::diameter(&g).unwrap();
+    let mut detected = 0u32;
+    let mut correct = 0u32;
+    for fseed in 0..12u64 {
+        // Alternate heavy and feather-light loss so the sweep exercises
+        // both contract arms: detection (2% over thousands of messages is
+        // near-certain to hit a protocol edge) and unharmed completion.
+        let p = if fseed % 2 == 0 { 0.02 } else { 2e-5 };
+        let plan = FaultPlan::new(fseed).with_drop(p);
+        let cfg = Config::for_graph(&g).with_faults(plan);
+        let classical_result = classical::apsp::exact_diameter(&g, cfg).map(|out| out.diameter);
+        if correct_or_detected(classical_result, truth, "classical apsp") {
+            detected += 1;
+        } else {
+            correct += 1;
+        }
+        let quantum_result = match exact::diameter(&g, ExactParams::new(fseed), cfg) {
+            Ok(run) => Ok(run.value),
+            Err(QdError::Classical(e)) => Err(e),
+            Err(e) => panic!("quantum exact: untyped failure under faults: {e:?}"),
+        };
+        correct_or_detected(quantum_result, truth, "quantum exact");
+    }
+    assert!(detected > 0, "sweep never tripped fault detection");
+    assert!(correct > 0, "sweep never completed a faulty run correctly");
+}
+
+/// The 3/2-approximation drivers under drops: correct-to-guarantee or
+/// typed detection, never a silently out-of-range estimate.
+#[test]
+fn approx_drivers_degrade_gracefully_under_drops() {
+    let g = graphs::generators::random_connected(20, 0.18, 5);
+    let truth = graphs::metrics::diameter(&g).unwrap();
+    for fseed in 0..8u64 {
+        let plan = FaultPlan::new(fseed).with_drop(0.02);
+        let cfg = Config::for_graph(&g).with_faults(plan);
+        match hprw::approx_diameter(&g, HprwParams::classical(g.len(), fseed), cfg) {
+            Ok(run) => assert!(
+                run.estimate <= truth && run.estimate >= (2 * truth) / 3,
+                "hprw estimate {} out of range for D={truth}",
+                run.estimate
+            ),
+            Err(AlgoError::FaultDetected { .. }) => {}
+            Err(e) => panic!("hprw: untyped failure under faults: {e:?}"),
+        }
+        match approx::diameter(&g, ApproxParams::new(fseed), cfg) {
+            Ok(run) => assert!(
+                run.estimate <= truth && run.estimate >= (2 * truth) / 3,
+                "quantum approx estimate {} out of range for D={truth}",
+                run.estimate
+            ),
+            Err(QdError::Classical(AlgoError::FaultDetected { .. })) => {}
+            Err(e) => panic!("quantum approx: untyped failure under faults: {e:?}"),
+        }
+    }
+}
+
+/// Crash-stopping a node mid-protocol is always detected: the diameter of
+/// the surviving network is not the diameter that was asked for.
+#[test]
+fn crash_stops_are_always_detected() {
+    let g = graphs::generators::random_connected(18, 0.2, 3);
+    for crashed in [0usize, 7, 17] {
+        let plan = FaultPlan::new(1).with_crash(crashed, 2);
+        let cfg = Config::for_graph(&g).with_faults(plan);
+        let err = classical::apsp::exact_diameter(&g, cfg).unwrap_err();
+        assert!(
+            matches!(err, AlgoError::FaultDetected { .. }),
+            "crash of {crashed} gave {err:?}"
+        );
+    }
+}
+
+/// Pure delivery jitter loses nothing, but it breaks the paper's timing
+/// lemmas (a wave arriving late violates Lemma 3's arrival equation), so
+/// runs either absorb it or report it — and heavy jitter is reported.
+#[test]
+fn jitter_is_detected_when_it_breaks_the_schedule() {
+    let g = graphs::generators::random_connected(16, 0.2, 9);
+    let truth = graphs::metrics::diameter(&g).unwrap();
+    let mut detected = 0u32;
+    for fseed in 0..6u64 {
+        let plan = FaultPlan::new(fseed).with_delay(0.9, 3);
+        let cfg = Config::for_graph(&g).with_faults(plan);
+        if correct_or_detected(
+            classical::apsp::exact_diameter(&g, cfg).map(|out| out.diameter),
+            truth,
+            "classical apsp under jitter",
+        ) {
+            detected += 1;
+        }
+    }
+    assert!(detected > 0, "heavy jitter was never detected");
 }
 
 /// The quantum maximize resource cap aborts gracefully: the run completes,
