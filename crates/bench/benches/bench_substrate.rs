@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use congest::{bits, Config, Network, NodeProgram, Payload, RoundCtx, Status};
+use congest::{
+    bits, Config, Network, NodeProgram, Payload, RoundCtx, RunStats, Scheduling, Status,
+};
 use graphs::{Graph, NodeId};
 
 fn bench_girth(c: &mut Criterion) {
@@ -283,11 +285,282 @@ fn bench_scheduler_hot_loop(c: &mut Criterion) {
     );
 }
 
+/// One DFS token step: the current move index (payload width precomputed
+/// by the program).
+#[derive(Clone, Debug)]
+struct WalkToken(u64, usize);
+impl Payload for WalkToken {
+    fn size_bits(&self) -> usize {
+        self.1
+    }
+}
+
+/// The sparsest workload the active-set scheduler targets: a single token
+/// walking the Euler tour of a spanning tree, so exactly one node has
+/// anything to do each round (mirrors `classical::dfs_walk`, inlined here
+/// so the bench can read `Network::scheduled_nodes`).
+struct TokenWalk {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    next_child: usize,
+    start: bool,
+    steps: u64,
+    t_bits: usize,
+    visits: u64,
+}
+
+impl NodeProgram for TokenWalk {
+    type Msg = WalkToken;
+    type Output = u64;
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, WalkToken>) -> Status {
+        let mut token = (self.start && ctx.round() == 0).then_some(0);
+        for &(_, WalkToken(t, _)) in ctx.inbox() {
+            token = Some(t);
+        }
+        if let Some(t) = token {
+            self.visits += 1;
+            if t < self.steps {
+                let to = match self.children.get(self.next_child) {
+                    Some(&c) => {
+                        self.next_child += 1;
+                        Some(c)
+                    }
+                    None => self.parent,
+                };
+                if let Some(to) = to {
+                    ctx.send(to, WalkToken(t + 1, self.t_bits));
+                }
+            }
+        }
+        // Token-driven: round 0 is covered by the initial Active status.
+        Status::Halted
+    }
+    fn finish(self, _node: NodeId) -> u64 {
+        self.visits
+    }
+}
+
+/// Runs the full `2(n-1)`-move tour; returns stats, per-node visit
+/// counts, and the scheduler's executed-node count.
+fn token_walk(g: &Graph, tree: &classical::TreeView, cfg: Config) -> (RunStats, Vec<u64>, u64) {
+    let steps = 2 * (g.len() as u64 - 1);
+    let t_bits = bits::for_value(steps.max(1));
+    let mut net = Network::new(g, cfg, |v| TokenWalk {
+        parent: tree.parent(v),
+        children: tree.children(v).to_vec(),
+        next_child: 0,
+        start: v == tree.root(),
+        steps,
+        t_bits,
+        visits: 0,
+    });
+    let stats = net.run_until_quiescent(steps + 4).unwrap();
+    let scheduled = net.scheduled_nodes();
+    (stats, net.into_outputs(), scheduled)
+}
+
+/// The adversarial counterpart: every node broadcasts every round until a
+/// fixed horizon, so the active set is always full and the active-set
+/// bookkeeping is pure overhead.
+struct Chatter {
+    horizon: u64,
+    heard: u64,
+}
+
+impl NodeProgram for Chatter {
+    type Msg = WalkToken;
+    type Output = u64;
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, WalkToken>) -> Status {
+        for &(_, WalkToken(t, _)) in ctx.inbox() {
+            self.heard = self.heard.wrapping_add(t);
+        }
+        if ctx.round() < self.horizon {
+            ctx.broadcast(WalkToken(ctx.round(), bits::for_value(self.horizon)));
+            Status::Active
+        } else {
+            Status::Halted
+        }
+    }
+    fn finish(self, _node: NodeId) -> u64 {
+        self.heard
+    }
+}
+
+fn chatter(g: &Graph, cfg: Config, horizon: u64) -> (RunStats, Vec<u64>, u64) {
+    let mut net = Network::new(g, cfg, |_| Chatter { horizon, heard: 0 });
+    let stats = net.run_until_quiescent(horizon + 4).unwrap();
+    let scheduled = net.scheduled_nodes();
+    (stats, net.into_outputs(), scheduled)
+}
+
+/// Times two alternatives over `samples` interleaved repetitions (one
+/// sample of each per iteration, so slow machine-load drift hits both
+/// sides equally) and returns their median seconds.
+fn timed_pair(samples: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let mut ta = Vec::with_capacity(samples);
+    let mut tb = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        a();
+        ta.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        b();
+        tb.push(t.elapsed().as_secs_f64());
+    }
+    (median(ta), median(tb))
+}
+
+/// The active-set scheduler's performance contract (see the `Scheduling`
+/// docs): on workloads where most nodes idle most rounds, skipping the
+/// idle nodes must buy real throughput (≥ 2× on the DFS token walk); on
+/// dense all-active workloads the bookkeeping must stay in the noise
+/// (< 5% on the chatter broadcast). Publishes `BENCH_scheduler.json` at
+/// the repo root with rounds/sec and the measured active-node fraction
+/// for both schedulers on both workloads.
+fn bench_scheduler_sparse(c: &mut Criterion) {
+    let g = graphs::generators::random_sparse(256, 5.0, 11);
+    let n = g.len();
+    let dense = Config::for_graph(&g).with_scheduling(Scheduling::Dense);
+    let sparse = Config::for_graph(&g).with_scheduling(Scheduling::ActiveSet);
+    let tree = classical::TreeView::from(
+        &classical::bfs::build(&g, NodeId::new(0), dense).expect("connected"),
+    );
+    let horizon = 64u64;
+
+    // Cross-check before timing: both schedulers agree on outputs and
+    // stats (byte-identity across traces/shards/faults is enforced by the
+    // property suite), and the executed-node counts confirm the walk is
+    // genuinely sparse and the chatter genuinely dense.
+    let (walk_stats_d, walk_out_d, walk_sched_d) = token_walk(&g, &tree, dense);
+    let (walk_stats, walk_out, walk_sched) = token_walk(&g, &tree, sparse);
+    assert_eq!(walk_stats, walk_stats_d, "token walk stats diverge");
+    assert_eq!(walk_out, walk_out_d, "token walk outputs diverge");
+    assert_eq!(walk_sched_d, n as u64 * walk_stats_d.rounds);
+    assert!(
+        walk_sched * 20 < walk_sched_d,
+        "token walk is not sparse: {walk_sched} of {walk_sched_d} node executions"
+    );
+    let (chat_stats_d, chat_out_d, chat_sched_d) = chatter(&g, dense, horizon);
+    let (chat_stats, chat_out, chat_sched) = chatter(&g, sparse, horizon);
+    assert_eq!(chat_stats, chat_stats_d, "chatter stats diverge");
+    assert_eq!(chat_out, chat_out_d, "chatter outputs diverge");
+    assert_eq!(chat_sched_d, n as u64 * chat_stats_d.rounds);
+    assert!(
+        chat_sched >= chat_sched_d - n as u64,
+        "chatter should keep the active set full: {chat_sched} of {chat_sched_d}"
+    );
+
+    let mut group = c.benchmark_group("scheduler_sparse");
+    group.sample_size(10);
+    for (label, cfg) in [("dense", dense), ("active_set", sparse)] {
+        group.bench_function(BenchmarkId::new("dfs_token_walk", label), |b| {
+            b.iter(|| black_box(token_walk(black_box(&g), &tree, cfg)))
+        });
+        group.bench_function(BenchmarkId::new("chatter", label), |b| {
+            b.iter(|| black_box(chatter(black_box(&g), cfg, horizon)))
+        });
+    }
+    group.finish();
+
+    let samples = 50;
+    let (walk_dense_med, walk_sparse_med) = timed_pair(
+        samples,
+        || {
+            black_box(token_walk(&g, &tree, dense));
+        },
+        || {
+            black_box(token_walk(&g, &tree, sparse));
+        },
+    );
+    let (chat_dense_med, chat_sparse_med) = timed_pair(
+        samples,
+        || {
+            black_box(chatter(&g, dense, horizon));
+        },
+        || {
+            black_box(chatter(&g, sparse, horizon));
+        },
+    );
+
+    let rps = |rounds: u64, secs: f64| rounds as f64 / secs;
+    let frac = |sched: u64, rounds: u64| sched as f64 / (n as f64 * rounds as f64);
+    println!(
+        "scheduler_sparse: dfs token walk {:.1} µs dense / {:.1} µs active-set \
+         ({:.1}x, active fraction {:.4}); chatter {:.1} µs dense / {:.1} µs \
+         active-set ({:+.1}%, active fraction {:.4})",
+        walk_dense_med * 1e6,
+        walk_sparse_med * 1e6,
+        walk_dense_med / walk_sparse_med,
+        frac(walk_sched, walk_stats.rounds),
+        chat_dense_med * 1e6,
+        chat_sparse_med * 1e6,
+        (chat_sparse_med / chat_dense_med - 1.0) * 100.0,
+        frac(chat_sched, chat_stats.rounds),
+    );
+
+    let workload = |name: &str, stats: RunStats, sched: u64, dense_med: f64, sparse_med: f64| {
+        trace::Json::obj([
+            ("workload", trace::Json::Str(name.into())),
+            ("nodes", trace::Json::Int(n as i128)),
+            ("rounds", trace::Json::Int(i128::from(stats.rounds))),
+            (
+                "dense_rounds_per_sec",
+                trace::Json::Float(rps(stats.rounds, dense_med)),
+            ),
+            (
+                "active_set_rounds_per_sec",
+                trace::Json::Float(rps(stats.rounds, sparse_med)),
+            ),
+            ("speedup", trace::Json::Float(dense_med / sparse_med)),
+            (
+                "active_node_fraction",
+                trace::Json::Float(frac(sched, stats.rounds)),
+            ),
+        ])
+    };
+    let payload = trace::Json::obj([
+        ("experiment", trace::Json::Str("scheduler_sparse".into())),
+        (
+            "workloads",
+            trace::Json::Arr(vec![
+                workload(
+                    "dfs_token_walk",
+                    walk_stats,
+                    walk_sched,
+                    walk_dense_med,
+                    walk_sparse_med,
+                ),
+                workload(
+                    "chatter_all_active",
+                    chat_stats,
+                    chat_sched,
+                    chat_dense_med,
+                    chat_sparse_med,
+                ),
+            ]),
+        ),
+    ]);
+    bench::write_results_json_in(bench::repo_root(), "BENCH_scheduler", payload)
+        .expect("write BENCH_scheduler.json");
+
+    assert!(
+        walk_sparse_med * 2.0 <= walk_dense_med,
+        "active-set scheduler is only {:.2}x faster on the DFS token walk (gate: 2x)",
+        walk_dense_med / walk_sparse_med
+    );
+    assert!(
+        chat_sparse_med <= chat_dense_med * 1.05,
+        "active-set scheduler is {:.1}% slower on the all-active chatter (budget: 5%)",
+        (chat_sparse_med / chat_dense_med - 1.0) * 100.0
+    );
+}
+
 criterion_group!(
     benches,
     bench_girth,
     bench_source_detection,
     bench_tracing_overhead,
-    bench_scheduler_hot_loop
+    bench_scheduler_hot_loop,
+    bench_scheduler_sparse
 );
 criterion_main!(benches);

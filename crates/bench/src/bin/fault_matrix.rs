@@ -1,0 +1,204 @@
+//! **Fault matrix: detection latency.** How many rounds pass between the
+//! first injected fault and the driver raising `FaultDetected`?
+//!
+//! The fault layer (see `congest::faults`) injects deterministically from
+//! the plan seed; drivers detect degradation through protocol invariants
+//! (an underfed wave node, a lost DFS token, a blown round cap). This bin
+//! sweeps fault rates over two detection-style extremes:
+//!
+//! * `dfs_walk` — a single token carries the whole protocol, so any hit is
+//!   fatal, but the loss is only *noticed* once the network goes quiescent:
+//!   detection latency is the tail of the schedule after the hit.
+//! * `bfs` — redundant flooding absorbs most drops; the runs that do
+//!   degrade are caught by the explicit parent/child echo validation.
+//!
+//! Latency is measured from the trace stream: the injection round is the
+//! first `Fault` event the scheduler emits, the detection round is carried
+//! by [`classical::AlgoError::FaultDetected`]. Results go to
+//! `fault_matrix.json` under `QD_RESULTS_DIR` (default `results/`).
+
+use classical::AlgoError;
+use congest::{Config, FaultPlan};
+use graphs::{Graph, NodeId};
+use trace::{Json, TraceEvent};
+
+/// Aggregated outcomes of one (driver, fault-plan shape) cell.
+#[derive(Default)]
+struct Cell {
+    runs: u64,
+    /// Runs in which the scheduler injected at least one fault.
+    faulted: u64,
+    /// Faulted runs the driver flagged via `FaultDetected`.
+    detected: u64,
+    /// Faulted runs that still produced a (correct-looking) result — the
+    /// protocol absorbed the hit.
+    absorbed: u64,
+    latencies: Vec<f64>,
+}
+
+impl Cell {
+    fn record(&mut self, injected: Option<u64>, outcome: Result<(), AlgoError>) {
+        self.runs += 1;
+        let Some(inject) = injected else {
+            assert!(
+                outcome.is_ok(),
+                "fault-free run failed: {:?}",
+                outcome.err()
+            );
+            return;
+        };
+        self.faulted += 1;
+        match outcome {
+            Ok(()) => self.absorbed += 1,
+            Err(AlgoError::FaultDetected { round, .. }) => {
+                self.detected += 1;
+                self.latencies.push(round.saturating_sub(inject) as f64);
+            }
+            Err(e) => panic!("driver raised a non-fault error under faults: {e}"),
+        }
+    }
+
+    fn json(&self, driver: &str, plan: &str) -> Json {
+        let mean = if self.latencies.is_empty() {
+            Json::Null
+        } else {
+            Json::Float(bench::mean(&self.latencies))
+        };
+        let max = self.latencies.iter().cloned().fold(f64::NAN, f64::max);
+        Json::obj([
+            ("driver", Json::Str(driver.into())),
+            ("plan", Json::Str(plan.into())),
+            ("runs", Json::Int(i128::from(self.runs))),
+            ("faulted", Json::Int(i128::from(self.faulted))),
+            ("detected", Json::Int(i128::from(self.detected))),
+            ("absorbed", Json::Int(i128::from(self.absorbed))),
+            ("mean_latency_rounds", mean),
+            (
+                "max_latency_rounds",
+                if max.is_nan() {
+                    Json::Null
+                } else {
+                    Json::Float(max)
+                },
+            ),
+        ])
+    }
+
+    fn print(&self, driver: &str, plan: &str) {
+        let mean = if self.latencies.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", bench::mean(&self.latencies))
+        };
+        let max = self.latencies.iter().cloned().fold(f64::NAN, f64::max);
+        let max = if max.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{max:.0}")
+        };
+        println!(
+            "{driver:>10} {plan:>24} {:>5} {:>8} {:>9} {:>9} {mean:>14} {max:>12}",
+            self.runs, self.faulted, self.detected, self.absorbed
+        );
+    }
+}
+
+/// Runs `body` with a fresh recorder installed; returns the first injected
+/// fault's round (if any) and the driver outcome.
+fn observed(body: impl FnOnce() -> Result<(), AlgoError>) -> (Option<u64>, Result<(), AlgoError>) {
+    let recorder = trace::Recorder::shared();
+    let outcome = {
+        let _guard = trace::install(recorder.clone());
+        body()
+    };
+    let injected = recorder.borrow().events().iter().find_map(|e| match e {
+        TraceEvent::Fault { round, .. } => Some(*round),
+        _ => None,
+    });
+    (injected, outcome)
+}
+
+fn faulted_config(g: &Graph, plan: FaultPlan) -> Config {
+    Config::for_graph(g)
+        .with_shards(bench::shards())
+        .with_scheduling(bench::scheduling())
+        .with_faults(plan)
+}
+
+fn main() {
+    let scale = bench::scale();
+    let n = 96;
+    let seeds = 12 * scale as u64;
+
+    bench::rule("Fault matrix: rounds from injection to FaultDetected");
+    println!(
+        "{:>10} {:>24} {:>5} {:>8} {:>9} {:>9} {:>14} {:>12}",
+        "driver", "plan", "runs", "faulted", "detected", "absorbed", "mean latency", "max latency"
+    );
+
+    let mut cells: Vec<(String, String, Cell)> = Vec::new();
+
+    // DFS token walk under message loss: every delivered-token drop is
+    // fatal and detection waits for quiescence.
+    for &drop in &[0.002f64, 0.01, 0.05] {
+        let mut cell = Cell::default();
+        for seed in 0..seeds {
+            let g = graphs::generators::random_sparse(n, 5.0, seed);
+            let clean = Config::for_graph(&g);
+            let tree = classical::TreeView::from(
+                &classical::bfs::build(&g, NodeId::new(0), clean).expect("clean bfs"),
+            );
+            let steps = 2 * (g.len() as u64 - 1);
+            let cfg = faulted_config(&g, FaultPlan::new(seed ^ 0xD1F5).with_drop(drop));
+            let (injected, outcome) = observed(|| {
+                classical::dfs_walk::walk(&g, &tree, tree.root(), steps, cfg).map(|_| ())
+            });
+            cell.record(injected, outcome);
+        }
+        cells.push(("dfs_walk".into(), format!("drop={drop}"), cell));
+    }
+
+    // BFS under message loss (redundant flooding: most runs absorb it) and
+    // under a mid-build crash-stop (echo validation catches the hole).
+    for &drop in &[0.01f64, 0.05] {
+        let mut cell = Cell::default();
+        for seed in 0..seeds {
+            let g = graphs::generators::random_sparse(n, 5.0, seed);
+            let cfg = faulted_config(&g, FaultPlan::new(seed ^ 0xBF5).with_drop(drop));
+            let (injected, outcome) =
+                observed(|| classical::bfs::build(&g, NodeId::new(0), cfg).map(|_| ()));
+            cell.record(injected, outcome);
+        }
+        cells.push(("bfs".into(), format!("drop={drop}"), cell));
+    }
+    {
+        let mut cell = Cell::default();
+        for seed in 0..seeds {
+            let g = graphs::generators::random_sparse(n, 5.0, seed);
+            let crash_at = 1 + seed % 4;
+            let cfg = faulted_config(&g, FaultPlan::new(seed).with_crash(n / 2, crash_at));
+            let (injected, outcome) =
+                observed(|| classical::bfs::build(&g, NodeId::new(0), cfg).map(|_| ()));
+            cell.record(injected, outcome);
+        }
+        cells.push(("bfs".into(), format!("crash node {}", n / 2), cell));
+    }
+
+    let mut rows = Vec::new();
+    for (driver, plan, cell) in &cells {
+        cell.print(driver, plan);
+        rows.push(cell.json(driver, plan));
+    }
+
+    println!("\nlatency counts rounds between the scheduler's first Fault trace event");
+    println!("and the round carried by the driver's FaultDetected error; absorbed runs");
+    println!("finished despite injection (flooding redundancy), so they have no latency.");
+
+    let payload = Json::obj([
+        ("experiment", Json::Str("fault_matrix".into())),
+        ("nodes", Json::Int(n as i128)),
+        ("seeds_per_cell", Json::Int(i128::from(seeds))),
+        ("cells", Json::Arr(rows)),
+    ]);
+    bench::write_results_json("fault_matrix", payload).expect("write fault_matrix.json");
+}

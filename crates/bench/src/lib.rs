@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use congest::Config;
+use congest::{Config, Scheduling};
 use graphs::Graph;
 
 /// Experiment scale factor read from the `QD_SCALE` environment variable
@@ -76,6 +76,28 @@ pub fn shards() -> usize {
         .max(1)
 }
 
+/// Round-scheduling mode read from the `QD_SCHED` environment variable
+/// (default: the simulator's own default, [`Scheduling::ActiveSet`]).
+/// `QD_SCHED=dense cargo run --release --bin fig1_bfs` reruns an
+/// experiment on the dense reference scheduler — outputs, stats, and
+/// traces are byte-identical to the active-set scheduler, only the wall
+/// clock changes.
+///
+/// # Panics
+///
+/// Panics on an unknown mode name: a typo'd scheduler comparison must not
+/// silently measure the default.
+pub fn scheduling() -> Scheduling {
+    match std::env::var("QD_SCHED") {
+        Err(_) => Scheduling::default(),
+        Ok(s) => match s.as_str() {
+            "dense" => Scheduling::Dense,
+            "active-set" | "active" | "sparse" => Scheduling::ActiveSet,
+            other => panic!("QD_SCHED '{other}': expected 'dense' or 'active-set'"),
+        },
+    }
+}
+
 /// Fault-injection plan read from the `QD_FAULTS` environment variable
 /// (default: none). The spec grammar is [`congest::FaultPlan::parse`]'s —
 /// e.g. `QD_FAULTS=drop=0.01,seed=7 cargo run --release --bin table1_exact`
@@ -92,9 +114,12 @@ pub fn faults() -> Option<congest::FaultPlan> {
 }
 
 /// The CONGEST config every experiment binary should use: sharded per
-/// [`shards`], with any `QD_FAULTS` plan applied.
+/// [`shards`], scheduled per [`scheduling`], with any `QD_FAULTS` plan
+/// applied.
 pub fn config_for(g: &Graph) -> Config {
-    let mut cfg = Config::for_graph(g).with_shards(shards());
+    let mut cfg = Config::for_graph(g)
+        .with_shards(shards())
+        .with_scheduling(scheduling());
     if let Some(plan) = faults() {
         cfg = cfg.with_faults(plan);
     }
@@ -159,11 +184,35 @@ pub fn write_results_json(name: &str, payload: trace::Json) -> std::io::Result<s
     let dir = std::path::PathBuf::from(
         std::env::var("QD_RESULTS_DIR").unwrap_or_else(|_| "results".into()),
     );
+    write_results_json_in(dir, name, payload)
+}
+
+/// Writes one structured artifact to `<dir>/<name>.json` (ignoring
+/// `QD_RESULTS_DIR`) and returns the path written. Benches that publish
+/// gate artifacts at a fixed location — e.g. `BENCH_scheduler.json` at
+/// the [`repo_root`] — use this instead of [`write_results_json`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_results_json_in(
+    dir: impl Into<std::path::PathBuf>,
+    name: &str,
+    payload: trace::Json,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = dir.into();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, payload.render() + "\n")?;
     println!("results JSON -> {}", path.display());
     Ok(path)
+}
+
+/// The repository root, resolved from this crate's manifest directory.
+/// Stable regardless of the working directory cargo launches benches
+/// from, so fixed-location artifacts land where the driver looks.
+pub fn repo_root() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
 #[cfg(test)]
@@ -208,6 +257,32 @@ mod tests {
     #[test]
     fn shards_defaults_to_sequential() {
         assert!(shards() >= 1);
+    }
+
+    #[test]
+    fn scheduling_defaults_to_the_simulator_default() {
+        if std::env::var("QD_SCHED").is_err() {
+            assert_eq!(scheduling(), Scheduling::default());
+        }
+    }
+
+    #[test]
+    fn repo_root_is_the_workspace_root() {
+        assert!(repo_root().join("Cargo.toml").exists());
+        assert!(repo_root().join("crates/bench").exists());
+    }
+
+    #[test]
+    fn results_json_in_writes_where_told() {
+        let dir = std::env::temp_dir().join("qdiam-bench-results-in-test");
+        let payload = trace::Json::obj([("experiment", trace::Json::Str("unit-in".into()))]);
+        let path = write_results_json_in(&dir, "unit-in", payload).unwrap();
+        assert_eq!(path, dir.join("unit-in.json"));
+        let parsed = trace::Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("experiment").and_then(|v| v.as_str()),
+            Some("unit-in")
+        );
     }
 
     #[test]

@@ -89,6 +89,9 @@ impl NodeProgram for AggProgram {
                 );
             }
         }
+        // Leaves fire in round 0 (initial `Active` status); interior nodes
+        // fire on the last child report — message-driven, so `Halted` is
+        // the precise active-set vote.
         Status::Halted
     }
 
@@ -225,6 +228,8 @@ impl NodeProgram for BcastProgram {
                 );
             }
         }
+        // Message-driven relay; the root's round-0 broadcast rides on the
+        // initial `Active` status, so `Halted` is the precise vote.
         Status::Halted
     }
 

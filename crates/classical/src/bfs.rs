@@ -98,6 +98,8 @@ impl NodeProgram for BfsProgram {
                 ctx.send(parent, Msg::Claim);
             }
         }
+        // Activation/claim handling is purely message-driven; the root's
+        // round-0 start rides on the initial `Active` status.
         Status::Halted
     }
 

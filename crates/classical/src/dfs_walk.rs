@@ -106,6 +106,8 @@ impl NodeProgram for WalkProgram {
             };
             self.forward(ctx, t, arrival);
         }
+        // Token-driven: only the start node acts without a message, and
+        // only in round 0 (initial `Active` status) — `Halted` is precise.
         Status::Halted
     }
 

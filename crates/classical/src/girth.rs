@@ -157,7 +157,12 @@ impl NodeProgram for GirthProgram {
                 });
             }
         }
-        Status::Halted
+        // Sources sleep until their scheduled start; non-sources (and
+        // already-started sources) are purely message-driven.
+        match self.source {
+            Some((start, _)) if start > ctx.round() => Status::Sleep(start),
+            _ => Status::Halted,
+        }
     }
 
     fn finish(self, _node: NodeId) -> Option<Dist> {

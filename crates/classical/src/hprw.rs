@@ -108,6 +108,8 @@ impl NodeProgram for MsBfs {
                 });
             }
         }
+        // Multi-source BFS relaying is message-driven after the round-0
+        // source broadcasts (initial `Active` status).
         Status::Halted
     }
 

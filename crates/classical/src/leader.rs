@@ -49,6 +49,8 @@ impl NodeProgram for Elect {
                 n: ctx.num_nodes(),
             });
         }
+        // Purely message-driven (round-0 start is covered by the initial
+        // `Active` status), so `Halted` is the precise active-set vote.
         Status::Halted
     }
 

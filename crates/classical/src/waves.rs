@@ -176,7 +176,13 @@ impl NodeProgram for WaveProgram {
                 });
             }
         }
-        Status::Halted
+        // Precise scheduling vote: a source whose start round is still
+        // ahead sleeps until then (waves arriving earlier re-run it);
+        // everyone else is purely message-driven.
+        match self.source {
+            Some((start, _)) if start > ctx.round() => Status::Sleep(start),
+            _ => Status::Halted,
+        }
     }
 
     fn finish(self, _node: NodeId) -> WaveNodeOutcome {

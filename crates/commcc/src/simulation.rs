@@ -457,6 +457,8 @@ mod tests {
             if improved {
                 ctx.broadcast(Cand(self.best));
             }
+            // Min-id flood: message-driven after round 0, so `Halted` is
+            // the precise active-set vote.
             congest::Status::Halted
         }
         fn finish(self, _node: NodeId) -> u32 {

@@ -81,7 +81,7 @@ pub use error::CongestError;
 pub use faults::{FaultPlan, FaultStats};
 pub use ledger::RoundsLedger;
 pub use message::Payload;
-pub use network::{BandwidthPolicy, Config, Network, RunStats};
+pub use network::{BandwidthPolicy, Config, Network, RunStats, Scheduling};
 pub use program::{NodeProgram, RoundCtx, Status};
 
 /// Round counter type. Rounds are numbered from 0.

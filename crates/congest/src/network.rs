@@ -1,3 +1,6 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use graphs::{Graph, NodeId};
 
 use crate::faults::{FaultPlan, FaultStats, FaultsId, MessageFate};
@@ -16,24 +19,49 @@ pub enum BandwidthPolicy {
     Track,
 }
 
+/// How the scheduler picks which node programs to execute each round.
+///
+/// Both modes produce **byte-identical** outputs, [`RunStats`], and trace
+/// streams for programs that honour the [`Status`] contract — `ActiveSet`
+/// is purely an execution-cost optimization, and the equivalence is pinned
+/// by proptests (`tests/property.rs`, `tests/failure_injection.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Scheduling {
+    /// Execute every node program every round — cost `Θ(n)` per round
+    /// regardless of how many nodes have anything to do.
+    Dense,
+    /// Execute only *runnable* nodes: those that voted [`Status::Active`],
+    /// hold a due [`Status::Sleep`] wakeup, or received a message. Nodes
+    /// that voted `Halted` with an empty inbox are skipped, and fully
+    /// quiescent stretches are fast-forwarded by the run loops (see
+    /// [`Config::with_fast_forward`]).
+    #[default]
+    ActiveSet,
+}
+
 /// Simulator configuration.
 ///
 /// # Example
 ///
 /// ```
-/// use congest::{BandwidthPolicy, Config};
+/// use congest::{BandwidthPolicy, Config, Scheduling};
 /// use graphs::generators;
 ///
 /// let g = generators::cycle(64);
 /// let cfg = Config::for_graph(&g).with_policy(BandwidthPolicy::Track);
 /// assert!(cfg.bandwidth_bits() >= 4 * 6);
 /// assert_eq!(cfg.shards(), 1);
+/// assert_eq!(cfg.scheduling(), Scheduling::ActiveSet);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Config {
     bandwidth_bits: usize,
     policy: BandwidthPolicy,
     shards: usize,
+    scheduling: Scheduling,
+    /// Whether the run loops may jump over fully quiescent stretches
+    /// (active-set mode only).
+    fast_forward: bool,
     /// Interned fault plan, if any — `Config` stays `Copy + Eq` while the
     /// plan itself (heap-allocated schedules) lives in the fault registry.
     faults: Option<FaultsId>,
@@ -47,6 +75,8 @@ impl Config {
             bandwidth_bits,
             policy: BandwidthPolicy::Enforce,
             shards: 1,
+            scheduling: Scheduling::default(),
+            fast_forward: true,
             faults: None,
         }
     }
@@ -94,6 +124,41 @@ impl Config {
     /// The configured worker-shard count (1 = sequential execution).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Replaces the scheduling mode. [`Scheduling::ActiveSet`] (the default)
+    /// skips nodes with nothing to do; [`Scheduling::Dense`] executes every
+    /// program every round. Outputs, stats, and traces are byte-identical
+    /// either way — dense mode exists as the equivalence-test reference and
+    /// for programs that violate the [`Status::Halted`] contract.
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// The configured scheduling mode.
+    pub fn scheduling(&self) -> Scheduling {
+        self.scheduling
+    }
+
+    /// Enables or disables quiescent-stretch fast-forwarding (default:
+    /// enabled). Only consulted under [`Scheduling::ActiveSet`]: when the
+    /// active set is empty and no messages are in flight — including
+    /// fault-delayed ones — [`Network::run_rounds`] and
+    /// [`Network::run_until_quiescent`] jump the round counter to the next
+    /// scheduled event (timed wakeup, crash-stop, or delayed-message due
+    /// round) instead of stepping idle rounds one by one. The jump is
+    /// observationally identical to stepping: `RunStats.rounds`, per-round
+    /// trace ticks, and fault fates (pure functions of `(seed, round,
+    /// edge)`) come out exactly as if every round had executed.
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
+    }
+
+    /// Whether quiescent-stretch fast-forwarding is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// Attaches a [`FaultPlan`]: the scheduler will drop/corrupt/delay
@@ -163,11 +228,15 @@ pub type MessageObserver = Box<dyn FnMut(Round, NodeId, NodeId, usize)>;
 /// Holds one [`NodeProgram`] instance per node and executes rounds in four
 /// phases:
 ///
+/// 0. **assemble** (active-set mode) — the runnable set for this round:
+///    last round's [`Status::Active`] voters and message receivers, plus
+///    [`Status::Sleep`] wakeups that have come due. Dense mode runs every
+///    node every round instead; see [`Scheduling`].
 /// 1. **flip** — the double-buffered inbox arenas swap: messages staged last
 ///    round become this round's inboxes, and last round's (drained) buffers
 ///    become the staging arena. No per-round allocation after warm-up.
-/// 2. **execute** — every program runs against its inbox and stages an
-///    outbox into a per-node scratch buffer. With
+/// 2. **execute** — every scheduled program runs against its inbox and
+///    stages an outbox into a per-node scratch buffer. With
 ///    [`Config::with_shards`]` > 1` this phase fans out across scoped
 ///    worker threads (contiguous node-id ranges); trace events emitted by
 ///    programs on worker threads are captured per shard and replayed in
@@ -205,6 +274,37 @@ pub struct Network<'g, P: NodeProgram> {
     /// scheduler's O(deg²) scan.
     seen: Vec<u64>,
     seen_epoch: u64,
+    /// Node ids executed in the current round, sorted ascending. Under
+    /// [`Scheduling::Dense`] this is pinned to `0..n` forever; under
+    /// [`Scheduling::ActiveSet`] it is rebuilt each round from `next_active`
+    /// plus due wakeups.
+    active: Vec<usize>,
+    /// Accumulator for the *next* round's active set: nodes that voted
+    /// [`Status::Active`] (or an imminent [`Status::Sleep`]) this round,
+    /// plus every node whose inbox went empty → non-empty during commit.
+    /// Duplicate-free (guarded by `active_mark`) but unsorted until the
+    /// next round's rebuild.
+    next_active: Vec<usize>,
+    /// Round-stamped membership marks: node `i` is queued for round `r`
+    /// iff `active_mark[i] == r`. Stamps only grow, so stale entries (from
+    /// earlier rounds or across a fast-forward jump) never collide;
+    /// `Round::MAX` is the never-stamped sentinel. The marks keep both
+    /// `next_active` and the wakeup merge duplicate-free, so the assembled
+    /// active list never needs a dedup pass.
+    active_mark: Vec<Round>,
+    /// Whether `next_active` is currently in ascending node-id order. The
+    /// vote scan pushes in ascending order from an empty list, so only
+    /// out-of-order delivery wakes clear this; when it survives the round,
+    /// assembly skips its sort.
+    next_sorted: bool,
+    /// Pending timed wakeups, keyed `(wake_round, node)`. Entries are lazy:
+    /// one is live only while `statuses[node]` still holds the exact
+    /// `Sleep(wake_round)` vote that created it; anything else is stale and
+    /// discarded on pop.
+    wakeups: BinaryHeap<Reverse<(Round, usize)>>,
+    /// Node-program executions scheduled so far (see
+    /// [`Network::scheduled_nodes`]).
+    executed: u64,
     in_flight: usize,
     round: Round,
     stats: RunStats,
@@ -253,6 +353,13 @@ impl<'g, P: NodeProgram> Network<'g, P> {
     pub fn new(graph: &'g Graph, config: Config, mut make: impl FnMut(NodeId) -> P) -> Self {
         let programs: Vec<P> = graph.nodes().map(&mut make).collect();
         let n = programs.len();
+        // Every node starts `Active`, so round 0 runs everybody in either
+        // mode: dense keeps the full id list in `active` forever, while
+        // active-set keeps the *upcoming* round's set in `next_active`.
+        let (active, next_active) = match config.scheduling() {
+            Scheduling::Dense => ((0..n).collect(), Vec::new()),
+            Scheduling::ActiveSet => (Vec::new(), (0..n).collect()),
+        };
         Network {
             graph,
             config,
@@ -262,6 +369,12 @@ impl<'g, P: NodeProgram> Network<'g, P> {
             staged: (0..n).map(|_| Vec::new()).collect(),
             seen: vec![0; n],
             seen_epoch: 0,
+            active,
+            next_active,
+            active_mark: vec![Round::MAX; n],
+            next_sorted: true,
+            wakeups: BinaryHeap::new(),
+            executed: 0,
             in_flight: 0,
             round: 0,
             programs,
@@ -299,11 +412,23 @@ impl<'g, P: NodeProgram> Network<'g, P> {
 
     /// Returns `true` if every node voted [`Status::Halted`] in the latest
     /// round and no messages are waiting for delivery (including jittered
-    /// messages still held in the fault layer's delay queue).
+    /// messages still held in the fault layer's delay queue). A
+    /// [`Status::Sleep`] vote blocks quiescence — the pending wakeup is
+    /// scheduled work — in both scheduling modes.
     pub fn is_quiescent(&self) -> bool {
         self.in_flight == 0
             && self.fault.as_ref().is_none_or(|f| f.queue.is_empty())
             && self.statuses.iter().all(|&s| s == Status::Halted)
+    }
+
+    /// Total node-program executions scheduled so far: `n` per round under
+    /// [`Scheduling::Dense`], the active-set size summed over stepped rounds
+    /// under [`Scheduling::ActiveSet`] (fast-forwarded rounds schedule
+    /// nothing). Kept out of [`RunStats`] — like [`Network::fault_stats`] —
+    /// so sparse and dense accounting stay byte-identical; benches use the
+    /// ratio `scheduled_nodes / (n · rounds)` as the active-node fraction.
+    pub fn scheduled_nodes(&self) -> u64 {
+        self.executed
     }
 
     /// Counts of the faults injected so far (all zero when the config has
@@ -349,6 +474,7 @@ where
         // Everything staged last round is handed to the programs now, so
         // this round delivers exactly the previously in-flight messages.
         let delivered = self.in_flight as u64;
+        let sparse = self.config.scheduling == Scheduling::ActiveSet;
 
         // Phase 0 (fault plans only): apply scheduled crash-stops before
         // anything executes this round. Taking the state out of `self`
@@ -374,14 +500,50 @@ where
         }
         let crashed = fault.as_ref().map(|f| f.crashed.as_slice());
 
+        // Phase 1a (active-set mode): assemble this round's runnable set —
+        // last round's `Active` voters and message receivers (accumulated in
+        // `next_active`) plus any timed wakeups that have come due. Crash
+        // flags were applied above, so a crashed sleeper's heap entry is
+        // already stale (its status was pinned `Halted`).
+        if sparse {
+            std::mem::swap(&mut self.active, &mut self.next_active);
+            self.next_active.clear();
+            let mut in_order = self.next_sorted;
+            self.next_sorted = true;
+            while let Some(&Reverse((wake, i))) = self.wakeups.peek() {
+                if wake > round {
+                    break;
+                }
+                self.wakeups.pop();
+                // Live entry (the sleep vote that created it still stands)
+                // and not already queued — doubled heap entries from
+                // repeated identical sleep votes, or a message wake that
+                // queued the sleeper beforehand, are skipped here.
+                if self.statuses[i] == Status::Sleep(wake) && self.active_mark[i] != round {
+                    self.active_mark[i] = round;
+                    if self.active.last().is_some_and(|&last| last > i) {
+                        in_order = false;
+                    }
+                    self.active.push(i);
+                }
+            }
+            if !in_order {
+                self.active.sort_unstable();
+            }
+            debug_assert!(self.active.windows(2).all(|w| w[0] < w[1]));
+        }
+        self.executed += self.active.len() as u64;
+
         // Phase 1: flip the double buffer. `arena` now holds this round's
         // inboxes; `inboxes` holds the cleared buffers staging the next
         // round's traffic.
         std::mem::swap(&mut self.inboxes, &mut self.arena);
 
-        // Phase 2: execute every program, staging outboxes.
+        // Phase 2: execute every runnable program, staging outboxes. (When
+        // the active set is a single node, sharding buys nothing — run it on
+        // the calling thread.)
         let shards = self.config.shards.clamp(1, n.max(1));
-        if shards > 1 {
+        if shards > 1 && self.active.len() > 1 {
             self.execute_sharded(round, shards, &tracer, crashed);
         } else {
             run_chunk(ChunkCtx {
@@ -389,6 +551,7 @@ where
                 round,
                 num_nodes: n,
                 base: 0,
+                active: &self.active,
                 inboxes: &self.arena,
                 programs: &mut self.programs,
                 statuses: &mut self.statuses,
@@ -411,16 +574,43 @@ where
             return Err(e);
         }
 
+        // Phase 3b (active-set mode): record this round's votes. `Active`
+        // voters and past-due sleepers run again next round; future wakeups
+        // go to the heap; `Halted` voters drop out until a message arrives.
+        // Running this as its own pass *before* commit keeps `next_active`
+        // ascending in the common case (the active list is sorted, and
+        // delivery wakes during commit then mostly hit already-marked
+        // nodes), which lets the next round skip its sort.
+        if sparse {
+            for &i in &self.active {
+                match self.statuses[i] {
+                    Status::Active => {
+                        self.active_mark[i] = round + 1;
+                        self.next_active.push(i);
+                    }
+                    Status::Sleep(wake) if wake <= round + 1 => {
+                        self.active_mark[i] = round + 1;
+                        self.next_active.push(i);
+                    }
+                    Status::Sleep(wake) => self.wakeups.push(Reverse((wake, i))),
+                    Status::Halted => {}
+                }
+            }
+        }
+
         // Phase 4: commit, sequentially in node-id order (this is what
         // keeps sharded runs byte-identical to sequential ones). Inboxes
         // are filled in ascending sender order — the invariant behind the
         // sorted-inbox contract of `NodeProgram::on_round`. Fault fates are
         // decided here too: each is a pure function of the message's
         // `(round, from, to)` coordinates, so sharding the execute phase
-        // cannot change them.
+        // cannot change them. Only active nodes can have staged anything,
+        // so iterating the active list is exhaustive (and stays node-id
+        // ordered — the list is sorted).
         let budget = self.config.bandwidth_bits;
         let mut staged_count = 0usize;
-        for i in 0..n {
+        for idx in 0..self.active.len() {
+            let i = self.active[idx];
             let node = NodeId::new(i);
             let mut outbox = std::mem::take(&mut self.staged[i]);
             for (to, msg) in outbox.drain(..) {
@@ -457,6 +647,24 @@ where
                     });
                 }
                 let Some(f) = fault.as_mut() else {
+                    // A delivery wakes the receiver: it joins the next
+                    // round's active set (once — a non-empty inbox means an
+                    // earlier delivery already ran this guard, and the mark
+                    // dedups against the receiver's own vote).
+                    if sparse
+                        && self.inboxes[to.index()].is_empty()
+                        && self.active_mark[to.index()] != round + 1
+                    {
+                        self.active_mark[to.index()] = round + 1;
+                        if self
+                            .next_active
+                            .last()
+                            .is_some_and(|&last| last > to.index())
+                        {
+                            self.next_sorted = false;
+                        }
+                        self.next_active.push(to.index());
+                    }
                     self.inboxes[to.index()].push((node, msg));
                     staged_count += 1;
                     continue;
@@ -481,6 +689,20 @@ where
                 }
                 match f.plan.fate(round, node.index(), to.index()) {
                     MessageFate::Delivered => {
+                        if sparse
+                            && self.inboxes[to.index()].is_empty()
+                            && self.active_mark[to.index()] != round + 1
+                        {
+                            self.active_mark[to.index()] = round + 1;
+                            if self
+                                .next_active
+                                .last()
+                                .is_some_and(|&last| last > to.index())
+                            {
+                                self.next_sorted = false;
+                            }
+                            self.next_active.push(to.index());
+                        }
                         self.inboxes[to.index()].push((node, msg));
                         staged_count += 1;
                     }
@@ -547,6 +769,20 @@ where
                     continue;
                 }
                 let Delayed { from, to, msg, .. } = f.queue.remove(i);
+                if sparse
+                    && self.inboxes[to.index()].is_empty()
+                    && self.active_mark[to.index()] != round + 1
+                {
+                    self.active_mark[to.index()] = round + 1;
+                    if self
+                        .next_active
+                        .last()
+                        .is_some_and(|&last| last > to.index())
+                    {
+                        self.next_sorted = false;
+                    }
+                    self.next_active.push(to.index());
+                }
                 self.inboxes[to.index()].insert(pos, (from, msg));
                 staged_count += 1;
             }
@@ -555,8 +791,10 @@ where
         self.fault = fault;
 
         // Phase 5: recycle this round's drained inboxes (capacity kept).
-        for buf in &mut self.arena {
-            buf.clear();
+        // A non-empty inbox implies its owner was woken when the message
+        // was staged, so the active list covers every buffer with content.
+        for idx in 0..self.active.len() {
+            self.arena[self.active[idx]].clear();
         }
 
         self.round += 1;
@@ -572,7 +810,9 @@ where
     /// first chunk runs on the calling thread (with the caller's trace sink
     /// still installed); events emitted by programs on worker threads are
     /// captured per shard and replayed to `tracer` in shard (= node-id)
-    /// order, so the stream is identical to a sequential run.
+    /// order, so the stream is identical to a sequential run. Chunk
+    /// boundaries are fixed contiguous node-id ranges; each worker receives
+    /// the slice of the (sorted) active list falling inside its range.
     fn execute_sharded(
         &mut self,
         round: Round,
@@ -588,6 +828,9 @@ where
         let (head_p, mut rest_p) = self.programs.split_at_mut(chunk_len);
         let (head_s, mut rest_s) = self.statuses.split_at_mut(chunk_len);
         let (head_o, mut rest_o) = self.staged.split_at_mut(chunk_len);
+        let active: &[usize] = &self.active;
+        let head_split = active.partition_point(|&i| i < chunk_len);
+        let (head_a, mut rest_a) = active.split_at(head_split);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(shards - 1);
             let mut base = chunk_len;
@@ -601,6 +844,12 @@ where
                 rest_o = or;
                 let start = base;
                 base += take;
+                let split = rest_a.partition_point(|&i| i < start + take);
+                let (a, ar) = rest_a.split_at(split);
+                rest_a = ar;
+                if a.is_empty() {
+                    continue;
+                }
                 handles.push(scope.spawn(move || {
                     let recorder = capture.then(trace::Recorder::shared);
                     let _guard = recorder.clone().map(|r| trace::install(r));
@@ -609,6 +858,7 @@ where
                         round,
                         num_nodes: n,
                         base: start,
+                        active: a,
                         inboxes,
                         programs: p,
                         statuses: s,
@@ -626,6 +876,7 @@ where
                 round,
                 num_nodes: n,
                 base: 0,
+                active: head_a,
                 inboxes,
                 programs: head_p,
                 statuses: head_s,
@@ -648,9 +899,13 @@ where
     }
 
     /// Checks every staged outbox (neighbor, duplicate-send, bandwidth
-    /// under `Enforce`) without committing anything.
+    /// under `Enforce`) without committing anything. Only nodes that ran
+    /// this round can have staged messages, so the active list is
+    /// exhaustive.
     fn validate_staged(&mut self, round: Round) -> Result<(), CongestError> {
-        for (i, outbox) in self.staged.iter().enumerate() {
+        for idx in 0..self.active.len() {
+            let i = self.active[idx];
+            let outbox = &self.staged[i];
             let node = NodeId::new(i);
             self.seen_epoch += 1;
             for &(to, ref msg) in outbox {
@@ -683,13 +938,20 @@ where
         Ok(())
     }
 
-    /// Executes exactly `rounds` rounds.
+    /// Executes exactly `rounds` rounds (fully quiescent stretches may be
+    /// fast-forwarded rather than stepped — see
+    /// [`Config::with_fast_forward`] — with identical observable effects).
     ///
     /// # Errors
     ///
     /// Propagates any error from [`Network::step`].
     pub fn run_rounds(&mut self, rounds: Round) -> Result<RunStats, CongestError> {
-        for _ in 0..rounds {
+        let target = self.round.saturating_add(rounds);
+        while self.round < target {
+            if let Some(to) = self.fast_forward_target(target) {
+                self.skip_rounds(to);
+                continue;
+            }
             self.step()?;
         }
         Ok(self.stats)
@@ -707,20 +969,90 @@ where
             if self.round >= max_rounds {
                 return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
             }
+            if let Some(to) = self.fast_forward_target(max_rounds) {
+                self.skip_rounds(to);
+                continue;
+            }
             self.step()?;
         }
         Ok(self.stats)
+    }
+
+    /// If every upcoming round up to (exclusive) some round `t ≤ cap` would
+    /// be a no-op — empty active set, nothing in flight, no fault event due
+    /// — returns `Some(t)`, the first round that needs stepping (or `cap`).
+    /// Returns `None` when the next round must execute, under dense
+    /// scheduling, or when fast-forwarding is disabled.
+    ///
+    /// Events that pin `t`: the earliest live timed wakeup, the earliest
+    /// not-yet-applied crash-stop (its `Fault` trace event must land in its
+    /// exact round), and the earliest delayed-message due round minus one
+    /// (the merge into inboxes happens in phase 4b of the *preceding*
+    /// round).
+    fn fast_forward_target(&mut self, cap: Round) -> Option<Round> {
+        if self.config.scheduling != Scheduling::ActiveSet || !self.config.fast_forward {
+            return None;
+        }
+        if !self.next_active.is_empty() || self.in_flight != 0 {
+            return None;
+        }
+        let mut target = cap;
+        if let Some(f) = &self.fault {
+            let n = self.programs.len();
+            for &(node, at) in f.plan.crashes() {
+                if node < n && !f.crashed[node] {
+                    target = target.min(at.max(self.round));
+                }
+            }
+            for d in &f.queue {
+                target = target.min(d.due.saturating_sub(1));
+            }
+        }
+        // Purge stale wakeups until one is live; a live `Sleep(w)` entry
+        // always exists for every currently sleeping node.
+        while let Some(&Reverse((wake, i))) = self.wakeups.peek() {
+            if self.statuses[i] == Status::Sleep(wake) {
+                target = target.min(wake);
+                break;
+            }
+            self.wakeups.pop();
+        }
+        (target > self.round).then_some(target)
+    }
+
+    /// Jumps the round counter to `target` without executing anything,
+    /// emitting the per-round trace ticks a stepped run would have: each
+    /// skipped round delivered zero messages. `RunStats` advances exactly
+    /// as if every round had been stepped. O(1) when no tracer is
+    /// installed.
+    fn skip_rounds(&mut self, target: Round) {
+        debug_assert!(self.next_active.is_empty() && self.in_flight == 0);
+        if let Some(sink) = trace::current() {
+            let mut sink = sink.borrow_mut();
+            for round in self.round..target {
+                sink.record(&trace::TraceEvent::Round {
+                    round,
+                    delivered: 0,
+                });
+            }
+        }
+        self.round = target;
+        self.stats.rounds = target;
     }
 }
 
 /// Everything one execute-phase chunk needs: the shared round inputs plus
 /// this chunk's disjoint mutable slices (`base` is the node id of the first
-/// element of each slice).
+/// element of each slice) and the sorted node ids to actually run — the
+/// full id range under dense scheduling, the runnable subset under
+/// active-set scheduling.
 struct ChunkCtx<'a, 'g, P: NodeProgram> {
     graph: &'g Graph,
     round: Round,
     num_nodes: usize,
     base: usize,
+    /// Node ids to execute; every id lies in `base..base + programs.len()`.
+    active: &'a [usize],
     inboxes: &'a [Vec<(NodeId, P::Msg)>],
     programs: &'a mut [P],
     statuses: &'a mut [Status],
@@ -731,31 +1063,28 @@ struct ChunkCtx<'a, 'g, P: NodeProgram> {
 }
 
 /// Runs the execute phase for one contiguous chunk of nodes: hand each
-/// program its inbox, collect its outbox into the reusable staging buffer.
+/// scheduled program its inbox, collect its outbox into the reusable
+/// staging buffer.
 fn run_chunk<P: NodeProgram>(ctx: ChunkCtx<'_, '_, P>) {
     let ChunkCtx {
         graph,
         round,
         num_nodes,
         base,
+        active,
         inboxes,
         programs,
         statuses,
         staged,
         crashed,
     } = ctx;
-    for (j, ((program, status), out)) in programs
-        .iter_mut()
-        .zip(statuses.iter_mut())
-        .zip(staged.iter_mut())
-        .enumerate()
-    {
-        let i = base + j;
+    for &i in active {
         if crashed.is_some_and(|c| c[i]) {
             // Crash-stopped: the node neither reads its inbox nor sends;
             // its status was pinned to `Halted` when the crash applied.
             continue;
         }
+        let j = i - base;
         let node = NodeId::new(i);
         let inbox = &inboxes[i];
         // The commit phase fills inboxes in ascending sender order with at
@@ -772,10 +1101,10 @@ fn run_chunk<P: NodeProgram>(ctx: ChunkCtx<'_, '_, P>) {
             num_nodes,
             graph.neighbors(node),
             inbox,
-            std::mem::take(out),
+            std::mem::take(&mut staged[j]),
         );
-        *status = program.on_round(&mut ctx);
-        *out = ctx.into_outbox();
+        statuses[j] = programs[j].on_round(&mut ctx);
+        staged[j] = ctx.into_outbox();
     }
 }
 
@@ -1278,6 +1607,189 @@ mod tests {
             stats.rounds > no_fault.0.rounds,
             "jitter should stretch the schedule"
         );
+    }
+
+    /// Sleeps until `wake`; at the wake round node 0 broadcasts once.
+    /// Counts its own executions so tests can observe scheduling
+    /// sparseness (the count is *not* part of any byte-identity check —
+    /// skipping executions is the whole point of the active set).
+    struct Alarm {
+        wake: Round,
+        runs: u64,
+    }
+    impl NodeProgram for Alarm {
+        type Msg = Sized;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
+            self.runs += 1;
+            if ctx.round() < self.wake {
+                return Status::Sleep(self.wake);
+            }
+            if ctx.round() == self.wake && ctx.node() == NodeId::new(0) {
+                ctx.broadcast(Sized(4));
+            }
+            Status::Halted
+        }
+        fn finish(self, _node: NodeId) -> u64 {
+            self.runs
+        }
+    }
+
+    /// A timed wakeup fires exactly at its round, fast-forwarded stretches
+    /// emit the same round ticks a stepped run would, and stats/traces are
+    /// byte-identical to dense execution.
+    #[test]
+    fn sleep_and_fast_forward_match_dense_execution() {
+        let g = generators::path(3);
+        let run = |cfg: Config| {
+            let recorder = trace::Recorder::shared();
+            let (stats, scheduled) = {
+                let _guard = trace::install(recorder.clone());
+                let mut net = Network::new(&g, cfg, |_| Alarm { wake: 9, runs: 0 });
+                let stats = net.run_rounds(15).unwrap();
+                (stats, net.scheduled_nodes())
+            };
+            let events = recorder.borrow_mut().take();
+            (stats, events, scheduled)
+        };
+        let dense = run(Config::new(16).with_scheduling(Scheduling::Dense));
+        let sparse = run(Config::new(16));
+        assert_eq!(dense.0, sparse.0, "stats diverged");
+        assert_eq!(dense.1, sparse.1, "trace streams diverged");
+        assert_eq!(dense.2, 3 * 15, "dense schedules n per round");
+        // Sparse: 3 nodes in round 0, 3 wakeups in round 9, 1 receiver in
+        // round 10 — everything else is skipped.
+        assert_eq!(sparse.2, 7, "active set scheduled more than expected");
+        assert!(dense.1.contains(&trace::TraceEvent::Round {
+            round: 10,
+            delivered: 1
+        }));
+    }
+
+    /// A message arriving before the wake round re-runs the sleeper, and
+    /// its fresh vote supersedes the pending wakeup: a cancelled sleeper
+    /// does not keep the network awake until its stale wake round.
+    #[test]
+    fn sleep_is_superseded_by_message_arrival() {
+        struct Canceler;
+        impl NodeProgram for Canceler {
+            type Msg = Sized;
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
+                if ctx.node() == NodeId::new(0) {
+                    if ctx.round() == 0 {
+                        ctx.send(NodeId::new(1), Sized(1));
+                    }
+                    Status::Halted
+                } else if !ctx.inbox().is_empty() {
+                    Status::Halted
+                } else {
+                    Status::Sleep(50)
+                }
+            }
+            fn finish(self, _node: NodeId) {}
+        }
+        for cfg in [
+            Config::new(16),
+            Config::new(16).with_scheduling(Scheduling::Dense),
+        ] {
+            let g = generators::path(2);
+            let mut net = Network::new(&g, cfg, |_| Canceler);
+            let stats = net.run_until_quiescent(100).unwrap();
+            assert_eq!(stats.rounds, 2, "stale wakeup kept the network awake");
+        }
+    }
+
+    /// A pending `Sleep` blocks quiescence in both modes: the run-loop cap
+    /// is hit (and reported) exactly as under dense execution, even though
+    /// the active-set loop covers the distance by fast-forwarding.
+    #[test]
+    fn sleeping_node_blocks_quiescence_until_the_cap() {
+        for cfg in [
+            Config::new(16),
+            Config::new(16).with_scheduling(Scheduling::Dense),
+        ] {
+            let g = generators::path(2);
+            let mut net = Network::new(&g, cfg, |_| Alarm {
+                wake: 1000,
+                runs: 0,
+            });
+            let err = net.run_until_quiescent(10).unwrap_err();
+            assert_eq!(err, CongestError::RoundLimitExceeded { limit: 10 });
+            assert_eq!(net.round(), 10);
+        }
+    }
+
+    /// Fast-forward must not jump over a scheduled crash-stop: the `Fault`
+    /// trace event lands in its exact round either way.
+    #[test]
+    fn fast_forward_stops_for_scheduled_crashes() {
+        struct Idle;
+        impl NodeProgram for Idle {
+            type Msg = Sized;
+            type Output = ();
+            fn on_round(&mut self, _ctx: &mut RoundCtx<'_, Sized>) -> Status {
+                Status::Halted
+            }
+            fn finish(self, _node: NodeId) {}
+        }
+        let g = generators::path(3);
+        let run = |cfg: Config| {
+            let recorder = trace::Recorder::shared();
+            let (stats, faults) = {
+                let _guard = trace::install(recorder.clone());
+                let mut net = Network::new(&g, cfg, |_| Idle);
+                let stats = net.run_rounds(12).unwrap();
+                (stats, net.fault_stats())
+            };
+            let events = recorder.borrow_mut().take();
+            (stats, faults, events)
+        };
+        let cfg = Config::new(16).with_faults(FaultPlan::new(3).with_crash(2, 7));
+        let dense = run(cfg.with_scheduling(Scheduling::Dense));
+        let sparse = run(cfg);
+        assert_eq!(dense, sparse, "crash interplay diverged");
+        assert!(sparse.2.contains(&trace::TraceEvent::Fault {
+            round: 7,
+            kind: trace::FaultKind::Crash,
+            from: 2,
+            to: 2,
+            delay: 0,
+        }));
+    }
+
+    /// `with_fast_forward(false)` steps every idle round individually but
+    /// remains observably identical to the fast-forwarding run.
+    #[test]
+    fn disabling_fast_forward_changes_nothing_observable() {
+        let g = generators::path(3);
+        let run = |cfg: Config| {
+            let recorder = trace::Recorder::shared();
+            let stats = {
+                let _guard = trace::install(recorder.clone());
+                let mut net = Network::new(&g, cfg, |_| Alarm { wake: 9, runs: 0 });
+                net.run_rounds(15).unwrap()
+            };
+            let events = recorder.borrow_mut().take();
+            (stats, events)
+        };
+        assert_eq!(
+            run(Config::new(16)),
+            run(Config::new(16).with_fast_forward(false))
+        );
+    }
+
+    /// The full byte-identity contract of the scheduling modes on a real
+    /// message-driven workload, with and without shards.
+    #[test]
+    fn active_set_matches_dense_on_min_id_flood() {
+        let g = generators::random_connected(25, 0.15, 7);
+        let cfg = Config::for_graph(&g);
+        let dense = min_id_run(&g, cfg.with_scheduling(Scheduling::Dense));
+        for shards in [1, 2, 4, 25] {
+            let sparse = min_id_run(&g, cfg.with_shards(shards));
+            assert_eq!(sparse, dense, "sparse run diverged at {shards} shards");
+        }
     }
 
     /// Dropped messages still charge the sender's bandwidth: `RunStats`

@@ -8,6 +8,14 @@ use crate::{Payload, Round};
 /// recent round **and** no messages are in flight. A node may vote `Halted`
 /// and later resume activity when new messages arrive — the vote is about
 /// the current round, not a permanent state.
+///
+/// Under [`Scheduling::ActiveSet`](crate::Scheduling::ActiveSet) the vote is
+/// also a scheduling promise: a node that voted `Halted` (or `Sleep` before
+/// its wake round) is **not executed** until a message lands in its inbox, so
+/// `Halted` must genuinely mean "nothing to do unless new messages arrive" —
+/// in particular, a program must not vote `Halted` while planning to act at a
+/// later round based on `ctx.round()` alone. Timed programs vote
+/// [`Status::Sleep`] instead.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Status {
     /// The node may still have work to do.
@@ -15,6 +23,19 @@ pub enum Status {
     Active,
     /// The node has nothing to do unless new messages arrive.
     Halted,
+    /// Like `Halted`, but with a timed wakeup: the node has nothing to do
+    /// unless new messages arrive **or** round `Sleep(w)` begins, at which
+    /// point the scheduler guarantees it executes even with an empty inbox.
+    ///
+    /// The hint is superseded by the node's next execution (a message
+    /// arriving earlier re-runs the program, and whatever it votes then
+    /// replaces the old wakeup). A wake round at or before the next round is
+    /// equivalent to `Active`. Under [`Scheduling::Dense`](crate::Scheduling::Dense)
+    /// the hint is ignored — the node runs every
+    /// round anyway and sees the same inboxes, which is what keeps dense and
+    /// active-set runs byte-identical. Unlike `Halted`, a sleeping node
+    /// blocks quiescence: its pending wakeup counts as work.
+    Sleep(Round),
 }
 
 /// Per-round context handed to [`NodeProgram::on_round`]: the node's

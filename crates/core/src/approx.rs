@@ -271,6 +271,11 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
         .map(|_| rng.random_range(0..r_size))
         .collect();
     branches.push(opt.argmax);
+    // Sampled branches can collide with each other or with the winner;
+    // verify each distinct branch once instead of re-running identical
+    // windowed evaluations.
+    branches.sort_unstable();
+    branches.dedup();
     for ci in branches {
         let u0 = NodeId::new(r_index[ci]);
         let run = evaluation::run_windowed(graph, &r_tree, &prep.w_tree, d, u0, config)
@@ -363,6 +368,30 @@ mod tests {
         let q = diameter(&g, ApproxParams::new(11).with_s(9), cfg).unwrap();
         let c = hprw::approx_diameter(&g, HprwParams::with_s(9, 11), cfg).unwrap();
         assert_eq!(q.estimate, c.estimate);
+    }
+
+    /// As in `exact`: oversampling verification branches far beyond the
+    /// cluster-set size must not re-run any windowed evaluation — every
+    /// `verify u=` ledger phase stays unique.
+    #[test]
+    fn verification_branches_are_deduplicated() {
+        use std::collections::HashSet;
+        let g = generators::cycle(24);
+        let params = ApproxParams {
+            verify_branches: 16,
+            ..ApproxParams::new(5).with_s(6)
+        };
+        let out = diameter(&g, params, Config::for_graph(&g)).unwrap();
+        let mut seen = HashSet::new();
+        let mut found = false;
+        for (label, _, _) in out.probe_ledger.phases() {
+            if !label.starts_with("verify u=") {
+                continue;
+            }
+            found = true;
+            assert!(seen.insert(label.to_string()), "duplicate phase {label}");
+        }
+        assert!(found, "no verification phases recorded");
     }
 
     #[test]

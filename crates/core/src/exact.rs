@@ -224,6 +224,11 @@ pub fn diameter(
         .map(|_| rng.random_range(0..n))
         .collect();
     branches.push(opt.argmax);
+    // Sampled branches can collide with each other or with the winner;
+    // each duplicate would re-run an identical Figure 2 simulation (and
+    // double-charge the ledger), so verify each branch once.
+    branches.sort_unstable();
+    branches.dedup();
     for u in branches {
         let run = evaluation::run_figure2(graph, &tree, d, NodeId::new(u), config)
             .map_err(QdError::from)?;
@@ -326,6 +331,38 @@ mod tests {
             diameter(&g, ExactParams::new(0), Config::for_graph(&g)),
             Err(QdError::Classical(classical::AlgoError::Disconnected))
         ));
+    }
+
+    /// Each distinct branch is verified exactly once: with more sampled
+    /// branches than nodes, collisions (with each other or with the
+    /// winner) are guaranteed, yet no `verify u=` ledger phase may repeat
+    /// — a duplicate would re-run an identical Figure 2 simulation and
+    /// double-charge the ledger.
+    #[test]
+    fn verification_branches_are_deduplicated() {
+        use std::collections::HashSet;
+        let g = generators::cycle(6);
+        let out = diameter(
+            &g,
+            ExactParams::new(3).with_verify_branches(12),
+            Config::for_graph(&g),
+        )
+        .unwrap();
+        let mut seen = HashSet::new();
+        let mut prefixes = HashSet::new();
+        for (label, _, _) in out.probe_ledger.phases() {
+            let Some(rest) = label.strip_prefix("verify u=") else {
+                continue;
+            };
+            let branch = rest.split(':').next().unwrap().to_string();
+            prefixes.insert(branch);
+            assert!(seen.insert(label.to_string()), "duplicate phase {label}");
+        }
+        assert!(!prefixes.is_empty(), "no verification phases recorded");
+        assert!(
+            prefixes.len() <= g.len(),
+            "more distinct branches than nodes"
+        );
     }
 
     /// The headline claim: at (near-)constant diameter, quantum rounds grow

@@ -30,13 +30,19 @@ cargo test -q --offline || status=1
 echo "=== workspace tests ==="
 cargo test -q --offline --workspace || status=1
 
-echo "=== shard equivalence (QD_TEST_SHARDS=4) ==="
-QD_TEST_SHARDS=4 cargo test -q --offline -p congest-diameter --test property sharded || status=1
+echo "=== shard + scheduling equivalence (QD_TEST_SHARDS=4) ==="
+QD_TEST_SHARDS=4 cargo test -q --offline -p congest-diameter \
+  --test property -- sharded scheduling || status=1
+QD_TEST_SHARDS=4 cargo test -q --offline -p congest-diameter \
+  --test failure_injection faulty_runs || status=1
 
-echo "=== scheduler_hot_loop bench smoke (sequential <5% overhead gate) ==="
+echo "=== scheduler bench smoke (dense-vs-sparse + <5% overhead gates) ==="
 # The vendored criterion stub runs every group once in --test mode; the
-# Instant-based gates (tracing_overhead, scheduler_hot_loop) always run.
+# Instant-based gates (tracing_overhead, scheduler_hot_loop, and the
+# scheduler_sparse speedup/overhead pair) always run, and scheduler_sparse
+# writes BENCH_scheduler.json at the repo root.
 cargo bench -q --offline -p bench --bench bench_substrate -- --test || status=1
+test -s BENCH_scheduler.json || { echo "BENCH_scheduler.json missing" >&2; status=1; }
 
 if [ "$status" -ne 0 ]; then
   echo "CHECK FAILED" >&2

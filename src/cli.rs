@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 
 use classical::hprw::HprwParams;
-use congest::{Config, FaultPlan};
+use congest::{Config, FaultPlan, Scheduling};
 use diameter_quantum::approx::{self, ApproxParams};
 use diameter_quantum::exact::ExactParams;
 use diameter_quantum::{exact, exact_simple};
@@ -116,6 +116,8 @@ pub struct Options {
     pub trace: Option<String>,
     /// Worker shards for the simulator's execute phase (1 = sequential).
     pub shards: usize,
+    /// Round-scheduling mode (dense reference vs active-set skipping).
+    pub scheduling: Scheduling,
     /// Fault-injection spec (see [`congest::FaultPlan::parse`]); validated
     /// at parse time, kept as the raw text so reports can echo it.
     pub faults: Option<String>,
@@ -136,6 +138,7 @@ impl Default for Options {
             verbose: false,
             trace: None,
             shards: 1,
+            scheduling: Scheduling::default(),
             faults: None,
         }
     }
@@ -174,6 +177,9 @@ OPTIONS:
   --trace PATH write a JSONL event trace of the run to PATH
   --shards K   run node programs on K worker threads per round (default: 1);
                results are byte-identical to the sequential scheduler
+  --sched M    round scheduling: active-set (default; skip halted nodes and
+               fast-forward quiescent stretches) or dense (execute every
+               node every round). Byte-identical results either way
   --faults S   inject deterministic message/node faults; S is a comma-
                separated list of: seed=<u64>  drop=<p>  corrupt=<p>
                delay=<p>:<max>  link=<u>-<v>@<start>..<end>
@@ -186,6 +192,8 @@ ENVIRONMENT:
   QD_FAULTS       fault spec applied when --faults is absent (same grammar);
                   also honored by the experiment binaries in crates/bench
   QD_SHARDS       worker shards for the experiment binaries (default 1)
+  QD_SCHED        scheduling mode for the experiment binaries
+                  (dense | active-set; default active-set)
   QD_SCALE        sweep-size multiplier for the experiment binaries
   QD_RESULTS_DIR  where experiment binaries write JSON artifacts
                   (default: results)
@@ -272,6 +280,13 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--shards: {e}"))?;
                 if opts.shards == 0 {
                     return Err("--shards must be positive".into());
+                }
+            }
+            "--sched" => {
+                opts.scheduling = match value("--sched")?.as_str() {
+                    "dense" => Scheduling::Dense,
+                    "active-set" | "active" | "sparse" => Scheduling::ActiveSet,
+                    other => return Err(format!("--sched: unknown mode '{other}'")),
                 }
             }
             "--faults" => {
@@ -399,7 +414,9 @@ fn resolve_faults(
 
 fn run_report(opts: &Options) -> Result<String, String> {
     let g = build_graph(opts)?;
-    let mut cfg = Config::for_graph(&g).with_shards(opts.shards);
+    let mut cfg = Config::for_graph(&g)
+        .with_shards(opts.shards)
+        .with_scheduling(opts.scheduling);
     let env_faults = std::env::var("QD_FAULTS").ok();
     let faults = resolve_faults(opts.faults.as_deref(), env_faults.as_deref())?;
     let mut out = String::new();
@@ -572,6 +589,34 @@ mod tests {
             let sequential = run(&parse(&args(&base)).unwrap()).unwrap();
             let sharded = run(&parse(&args(&format!("{base} --shards 3"))).unwrap()).unwrap();
             assert_eq!(sequential, sharded, "{algo} diverged under --shards");
+        }
+    }
+
+    #[test]
+    fn sched_flag_parses_and_rejects() {
+        assert_eq!(
+            parse(&args("exact")).unwrap().scheduling,
+            Scheduling::ActiveSet
+        );
+        let o = parse(&args("exact --sched dense")).unwrap();
+        assert_eq!(o.scheduling, Scheduling::Dense);
+        for alias in ["active-set", "active", "sparse"] {
+            let o = parse(&args(&format!("exact --sched {alias}"))).unwrap();
+            assert_eq!(o.scheduling, Scheduling::ActiveSet, "{alias}");
+        }
+        assert!(parse(&args("exact --sched eager")).is_err());
+        assert!(parse(&args("exact --sched")).is_err());
+    }
+
+    /// Like `--shards`, `--sched` is a cost knob, never a semantics knob:
+    /// the dense reference renders the exact same report.
+    #[test]
+    fn dense_reports_are_identical_to_active_set() {
+        for algo in ["classical", "girth", "classical-approx"] {
+            let base = format!("{algo} --family grid --n 25 --seed 3");
+            let default = run(&parse(&args(&base)).unwrap()).unwrap();
+            let dense = run(&parse(&args(&format!("{base} --sched dense"))).unwrap()).unwrap();
+            assert_eq!(default, dense, "{algo} diverged under --sched dense");
         }
     }
 

@@ -198,6 +198,59 @@ fn faulty_flood_run(
     (stats, faults, outputs, events)
 }
 
+/// Min-id flood whose nodes each sleep until a staggered wake round
+/// before joining: the fault layer (drops, jitter, crashes) interacting
+/// with `Status::Sleep` and fast-forward is exactly the replay surface
+/// the active-set scheduler must keep byte-identical.
+struct SleepyFlood {
+    wake: u64,
+    best: u32,
+}
+impl congest::NodeProgram for SleepyFlood {
+    type Msg = IdMsg;
+    type Output = u32;
+    fn on_round(&mut self, ctx: &mut congest::RoundCtx<'_, IdMsg>) -> congest::Status {
+        let mut improved = ctx.round() == self.wake;
+        for &(_, IdMsg(v, _)) in ctx.inbox() {
+            if v < self.best {
+                self.best = v;
+                improved = true;
+            }
+        }
+        if improved {
+            ctx.broadcast(IdMsg(self.best, ctx.num_nodes()));
+        }
+        if ctx.round() < self.wake {
+            congest::Status::Sleep(self.wake)
+        } else {
+            congest::Status::Halted
+        }
+    }
+    fn finish(self, _node: NodeId) -> u32 {
+        self.best
+    }
+}
+
+/// Like [`faulty_flood_run`], but over the staggered-wake flood.
+fn faulty_sleepy_run(
+    g: &Graph,
+    cfg: Config,
+) -> (RunStats, FaultStats, Vec<u32>, Vec<trace::TraceEvent>) {
+    let recorder = trace::Recorder::shared();
+    let (stats, faults, outputs) = {
+        let _guard = trace::install(recorder.clone());
+        let mut net = congest::Network::new(g, cfg, |v| SleepyFlood {
+            wake: (v.index() as u64 * 5) % 17,
+            best: u32::from(v),
+        });
+        let stats = net.run_until_quiescent(100_000).unwrap();
+        let faults = net.fault_stats();
+        (stats, faults, net.into_outputs())
+    };
+    let events = recorder.borrow_mut().take();
+    (stats, faults, outputs, events)
+}
+
 /// A connected random graph for the fault-replay properties.
 fn arb_graph() -> impl Strategy<Value = graphs::Graph> {
     (4usize..24, 0u64..1_000_000)
@@ -229,6 +282,48 @@ proptest! {
             prop_assert_eq!(faults_k, faults, "fault stats diverged at {} shards", shards);
             prop_assert_eq!(&outputs_k, &outputs, "outputs diverged at {} shards", shards);
             prop_assert_eq!(&events_k, &events, "trace diverged at {} shards", shards);
+        }
+    }
+
+    /// Active-set scheduling replays fault plans byte-identically to the
+    /// dense reference: same RunStats, FaultStats, outputs, and trace
+    /// stream under drops, corruption, delay jitter, link failures, and a
+    /// crash-stop — across shard counts and with fast-forward on or off.
+    /// The staggered-wake flood additionally crosses the fault layer with
+    /// `Status::Sleep` wakeups and fast-forwardable quiescent stretches
+    /// (a delayed message must still land, and wake its receiver, at the
+    /// exact round the dense scheduler would deliver it).
+    #[test]
+    fn faulty_runs_match_dense_scheduling(g in arb_graph(), fseed in 0u64..1_000) {
+        let plan = FaultPlan::new(fseed)
+            .with_drop(0.08)
+            .with_corrupt(0.04)
+            .with_delay(0.15, 3)
+            .with_link_failure(0, 1, 1..5)
+            .with_crash(g.len() - 1, 3);
+        let base = Config::for_graph(&g).with_faults(plan);
+        for (name, run) in [
+            ("flood", faulty_flood_run as fn(&Graph, Config) -> _),
+            ("sleepy", faulty_sleepy_run as fn(&Graph, Config) -> _),
+        ] {
+            let (stats, faults, outputs, events) =
+                run(&g, base.with_scheduling(Scheduling::Dense));
+            for shards in [1usize, 4] {
+                for fast_forward in [true, false] {
+                    let cfg = base
+                        .with_shards(shards)
+                        .with_scheduling(Scheduling::ActiveSet)
+                        .with_fast_forward(fast_forward);
+                    let (stats_k, faults_k, outputs_k, events_k) = run(&g, cfg);
+                    let ctx = format!(
+                        "{name}: {shards} shards, fast_forward={fast_forward}"
+                    );
+                    prop_assert_eq!(stats_k, stats, "run stats diverged ({})", &ctx);
+                    prop_assert_eq!(faults_k, faults, "fault stats diverged ({})", &ctx);
+                    prop_assert_eq!(&outputs_k, &outputs, "outputs diverged ({})", &ctx);
+                    prop_assert_eq!(&events_k, &events, "trace diverged ({})", &ctx);
+                }
+            }
         }
     }
 

@@ -425,6 +425,161 @@ proptest! {
     }
 }
 
+/// Timed-wakeup beacon workload: every node sleeps until its own wake
+/// round, broadcasts its id once, and goes quiet; receivers accumulate
+/// what they hear but stay message-driven. Scattered wakes leave long
+/// fully-quiescent stretches, so this is the fast-forward stress case —
+/// and nodes woken early by a neighbour's beacon re-vote `Sleep`, which
+/// doubles wakeup-heap entries on purpose.
+struct Beacon {
+    wake: u64,
+    n: usize,
+    heard: u64,
+}
+impl congest::NodeProgram for Beacon {
+    type Msg = IdMsg;
+    type Output = u64;
+    fn on_round(&mut self, ctx: &mut congest::RoundCtx<'_, IdMsg>) -> congest::Status {
+        for &(_, IdMsg(v, _)) in ctx.inbox() {
+            self.heard += u64::from(v);
+        }
+        if ctx.round() == self.wake {
+            ctx.broadcast(IdMsg(ctx.node().index() as u32, self.n));
+        }
+        if ctx.round() < self.wake {
+            congest::Status::Sleep(self.wake)
+        } else {
+            congest::Status::Halted
+        }
+    }
+    fn finish(self, _node: NodeId) -> u64 {
+        self.heard
+    }
+}
+
+/// Runs the beacon workload under `cfg`, returning outputs, stats, the
+/// trace stream, and how many node executions the scheduler paid for.
+fn beacon_run(
+    g: &Graph,
+    cfg: Config,
+    wakes: &[u64],
+) -> (RunStats, Vec<u64>, Vec<trace::TraceEvent>, u64) {
+    let recorder = trace::Recorder::shared();
+    let (stats, outputs, scheduled) = {
+        let _guard = trace::install(recorder.clone());
+        let mut net = congest::Network::new(g, cfg, |v| Beacon {
+            wake: wakes[v.index()],
+            n: g.len(),
+            heard: 0,
+        });
+        let cap = wakes.iter().max().unwrap() + 4;
+        let stats = net.run_until_quiescent(cap).unwrap();
+        let scheduled = net.scheduled_nodes();
+        (stats, net.into_outputs(), scheduled)
+    };
+    let events = recorder.borrow_mut().take();
+    (stats, outputs, events, scheduled)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Active-set scheduling is byte-identical to the dense reference on
+    /// the message-heavy flood (outputs, stats, trace events), at every
+    /// shard count. The flood keeps most nodes halted after their last
+    /// improvement, so halted-node skipping is on the hot path here.
+    #[test]
+    fn scheduling_flood_equivalence(g in arb_graph()) {
+        let base = Config::for_graph(&g);
+        let (stats, outputs, events) = flood_run(&g, base.with_scheduling(Scheduling::Dense));
+        let mut shards = vec![1usize];
+        shards.extend(shard_counts());
+        for k in shards {
+            let cfg = base.with_shards(k).with_scheduling(Scheduling::ActiveSet);
+            let (s, o, e) = flood_run(&g, cfg);
+            prop_assert_eq!(s, stats, "stats diverged (active-set, {} shards)", k);
+            prop_assert_eq!(&o, &outputs, "outputs diverged (active-set, {} shards)", k);
+            prop_assert_eq!(&e, &events, "trace diverged (active-set, {} shards)", k);
+        }
+    }
+
+    /// Dense vs active-set on the Figure 2 wave phase, whose sources vote
+    /// `Sleep(start)` until their staggered start rounds — the production
+    /// workload the timed-wakeup queue was built for.
+    #[test]
+    fn scheduling_waves_equivalence(g in arb_graph()) {
+        let cfg = Config::for_graph(&g);
+        let root = NodeId::new(0);
+        let b = classical::bfs::build(&g, root, cfg).unwrap();
+        let view = classical::TreeView::from(&b);
+        let steps = 2 * (g.len() as u64 - 1);
+        let dfs = classical::dfs_walk::walk(&g, &view, root, steps, cfg).unwrap();
+        let sources: Vec<(NodeId, u64)> = g
+            .nodes()
+            .map(|v| (v, dfs.tau[v.index()].unwrap()))
+            .collect();
+        let duration = 2 * steps + g.len() as u64 + 2;
+
+        let wave_run = |run_cfg: Config| {
+            let recorder = trace::Recorder::shared();
+            let out = {
+                let _guard = trace::install(recorder.clone());
+                classical::waves::run(&g, &sources, duration, run_cfg).unwrap()
+            };
+            let events = recorder.borrow_mut().take();
+            (out.max_dist, out.stats, events)
+        };
+
+        let (max_dist, stats, events) = wave_run(cfg.with_scheduling(Scheduling::Dense));
+        for k in [1usize, 2, 4] {
+            let (max_dist_k, stats_k, events_k) =
+                wave_run(cfg.with_shards(k).with_scheduling(Scheduling::ActiveSet));
+            prop_assert_eq!(&max_dist_k, &max_dist, "outputs diverged (active-set, {} shards)", k);
+            prop_assert_eq!(stats_k, stats, "stats diverged (active-set, {} shards)", k);
+            prop_assert_eq!(&events_k, &events, "trace diverged (active-set, {} shards)", k);
+        }
+    }
+
+    /// The beacon workload's scattered wakes leave long fully-quiescent
+    /// stretches: fast-forward must skip them without perturbing stats,
+    /// outputs, or the round-tick trace, and disabling it must change the
+    /// amount of work done — never the result.
+    #[test]
+    fn scheduling_beacon_fast_forward_equivalence(g in arb_graph(), wseed in any::<u64>()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(wseed);
+        let wakes: Vec<u64> = (0..g.len()).map(|_| rng.random_range(0..60)).collect();
+        let base = Config::for_graph(&g);
+        let (stats, outputs, events, dense_sched) =
+            beacon_run(&g, base.with_scheduling(Scheduling::Dense), &wakes);
+        // Dense pays for every node every round; that product is the
+        // baseline the active-set modes must undercut (or at worst match).
+        prop_assert_eq!(dense_sched, g.len() as u64 * stats.rounds);
+        for k in [1usize, 2, 4] {
+            for fast_forward in [true, false] {
+                let cfg = base
+                    .with_shards(k)
+                    .with_scheduling(Scheduling::ActiveSet)
+                    .with_fast_forward(fast_forward);
+                let (s, o, e, sched) = beacon_run(&g, cfg, &wakes);
+                prop_assert_eq!(
+                    s, stats,
+                    "stats diverged ({} shards, fast_forward={})", k, fast_forward
+                );
+                prop_assert_eq!(
+                    &o, &outputs,
+                    "outputs diverged ({} shards, fast_forward={})", k, fast_forward
+                );
+                prop_assert_eq!(
+                    &e, &events,
+                    "trace diverged ({} shards, fast_forward={})", k, fast_forward
+                );
+                prop_assert!(sched <= dense_sched, "active-set scheduled more than dense");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
