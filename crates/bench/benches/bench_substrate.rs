@@ -118,6 +118,71 @@ fn bench_tracing_overhead(c: &mut Criterion) {
     );
 }
 
+/// The cost-metrics layer obeys the same contract as tracing: strictly
+/// opt-in. With no registry installed, `Network::step` pays one
+/// `metrics::current()` thread-local lookup per round and nothing per
+/// message. The criterion group compares a BFS with and without a
+/// registry; the trailing gate bounds the disabled path directly —
+/// rounds × cost(`current()`) must stay under 5% of the whole run.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let g = graphs::generators::random_sparse(96, 5.0, 4);
+    let cfg = Config::for_graph(&g);
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    group.bench_function("bfs_metrics_disabled", |b| {
+        b.iter(|| {
+            let out = classical::bfs::build(black_box(&g), NodeId::new(0), cfg).unwrap();
+            black_box(out.depth)
+        })
+    });
+    group.bench_function("bfs_registry_installed", |b| {
+        b.iter(|| {
+            let registry = metrics::Registry::shared();
+            let _guard = metrics::install(registry.clone());
+            let out = classical::bfs::build(black_box(&g), NodeId::new(0), cfg).unwrap();
+            let messages = registry.borrow().counter(metrics::names::MESSAGES);
+            black_box((out.depth, messages))
+        })
+    });
+    group.finish();
+
+    let samples = 30;
+    let mut run_times = Vec::with_capacity(samples);
+    let mut rounds = 0;
+    for _ in 0..samples {
+        let t = Instant::now();
+        let out = classical::bfs::build(&g, NodeId::new(0), cfg).unwrap();
+        run_times.push(t.elapsed().as_secs_f64());
+        rounds = out.stats.rounds;
+    }
+    let run_med = median(run_times);
+
+    let calls_per_sample = 10_000u32;
+    let mut call_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..calls_per_sample {
+            black_box(metrics::current().is_some());
+        }
+        call_times.push(t.elapsed().as_secs_f64());
+    }
+    let call_med = median(call_times) / f64::from(calls_per_sample);
+
+    let overhead = (rounds as f64 * call_med) / run_med;
+    println!(
+        "metrics disabled-path overhead: {:.4}% of the round loop \
+         ({rounds} rounds x {:.1} ns per current() lookup)",
+        overhead * 100.0,
+        call_med * 1e9
+    );
+    assert!(
+        overhead < 0.05,
+        "disabled metrics cost {:.2}% of the round loop (budget: 5%)",
+        overhead * 100.0
+    );
+}
+
 /// The message-heavy workload the scheduler rework targets: every node
 /// floods the smallest id it has seen, re-broadcasting on every
 /// improvement, until quiescence.
@@ -440,6 +505,10 @@ fn bench_scheduler_sparse(c: &mut Criterion) {
         walk_sched * 20 < walk_sched_d,
         "token walk is not sparse: {walk_sched} of {walk_sched_d} node executions"
     );
+    // RunStats carries the same telemetry the scheduler reports directly.
+    assert_eq!(walk_stats.scheduled_nodes, walk_sched);
+    assert_eq!(walk_stats.node_rounds, n as u64 * walk_stats.rounds);
+    assert_eq!(walk_stats_d.active_fraction(), 1.0);
     let (chat_stats_d, chat_out_d, chat_sched_d) = chatter(&g, dense, horizon);
     let (chat_stats, chat_out, chat_sched) = chatter(&g, sparse, horizon);
     assert_eq!(chat_stats, chat_stats_d, "chatter stats diverge");
@@ -449,6 +518,7 @@ fn bench_scheduler_sparse(c: &mut Criterion) {
         chat_sched >= chat_sched_d - n as u64,
         "chatter should keep the active set full: {chat_sched} of {chat_sched_d}"
     );
+    assert_eq!(chat_stats.scheduled_nodes, chat_sched);
 
     let mut group = c.benchmark_group("scheduler_sparse");
     group.sample_size(10);
@@ -499,10 +569,17 @@ fn bench_scheduler_sparse(c: &mut Criterion) {
     );
 
     let workload = |name: &str, stats: RunStats, sched: u64, dense_med: f64, sparse_med: f64| {
+        // The published fraction comes straight from RunStats; the scan
+        // above pinned it to the scheduler's own executed-node count.
+        debug_assert_eq!(frac(sched, stats.rounds), stats.active_fraction());
         trace::Json::obj([
             ("workload", trace::Json::Str(name.into())),
             ("nodes", trace::Json::Int(n as i128)),
             ("rounds", trace::Json::Int(i128::from(stats.rounds))),
+            (
+                "scheduled_nodes",
+                trace::Json::Int(i128::from(stats.scheduled_nodes)),
+            ),
             (
                 "dense_rounds_per_sec",
                 trace::Json::Float(rps(stats.rounds, dense_med)),
@@ -514,7 +591,7 @@ fn bench_scheduler_sparse(c: &mut Criterion) {
             ("speedup", trace::Json::Float(dense_med / sparse_med)),
             (
                 "active_node_fraction",
-                trace::Json::Float(frac(sched, stats.rounds)),
+                trace::Json::Float(stats.active_fraction()),
             ),
         ])
     };
@@ -560,6 +637,7 @@ criterion_group!(
     bench_girth,
     bench_source_detection,
     bench_tracing_overhead,
+    bench_metrics_overhead,
     bench_scheduler_hot_loop,
     bench_scheduler_sparse
 );

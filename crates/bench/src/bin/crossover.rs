@@ -1,0 +1,61 @@
+//! **Crossover (Table 1, extended)**: where does quantum actually win?
+//!
+//! Sweeps the classical `Θ(n)` BFS-APSP baseline against the Theorem 1
+//! exact and Theorem 4 approximate quantum algorithms under the
+//! constant-honest cost model (real payload bits, per-message framing,
+//! measured per-oracle-application qubit traffic), then writes
+//! `crossover.json` and the auto-generated `CROSSOVER.md` into
+//! `QD_RESULTS_DIR` (default `results/`).
+//!
+//! `QD_SCALE=k` multiplies every swept `n` by `k`.
+
+use bench::rule;
+use congest_diameter::cli::Family;
+use congest_diameter::crossover::{self, CrossKind, CrossoverParams};
+
+fn main() {
+    let scale = bench::scale();
+    let params = CrossoverParams {
+        families: vec![Family::Sparse, Family::Tree],
+        // Past n ≈ 160 the tree family's approximate quantum algorithm
+        // undercuts classical APSP in wire bits — keep the sweep wide
+        // enough to capture that empirical crossover, not just project it.
+        ns: [16, 24, 32, 48, 64, 96, 128, 160, 192]
+            .iter()
+            .map(|n| n * scale)
+            .collect(),
+        seed: 7,
+        ..CrossoverParams::default()
+    };
+    rule("classical vs quantum crossover under the constant-honest cost model");
+    let report = crossover::run(&params).expect("crossover sweep");
+
+    println!(
+        "{:>8} {:>5} {:>5} {:>16} {:>10} {:>14} {:>12} {:>14}",
+        "family", "n", "D", "algo", "rounds", "wire bits", "qubits", "cost units"
+    );
+    for p in &report.points {
+        println!(
+            "{:>8} {:>5} {:>5} {:>16} {:>10} {:>14} {:>12} {:>14.0}",
+            p.family, p.n, p.d, p.algo, p.rounds, p.wire_bits, p.qubit_sends, p.cost_units
+        );
+    }
+
+    rule("verdicts (cost units)");
+    for c in report.crossings.iter().filter(|c| c.metric == "cost_units") {
+        let verdict = match (c.kind, c.n) {
+            (CrossKind::Empirical, Some(n)) => format!("empirical crossover at n = {n:.0}"),
+            (CrossKind::Projected, Some(n)) => format!("projected crossover at n ~ {n:.3e}"),
+            _ => "no crossover".into(),
+        };
+        println!(
+            "{:>8} {:>16}: {verdict} (factor {:.2}x at max n)",
+            c.family, c.quantum_algo, c.ratio_at_max_n
+        );
+    }
+
+    let dir = std::env::var("QD_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let (json_path, md_path) = report.write_artifacts(&dir).expect("write artifacts");
+    println!("\nwrote {}", json_path.display());
+    println!("wrote {}", md_path.display());
+}

@@ -98,6 +98,7 @@ pub fn exact_diameter(graph: &Graph, config: Config) -> Result<ExactDiameterOutc
     }
     let n = graph.len() as u64;
     let fault_aware = config.has_faults();
+    let _driver_span = metrics::span("classical-apsp");
     let mut ledger = RoundsLedger::new();
 
     // Phase 1: leader election + BFS tree.

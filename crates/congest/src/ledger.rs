@@ -99,6 +99,21 @@ impl RoundsLedger {
             violations: stats.bandwidth_violations,
             derived,
         });
+        // Mirror the span into the metrics layer as a labelled round
+        // counter. Derived phases (accounting artifacts, e.g. the Figure 2
+        // uncomputation) are kept under a separate family so consumers can
+        // reconcile simulated rounds against `qd_rounds_total` exactly.
+        metrics::with(|r| {
+            let family = if derived {
+                metrics::names::PHASE_ROUNDS_DERIVED
+            } else {
+                metrics::names::PHASE_ROUNDS
+            };
+            r.add(
+                &metrics::labeled(family, "phase", label),
+                stats.rounds * repetitions,
+            );
+        });
     }
 
     /// Number of recorded phases.

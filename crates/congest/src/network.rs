@@ -193,7 +193,13 @@ impl Config {
 }
 
 /// Accounting collected by a [`Network`] run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares only the *protocol observables* (rounds, messages,
+/// bits, violations) — the scheduling telemetry (`scheduled_nodes`,
+/// `node_rounds`) is excluded, since [`Scheduling::ActiveSet`] legitimately
+/// executes fewer node-rounds than [`Scheduling::Dense`] while producing
+/// byte-identical traffic.
+#[derive(Clone, Copy, Debug, Default, Eq)]
 pub struct RunStats {
     /// Rounds executed.
     pub rounds: Round,
@@ -206,6 +212,26 @@ pub struct RunStats {
     /// Number of messages that exceeded the budget (only nonzero under
     /// [`BandwidthPolicy::Track`]).
     pub bandwidth_violations: u64,
+    /// Node-program executions actually scheduled: `n` per stepped round
+    /// under [`Scheduling::Dense`], the active-set size under
+    /// [`Scheduling::ActiveSet`]; fast-forwarded rounds schedule nothing.
+    /// Excluded from equality (scheduling telemetry, not a protocol
+    /// observable).
+    pub scheduled_nodes: u64,
+    /// Node-round opportunities: `n × rounds`, counting fast-forwarded
+    /// rounds. `scheduled_nodes / node_rounds` is the active-node fraction.
+    /// Excluded from equality.
+    pub node_rounds: u64,
+}
+
+impl PartialEq for RunStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.total_bits == other.total_bits
+            && self.max_message_bits == other.max_message_bits
+            && self.bandwidth_violations == other.bandwidth_violations
+    }
 }
 
 impl RunStats {
@@ -217,6 +243,20 @@ impl RunStats {
         self.total_bits += other.total_bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
         self.bandwidth_violations += other.bandwidth_violations;
+        self.scheduled_nodes += other.scheduled_nodes;
+        self.node_rounds += other.node_rounds;
+    }
+
+    /// Fraction of node-round opportunities that actually executed a
+    /// program: 1.0 under [`Scheduling::Dense`] with no fast-forwarding,
+    /// lower when sparse scheduling or quiescence-skipping elided work.
+    /// Returns 1.0 for an empty run.
+    pub fn active_fraction(&self) -> f64 {
+        if self.node_rounds == 0 {
+            1.0
+        } else {
+            self.scheduled_nodes as f64 / self.node_rounds as f64
+        }
     }
 }
 
@@ -424,9 +464,11 @@ impl<'g, P: NodeProgram> Network<'g, P> {
     /// Total node-program executions scheduled so far: `n` per round under
     /// [`Scheduling::Dense`], the active-set size summed over stepped rounds
     /// under [`Scheduling::ActiveSet`] (fast-forwarded rounds schedule
-    /// nothing). Kept out of [`RunStats`] — like [`Network::fault_stats`] —
-    /// so sparse and dense accounting stay byte-identical; benches use the
-    /// ratio `scheduled_nodes / (n · rounds)` as the active-node fraction.
+    /// nothing). Also recorded per committed round in
+    /// [`RunStats::scheduled_nodes`] — excluded there from equality, so
+    /// sparse and dense accounting still compare byte-identical on the
+    /// protocol observables; [`RunStats::active_fraction`] is the
+    /// ratio against `n · rounds`.
     pub fn scheduled_nodes(&self) -> u64 {
         self.executed
     }
@@ -469,8 +511,10 @@ where
         let n = self.programs.len();
         let round = self.round;
         // Fetched once per round, not once per message; `None` (the
-        // default) keeps the message loop free of tracing work.
+        // default) keeps the message loop free of tracing work. The metrics
+        // registry follows the same discipline.
         let tracer = trace::current();
+        let meter = metrics::current();
         // Everything staged last round is handed to the programs now, so
         // this round delivers exactly the previously in-flight messages.
         let delivered = self.in_flight as u64;
@@ -543,6 +587,7 @@ where
         // the active set is a single node, sharding buys nothing — run it on
         // the calling thread.)
         let shards = self.config.shards.clamp(1, n.max(1));
+        let execute_started = meter.as_ref().map(|_| std::time::Instant::now());
         if shards > 1 && self.active.len() > 1 {
             self.execute_sharded(round, shards, &tracer, crashed);
         } else {
@@ -558,6 +603,11 @@ where
                 staged: &mut self.staged,
                 crashed,
             });
+        }
+        if let (Some(meter), Some(started)) = (&meter, execute_started) {
+            meter
+                .borrow_mut()
+                .record_span("congest/execute", span_nanos(started));
         }
 
         // Phase 3: validate every staged outbox before committing any
@@ -608,6 +658,7 @@ where
         // so iterating the active list is exhaustive (and stays node-id
         // ordered — the list is sorted).
         let budget = self.config.bandwidth_bits;
+        let commit_started = meter.as_ref().map(|_| std::time::Instant::now());
         let mut staged_count = 0usize;
         for idx in 0..self.active.len() {
             let i = self.active[idx];
@@ -619,6 +670,9 @@ where
                     // `Enforce` was rejected during validation, so an
                     // over-budget message here is tracked, not fatal.
                     self.stats.bandwidth_violations += 1;
+                    if let Some(meter) = &meter {
+                        meter.borrow_mut().add(metrics::names::VIOLATIONS, 1);
+                    }
                     if let Some(sink) = &tracer {
                         sink.borrow_mut().record(&trace::TraceEvent::Violation {
                             round,
@@ -635,6 +689,12 @@ where
                 self.stats.messages += 1;
                 self.stats.total_bits += bits as u64;
                 self.stats.max_message_bits = self.stats.max_message_bits.max(bits);
+                if let Some(meter) = &meter {
+                    // Charged at the same accounting point as the trace
+                    // event, so the cost model's payload-bit total always
+                    // reconciles with the trace layer's delivered totals.
+                    meter.borrow_mut().charge_message(bits as u64);
+                }
                 if let Some(observer) = &mut self.observer {
                     observer(round, node, to, bits);
                 }
@@ -789,6 +849,11 @@ where
         }
         self.in_flight = staged_count;
         self.fault = fault;
+        if let (Some(meter), Some(started)) = (&meter, commit_started) {
+            let mut meter = meter.borrow_mut();
+            meter.record_span("congest/commit", span_nanos(started));
+            meter.add(metrics::names::ROUNDS, 1);
+        }
 
         // Phase 5: recycle this round's drained inboxes (capacity kept).
         // A non-empty inbox implies its owner was woken when the message
@@ -799,6 +864,8 @@ where
 
         self.round += 1;
         self.stats.rounds = self.round;
+        self.stats.scheduled_nodes = self.executed;
+        self.stats.node_rounds = n as u64 * self.round;
         if let Some(sink) = &tracer {
             sink.borrow_mut()
                 .record(&trace::TraceEvent::Round { round, delivered });
@@ -1023,8 +1090,9 @@ where
     /// Jumps the round counter to `target` without executing anything,
     /// emitting the per-round trace ticks a stepped run would have: each
     /// skipped round delivered zero messages. `RunStats` advances exactly
-    /// as if every round had been stepped. O(1) when no tracer is
-    /// installed.
+    /// as if every round had been stepped (skipped rounds schedule no
+    /// nodes, so only `node_rounds` grows). O(1) when no tracer or metrics
+    /// registry is installed.
     fn skip_rounds(&mut self, target: Round) {
         debug_assert!(self.next_active.is_empty() && self.in_flight == 0);
         if let Some(sink) = trace::current() {
@@ -1036,9 +1104,16 @@ where
                 });
             }
         }
+        metrics::add(metrics::names::ROUNDS, target - self.round);
         self.round = target;
         self.stats.rounds = target;
+        self.stats.node_rounds = self.programs.len() as u64 * target;
     }
+}
+
+/// Saturating elapsed nanoseconds for a metrics profiler span.
+fn span_nanos(started: std::time::Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Everything one execute-phase chunk needs: the shared round inputs plus

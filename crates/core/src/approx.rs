@@ -152,6 +152,8 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
         });
     }
     let n = graph.len();
+    let _driver_span = ::metrics::span("approx");
+    let prep_span = ::metrics::span("prep");
     let mut prep_ledger = RoundsLedger::new();
 
     // Pre-pass: leader + BFS(leader) to learn d = ecc(leader) (needed to
@@ -172,10 +174,7 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
             probe_ledger: RoundsLedger::new(),
             oracle: OracleCost::new(),
             quantum_rounds: 0,
-            oracle_schedule: DistributedOracle {
-                setup_rounds: 0,
-                evaluation_rounds: 0,
-            },
+            oracle_schedule: DistributedOracle::default(),
             memory: framework::memory_estimate(n, 1, 1.0),
             verified: true,
             aborted: false,
@@ -233,6 +232,9 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
 
     // Measured schedules: Setup = broadcast over BFS(w); Evaluation = the
     // windowed Figure 2 run (walk on the R-subtree, aggregation on BFS(w)).
+    // Probe stats double as the per-application qubit/message constants.
+    drop(prep_span);
+    let probe_span = ::metrics::span("probe");
     let mut probe_ledger = RoundsLedger::new();
     let setup_probe = aggregate::broadcast(graph, &prep.w_tree, 0, bits::for_node(n), config)
         .map_err(QdError::from)?;
@@ -240,10 +242,11 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
     let eval_probe = evaluation::run_windowed(graph, &r_tree, &prep.w_tree, d, prep.w, config)
         .map_err(QdError::from)?;
     probe_ledger.extend_prefixed("probe: ", &eval_probe.ledger);
-    let oracle_schedule = DistributedOracle {
-        setup_rounds: setup_probe.stats.rounds,
-        evaluation_rounds: eval_probe.forward_rounds(),
-    };
+    let oracle_schedule =
+        DistributedOracle::from_rounds(setup_probe.stats.rounds, eval_probe.forward_rounds())
+            .with_setup_traffic(setup_probe.stats.total_bits, setup_probe.stats.messages)
+            .with_evaluation_traffic(eval_probe.forward_bits(), eval_probe.forward_messages());
+    drop(probe_span);
 
     // P_opt ≥ d/2s (Section 4's Lemma-1 analogue); fall back to the exact
     // optimum mass if the instance is worse than the promise (possible when
@@ -256,6 +259,7 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
     let memory = framework::memory_estimate(n, r_size, min_mass);
     crate::exact::emit_memory(&memory);
 
+    let quantum_span = ::metrics::span("quantum");
     let state = SearchState::uniform(r_size);
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x9E37_79B9_7F4A_7C15);
     let opt = framework::optimize(
@@ -265,8 +269,10 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
         MaximizeParams::with_min_mass(min_mass).with_failure_prob(params.failure_prob),
         &mut rng,
     )?;
+    drop(quantum_span);
 
     // Verify sampled branches (and the winner) against the distributed run.
+    let verify_span = ::metrics::span("verify");
     let mut branches: Vec<usize> = (0..params.verify_branches)
         .map(|_| rng.random_range(0..r_size))
         .collect();
@@ -289,6 +295,7 @@ pub fn diameter(graph: &Graph, params: ApproxParams, config: Config) -> Result<A
             });
         }
     }
+    drop(verify_span);
 
     trace::emit_with(|| trace::TraceEvent::Value {
         label: "diameter estimate".into(),

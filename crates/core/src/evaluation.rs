@@ -51,6 +51,20 @@ impl EvaluationRun {
     pub fn forward_rounds(&self) -> u64 {
         self.ledger.total_rounds() / 2
     }
+
+    /// Payload bits delivered by the forward pass alone. In superposed
+    /// execution each of these bits is a communicated qubit, so this is the
+    /// per-application qubit traffic of one `Evaluation` operator (the
+    /// derived uncompute phase mirrors steps 1–3 exactly, hence the halved
+    /// total).
+    pub fn forward_bits(&self) -> u64 {
+        self.ledger.total_bits() / 2
+    }
+
+    /// Messages sent by the forward pass alone.
+    pub fn forward_messages(&self) -> u64 {
+        self.ledger.total_messages() / 2
+    }
 }
 
 /// Runs Figure 2 for a concrete `u₀` over the window width `2d`.

@@ -113,7 +113,8 @@ impl DiameterRun {
     }
 }
 
-/// Reports the analytic qubit requirements to an installed trace sink.
+/// Reports the analytic qubit requirements to an installed trace sink and
+/// metrics registry.
 pub(crate) fn emit_memory(memory: &MemoryEstimate) {
     trace::emit_with(|| trace::TraceEvent::Qubits {
         scope: "per-node".into(),
@@ -122,6 +123,13 @@ pub(crate) fn emit_memory(memory: &MemoryEstimate) {
     trace::emit_with(|| trace::TraceEvent::Qubits {
         scope: "leader".into(),
         qubits: memory.leader_qubits as u64,
+    });
+    ::metrics::with(|r| {
+        r.set_gauge(
+            ::metrics::names::PER_NODE_QUBITS,
+            memory.per_node_qubits as f64,
+        );
+        r.set_gauge(::metrics::names::LEADER_QUBITS, memory.leader_qubits as f64);
     });
 }
 
@@ -146,15 +154,18 @@ pub fn diameter(
         });
     }
     let n = graph.len();
+    let _driver_span = ::metrics::span("exact");
     let mut init_ledger = RoundsLedger::new();
 
     // Initialization (Proposition 1): leader, BFS(leader), d = ecc(leader).
+    let init_span = ::metrics::span("init");
     let elect = leader::elect(graph, config).map_err(QdError::from)?;
     init_ledger.add("leader election", elect.stats);
     let b = bfs::build(graph, elect.leader, config).map_err(QdError::from)?;
     init_ledger.add("bfs(leader) [Figure 1]", b.stats);
     let tree = TreeView::from(&b);
     let d = b.depth;
+    drop(init_span);
 
     let memory = framework::memory_estimate(n, n, (f64::from(d).max(1.0)) / (2.0 * n as f64));
     emit_memory(&memory);
@@ -169,10 +180,7 @@ pub fn diameter(
             probe_ledger: RoundsLedger::new(),
             oracle: OracleCost::new(),
             quantum_rounds: 0,
-            oracle_schedule: DistributedOracle {
-                setup_rounds: 0,
-                evaluation_rounds: 0,
-            },
+            oracle_schedule: DistributedOracle::default(),
             memory,
             verified: true,
             aborted: false,
@@ -189,7 +197,9 @@ pub fn diameter(
         .ok_or(QdError::Classical(classical::AlgoError::Disconnected))?;
     let f_values = windows.window_max(&eccs);
 
-    // Measure the per-operator schedules from real runs.
+    // Measure the per-operator schedules (and per-application traffic, for
+    // constant-honest qubit accounting) from real runs.
+    let probe_span = ::metrics::span("probe");
     let mut probe_ledger = RoundsLedger::new();
     let setup_probe =
         aggregate::broadcast(graph, &tree, 0, bits::for_node(n), config).map_err(QdError::from)?;
@@ -197,16 +207,18 @@ pub fn diameter(
     let eval_probe =
         evaluation::run_figure2(graph, &tree, d, elect.leader, config).map_err(QdError::from)?;
     probe_ledger.extend_prefixed("probe: ", &eval_probe.ledger);
-    let oracle_schedule = DistributedOracle {
-        setup_rounds: setup_probe.stats.rounds,
-        evaluation_rounds: eval_probe.forward_rounds(),
-    };
+    let oracle_schedule =
+        DistributedOracle::from_rounds(setup_probe.stats.rounds, eval_probe.forward_rounds())
+            .with_setup_traffic(setup_probe.stats.total_bits, setup_probe.stats.messages)
+            .with_evaluation_traffic(eval_probe.forward_bits(), eval_probe.forward_messages());
+    drop(probe_span);
     debug_assert_eq!(
         2 * oracle_schedule.evaluation_rounds,
         evaluation::figure2_schedule_rounds(d, b.depth)
     );
 
     // Quantum optimization (Theorem 7) with P_opt ≥ d/2n (Lemma 1).
+    let quantum_span = ::metrics::span("quantum");
     let min_mass = (f64::from(d) / (2.0 * n as f64)).clamp(1.0 / n as f64, 1.0);
     let state = SearchState::uniform(n);
     let mut rng = StdRng::seed_from_u64(params.seed);
@@ -217,9 +229,11 @@ pub fn diameter(
         MaximizeParams::with_min_mass(min_mass).with_failure_prob(params.failure_prob),
         &mut rng,
     )?;
+    drop(quantum_span);
 
     // Verify sampled branches (and the winner) against the real distributed
     // Evaluation program.
+    let verify_span = ::metrics::span("verify");
     let mut branches: Vec<usize> = (0..params.verify_branches)
         .map(|_| rng.random_range(0..n))
         .collect();
@@ -241,6 +255,7 @@ pub fn diameter(
             });
         }
     }
+    drop(verify_span);
 
     trace::emit_with(|| trace::TraceEvent::Value {
         label: "diameter".into(),

@@ -85,10 +85,7 @@ pub fn diameter(
             probe_ledger: RoundsLedger::new(),
             oracle: OracleCost::new(),
             quantum_rounds: 0,
-            oracle_schedule: DistributedOracle {
-                setup_rounds: 0,
-                evaluation_rounds: 0,
-            },
+            oracle_schedule: DistributedOracle::default(),
             memory,
             verified: true,
             aborted: false,
@@ -99,10 +96,11 @@ pub fn diameter(
     let eccs = metrics::eccentricities(graph)
         .ok_or(QdError::Classical(classical::AlgoError::Disconnected))?;
 
-    let oracle_schedule = DistributedOracle {
-        setup_rounds: u64::from(d) + 1,
-        evaluation_rounds: simple_schedule_rounds(d),
-    };
+    // Analytic schedule (no probes): traffic constants stay zero, so the
+    // crossover engine treats the simple algorithm's qubit traffic as
+    // unmeasured rather than inventing numbers.
+    let oracle_schedule =
+        DistributedOracle::from_rounds(u64::from(d) + 1, simple_schedule_rounds(d));
 
     let state = SearchState::uniform(n);
     let mut rng = StdRng::seed_from_u64(params.seed);

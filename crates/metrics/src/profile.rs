@@ -1,0 +1,124 @@
+//! Hierarchical wall-clock phase profiler.
+//!
+//! A [`Span`] is an RAII guard that measures the wall-clock time between
+//! its creation and drop and charges it to the installed registry under a
+//! `/`-joined path: spans opened while another span is live nest under it,
+//! so a driver that opens `exact` and then `quantum` records the inner time
+//! as `exact/quantum`.
+//!
+//! With no registry installed, [`span`] is a single thread-local read and
+//! the returned guard does nothing — the simulator's disabled path stays
+//! within the same <5% overhead gate as tracing.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a wall-clock span named `label`, nested under any live spans.
+///
+/// The span is charged to the registry installed *at drop time*; if metrics
+/// are disabled when the span opens, it is inert.
+pub fn span(label: &str) -> Span {
+    if !crate::enabled() {
+        return Span { path: None };
+    }
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{label}"),
+            None => label.to_owned(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    Span {
+        path: Some((path, Instant::now())),
+    }
+}
+
+/// RAII guard for one profiler span; see [`span`].
+#[must_use = "the span is measured when the guard is dropped"]
+pub struct Span {
+    path: Option<(String, Instant)>,
+}
+
+impl Span {
+    /// The span's full `/`-joined path, if it is live.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_ref().map(|(p, _)| p.as_str())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((path, start)) = self.path.take() {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if stack.last() == Some(&path) {
+                    stack.pop();
+                } else {
+                    // Out-of-order drop (e.g. a span held across an early
+                    // return past a sibling): unwind to this span.
+                    if let Some(idx) = stack.iter().rposition(|p| p == &path) {
+                        stack.truncate(idx);
+                    }
+                }
+            });
+            crate::with(|r| r.record_span(&path, nanos));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let registry = Registry::shared();
+        {
+            let _guard = crate::install(registry.clone());
+            let outer = crate::span("exact");
+            assert_eq!(outer.path(), Some("exact"));
+            {
+                let inner = crate::span("quantum");
+                assert_eq!(inner.path(), Some("exact/quantum"));
+            }
+            {
+                let inner = crate::span("verify");
+                assert_eq!(inner.path(), Some("exact/verify"));
+            }
+        }
+        let r = registry.borrow();
+        let spans = r.spans();
+        assert_eq!(spans["exact"].calls, 1);
+        assert_eq!(spans["exact/quantum"].calls, 1);
+        assert_eq!(spans["exact/verify"].calls, 1);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let s = crate::span("nothing");
+        assert_eq!(s.path(), None);
+        drop(s);
+        // Nothing was pushed to the stack: a later enabled span is a root.
+        let registry = Registry::shared();
+        let _guard = crate::install(registry.clone());
+        let root = crate::span("root");
+        assert_eq!(root.path(), Some("root"));
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_calls() {
+        let registry = Registry::shared();
+        let _guard = crate::install(registry.clone());
+        for _ in 0..3 {
+            let _s = crate::span("loop");
+        }
+        assert_eq!(registry.borrow().spans()["loop"].calls, 3);
+    }
+}

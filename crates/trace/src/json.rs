@@ -108,10 +108,10 @@ impl Json {
             }
             Json::Float(f) => {
                 if f.is_finite() {
-                    let _ = write!(out, "{f}");
-                    // `{}` omits the point for integral floats; keep it JSON-
-                    // distinguishable from Int is unnecessary, but ensure a
-                    // valid number is always produced.
+                    // `{:?}` keeps a `.0` or exponent marker, so the value
+                    // re-parses as Float (Display would print huge integral
+                    // floats as bare digit runs that overflow Int parsing).
+                    let _ = write!(out, "{f:?}");
                 } else {
                     out.push_str("null");
                 }

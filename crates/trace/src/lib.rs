@@ -36,7 +36,10 @@ pub mod summary;
 
 pub use event::{FaultKind, OracleOp, TraceEvent};
 pub use json::Json;
-pub use sink::{parse_jsonl, read_jsonl, FileSink, Recorder, SharedSink, TraceSink};
+pub use sink::{
+    parse_jsonl, parse_jsonl_lossy, read_jsonl, read_jsonl_lossy, FileSink, Recorder, SharedSink,
+    TraceSink,
+};
 pub use summary::{EdgeTotals, PhaseTotals, Summary};
 
 use std::cell::RefCell;

@@ -146,6 +146,51 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
     Ok(events)
 }
 
+/// Parses JSONL trace text, tolerating a truncated final line.
+///
+/// A run that crashed or was killed mid-write commonly leaves a partial
+/// JSON object on the last line of its `--trace` file. That one case is
+/// recoverable: the complete prefix is returned together with a warning
+/// describing what was dropped. A malformed line *before* the last one is
+/// real corruption and still fails with its line number, exactly like
+/// [`parse_jsonl`].
+///
+/// # Errors
+///
+/// Returns a line-numbered message for malformed non-final lines.
+pub fn parse_jsonl_lossy(text: &str) -> Result<(Vec<TraceEvent>, Option<String>), String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let mut events = Vec::with_capacity(lines.len());
+    for (pos, &(number, line)) in lines.iter().enumerate() {
+        match TraceEvent::from_json(line) {
+            Ok(event) => events.push(event),
+            Err(e) if pos + 1 == lines.len() => {
+                let warning =
+                    format!("trace truncated: dropped incomplete final line {number} ({e})");
+                return Ok((events, Some(warning)));
+            }
+            Err(e) => return Err(format!("line {number}: {e}")),
+        }
+    }
+    Ok((events, None))
+}
+
+/// Reads a JSONL trace file with [`parse_jsonl_lossy`] semantics.
+///
+/// # Errors
+///
+/// Propagates I/O errors and mid-file corruption (as
+/// [`io::ErrorKind::InvalidData`]).
+pub fn read_jsonl_lossy(path: impl AsRef<Path>) -> io::Result<(Vec<TraceEvent>, Option<String>)> {
+    let text = std::fs::read_to_string(path)?;
+    parse_jsonl_lossy(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +255,39 @@ mod tests {
         let bad = "{\"type\":\"round\",\"round\":1,\"delivered\":0}\nnot json\n";
         let err = parse_jsonl(bad).unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn lossy_parse_recovers_a_truncated_final_line() {
+        let round = "{\"type\":\"round\",\"round\":1,\"delivered\":0}";
+        // Killed mid-write: the last line stops in the middle of the object.
+        let truncated = format!("{round}\n{round}\n{{\"type\":\"rou");
+        let (events, warning) = parse_jsonl_lossy(&truncated).unwrap();
+        assert_eq!(events.len(), 2);
+        let warning = warning.unwrap();
+        assert!(warning.contains("line 3"), "{warning}");
+        // The strict parser refuses the same input.
+        assert!(parse_jsonl(&truncated).is_err());
+    }
+
+    #[test]
+    fn lossy_parse_keeps_strict_semantics_otherwise() {
+        // Clean input: no warning, same events as the strict parser.
+        let round = "{\"type\":\"round\",\"round\":1,\"delivered\":0}";
+        let clean = format!("{round}\n{round}\n");
+        let (events, warning) = parse_jsonl_lossy(&clean).unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(warning.is_none());
+        // Empty input: no events, no warning — the caller decides.
+        assert_eq!(parse_jsonl_lossy("").unwrap(), (Vec::new(), None));
+        assert_eq!(parse_jsonl_lossy("\n\n").unwrap(), (Vec::new(), None));
+        // Garbage in the middle is corruption, not truncation.
+        let corrupt = format!("{round}\nnot json\n{round}\n");
+        let err = parse_jsonl_lossy(&corrupt).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        // A file that is *only* a truncated line recovers to zero events.
+        let (events, warning) = parse_jsonl_lossy("{\"type\"").unwrap();
+        assert!(events.is_empty());
+        assert!(warning.is_some());
     }
 }

@@ -43,6 +43,26 @@ echo "=== scheduler bench smoke (dense-vs-sparse + <5% overhead gates) ==="
 # writes BENCH_scheduler.json at the repo root.
 cargo bench -q --offline -p bench --bench bench_substrate -- --test || status=1
 test -s BENCH_scheduler.json || { echo "BENCH_scheduler.json missing" >&2; status=1; }
+# bench_substrate's metrics_overhead group also asserts the <5% gate on the
+# disabled-metrics path, so this smoke doubles as the cost-metrics gate.
+
+echo "=== crossover smoke (artifacts + schema) ==="
+xdir=$(mktemp -d)
+cargo run -q --release --offline -p congest-diameter --bin qdiam -- \
+  crossover --families sparse --ns 16,24 --seed 1 --out "$xdir" \
+  --metrics "$xdir/metrics.prom" >/dev/null || status=1
+test -s "$xdir/crossover.json" || { echo "crossover.json missing" >&2; status=1; }
+test -s "$xdir/CROSSOVER.md" || { echo "CROSSOVER.md missing" >&2; status=1; }
+test -s "$xdir/metrics.prom" || { echo "metrics.prom missing" >&2; status=1; }
+for key in '"experiment":"crossover"' '"points"' '"fits"' '"crossings"'; do
+  grep -qF "$key" "$xdir/crossover.json" \
+    || { echo "crossover.json missing key $key" >&2; status=1; }
+done
+grep -qF '### Crossovers vs `classical-apsp`' "$xdir/CROSSOVER.md" \
+  || { echo "CROSSOVER.md missing verdict section" >&2; status=1; }
+grep -q '^# TYPE qd_messages_total counter' "$xdir/metrics.prom" \
+  || { echo "metrics.prom missing qd_messages_total" >&2; status=1; }
+rm -rf "$xdir"
 
 if [ "$status" -ne 0 ]; then
   echo "CHECK FAILED" >&2

@@ -6,6 +6,7 @@
 //! qdiam approx --family er --n 200 --p 0.05 --s 20
 //! qdiam exact --family grid --n 64 --trace run.jsonl
 //! qdiam trace-summary run.jsonl
+//! qdiam crossover --families sparse,tree --ns 16,24,32,48,64 --out results
 //! ```
 
 use congest_diameter::cli;
@@ -17,6 +18,7 @@ fn main() {
             let result = match cmd {
                 cli::Command::Run(opts) => cli::run(&opts),
                 cli::Command::TraceSummary(path) => cli::trace_summary(&path),
+                cli::Command::Crossover(opts) => cli::crossover(&opts),
             };
             match result {
                 Ok(report) => print!("{report}"),

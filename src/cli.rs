@@ -72,7 +72,29 @@ pub enum Family {
 }
 
 impl Family {
-    fn parse(s: &str) -> Result<Self, String> {
+    /// The stable lowercase name: the same token [`Family::parse`] accepts
+    /// and artifacts like `crossover.json` use.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Cycle => "cycle",
+            Family::Grid => "grid",
+            Family::Tree => "tree",
+            Family::Sparse => "sparse",
+            Family::Er => "er",
+            Family::Barbell => "barbell",
+            Family::Lollipop => "lollipop",
+            Family::Hypercube => "hypercube",
+            Family::File => "file",
+        }
+    }
+
+    /// Parses a family name (the same tokens `--family` accepts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown token.
+    pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "path" => Ok(Family::Path),
             "cycle" => Ok(Family::Cycle),
@@ -121,6 +143,9 @@ pub struct Options {
     /// Fault-injection spec (see [`congest::FaultPlan::parse`]); validated
     /// at parse time, kept as the raw text so reports can echo it.
     pub faults: Option<String>,
+    /// Export the run's metrics registry to this path (`.json` → JSON,
+    /// anything else → Prometheus text).
+    pub metrics: Option<String>,
 }
 
 impl Default for Options {
@@ -140,6 +165,7 @@ impl Default for Options {
             shards: 1,
             scheduling: Scheduling::default(),
             faults: None,
+            metrics: None,
         }
     }
 }
@@ -150,6 +176,7 @@ qdiam — quantum CONGEST diameter computation (Le Gall & Magniez, PODC 2018)
 
 USAGE: qdiam <ALGORITHM> [OPTIONS]
        qdiam trace-summary <TRACE.jsonl>
+       qdiam crossover [CROSSOVER OPTIONS]
 
 ALGORITHMS:
   exact             quantum exact diameter, Õ(√(nD)) rounds   (Theorem 1)
@@ -163,6 +190,15 @@ ALGORITHMS:
 COMMANDS:
   trace-summary     aggregate a --trace JSONL file into per-phase/per-edge
                     rollups and print them
+  crossover         sweep classical BFS-APSP vs quantum exact/approx across
+                    graph families and sizes under the constant-honest cost
+                    model; writes crossover.json + CROSSOVER.md into the
+                    results directory.  Options: --families a,b (default
+                    sparse,tree)  --ns 16,24,... (default 16,24,32,48,64)
+                    --seed S  --qubit-factor F (classical bits one qubit
+                    costs; default 100)  --header-bits B (per-message
+                    framing; default 64)  --no-approx  --out DIR
+                    --metrics PATH
 
 OPTIONS:
   --family F   path|cycle|grid|tree|sparse|er|barbell|lollipop|hypercube|file
@@ -175,6 +211,8 @@ OPTIONS:
   --s S        cluster-size override for the approximations
   --delta D    quantum failure probability (default: 0.01)
   --trace PATH write a JSONL event trace of the run to PATH
+  --metrics P  export the run's metrics registry to P after the run
+               (.json extension -> JSON, anything else -> Prometheus text)
   --shards K   run node programs on K worker threads per round (default: 1);
                results are byte-identical to the sequential scheduler
   --sched M    round scheduling: active-set (default; skip halted nodes and
@@ -189,6 +227,7 @@ OPTIONS:
   --help       this message
 
 ENVIRONMENT:
+  QD_METRICS      metrics export path applied when --metrics is absent
   QD_FAULTS       fault spec applied when --faults is absent (same grammar);
                   also honored by the experiment binaries in crates/bench
   QD_SHARDS       worker shards for the experiment binaries (default 1)
@@ -200,13 +239,27 @@ ENVIRONMENT:
   QD_TEST_SHARDS  shard counts exercised by the property-test suite
 ";
 
-/// A fully parsed invocation: either an algorithm run or a trace-file query.
+/// A fully parsed invocation: an algorithm run, a trace-file query, or a
+/// crossover sweep.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// Run an algorithm with the given options.
     Run(Options),
     /// Summarize a previously written `--trace` JSONL file.
     TraceSummary(String),
+    /// Sweep classical vs quantum costs and emit the crossover report.
+    Crossover(CrossoverOptions),
+}
+
+/// Parsed options of the `crossover` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossoverOptions {
+    /// The sweep configuration handed to [`crate::crossover::run`].
+    pub params: crate::crossover::CrossoverParams,
+    /// Output directory override (default: `QD_RESULTS_DIR` or `results`).
+    pub out: Option<String>,
+    /// Export the sweep's aggregate metrics registry to this path.
+    pub metrics: Option<String>,
 }
 
 /// Parses a full command line (without the program name) into a [`Command`].
@@ -215,15 +268,141 @@ pub enum Command {
 ///
 /// As for [`parse`].
 pub fn parse_command(args: &[String]) -> Result<Command, String> {
-    if args.first().map(String::as_str) == Some("trace-summary") {
-        match args {
+    match args.first().map(String::as_str) {
+        Some("trace-summary") => match args {
             [_, path] => Ok(Command::TraceSummary(path.clone())),
             [_] => Err("trace-summary requires a path".into()),
             _ => Err("trace-summary takes exactly one path".into()),
-        }
-    } else {
-        parse(args).map(Command::Run)
+        },
+        Some("crossover") => parse_crossover(&args[1..]).map(Command::Crossover),
+        _ => parse(args).map(Command::Run),
     }
+}
+
+fn parse_crossover(args: &[String]) -> Result<CrossoverOptions, String> {
+    let mut opts = CrossoverOptions {
+        params: crate::crossover::CrossoverParams::default(),
+        out: None,
+        metrics: None,
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            iter.next().ok_or(format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--families" => {
+                opts.params.families = value("--families")?
+                    .split(',')
+                    .map(|s| Family::parse(s.trim()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--ns" => {
+                opts.params.ns = value("--ns")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("--ns: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if opts.params.ns.iter().any(|&n| n < 2) {
+                    return Err("--ns entries must be >= 2".into());
+                }
+            }
+            "--seed" => {
+                opts.params.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--qubit-factor" => {
+                let f: f64 = value("--qubit-factor")?
+                    .parse()
+                    .map_err(|e| format!("--qubit-factor: {e}"))?;
+                if !(f >= 0.0 && f.is_finite()) {
+                    return Err("--qubit-factor must be finite and >= 0".into());
+                }
+                opts.params.cost.qubit_factor = f;
+            }
+            "--header-bits" => {
+                opts.params.cost.header_bits = value("--header-bits")?
+                    .parse()
+                    .map_err(|e| format!("--header-bits: {e}"))?
+            }
+            "--no-approx" => opts.params.include_approx = false,
+            "--out" => opts.out = Some(value("--out")?.clone()),
+            "--metrics" => opts.metrics = Some(value("--metrics")?.clone()),
+            other => return Err(format!("crossover: unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Exports `registry` to `path`, creating parent directories first so
+/// `--metrics results/run.prom` works before `results/` exists.
+fn export_metrics(registry: &metrics::Registry, path: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("--metrics '{path}': {e}"))?;
+        }
+    }
+    metrics::export::write(registry, path).map_err(|e| format!("--metrics '{path}': {e}"))
+}
+
+/// Runs the crossover sweep, writes `crossover.json` + `CROSSOVER.md`, and
+/// returns a console summary of the verdicts.
+///
+/// # Errors
+///
+/// Propagates sweep and filesystem errors as strings.
+pub fn crossover(opts: &CrossoverOptions) -> Result<String, String> {
+    let report = match &opts.metrics {
+        Some(mpath) => {
+            let registry = std::rc::Rc::new(std::cell::RefCell::new(metrics::Registry::with_cost(
+                opts.params.cost,
+            )));
+            let report = {
+                let _guard = metrics::install(registry.clone());
+                crate::crossover::run(&opts.params)?
+            };
+            export_metrics(&registry.borrow(), mpath)?;
+            report
+        }
+        None => crate::crossover::run(&opts.params)?,
+    };
+    let dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| std::env::var("QD_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
+    let (json_path, md_path) = report
+        .write_artifacts(&dir)
+        .map_err(|e| format!("writing crossover artifacts to '{dir}': {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "crossover sweep: {} points across {} families, ns {:?}",
+        report.points.len(),
+        report.params.families.len(),
+        report.params.ns
+    );
+    for c in report.crossings.iter().filter(|c| c.metric == "cost_units") {
+        let verdict = match (c.kind, c.n) {
+            (crate::crossover::CrossKind::Empirical, Some(n)) => {
+                format!("crossover at n = {n:.0}")
+            }
+            (crate::crossover::CrossKind::Projected, Some(n)) => {
+                format!("projected crossover at n ≈ {n:.3e}")
+            }
+            _ => format!("no crossover (factor {:.2}x)", c.ratio_at_max_n),
+        };
+        let _ = writeln!(
+            out,
+            "  {} / {} [cost_units]: {verdict}",
+            c.family, c.quantum_algo
+        );
+    }
+    let _ = writeln!(out, "wrote {}", json_path.display());
+    let _ = writeln!(out, "wrote {}", md_path.display());
+    if let Some(mpath) = &opts.metrics {
+        let _ = writeln!(out, "metrics -> {mpath}");
+    }
+    Ok(out)
 }
 
 /// Parses arguments (without the program name).
@@ -294,6 +473,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
                 opts.faults = Some(spec.clone());
             }
+            "--metrics" => opts.metrics = Some(value("--metrics")?.clone()),
             "--verbose" => opts.verbose = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -361,12 +541,31 @@ pub fn build_graph(opts: &Options) -> Result<Graph, String> {
 ///
 /// With `opts.trace` set, a [`trace::FileSink`] is installed for the
 /// duration of the run and every event the algorithms emit is written to
-/// the given JSONL path (see `qdiam trace-summary`).
+/// the given JSONL path (see `qdiam trace-summary`). With `opts.metrics`
+/// set, a [`metrics::Registry`] is installed and exported to the given path
+/// after the run (`.json` → JSON, anything else → Prometheus text).
 ///
 /// # Errors
 ///
-/// Propagates algorithm errors (and trace I/O errors) as strings.
+/// Propagates algorithm errors (and trace/metrics I/O errors) as strings.
 pub fn run(opts: &Options) -> Result<String, String> {
+    let mpath = opts
+        .metrics
+        .clone()
+        .or_else(|| std::env::var("QD_METRICS").ok());
+    let Some(mpath) = &mpath else {
+        return run_with_trace(opts);
+    };
+    let registry = metrics::Registry::shared();
+    let report = {
+        let _guard = metrics::install(registry.clone());
+        run_with_trace(opts)
+    }?;
+    export_metrics(&registry.borrow(), mpath)?;
+    Ok(format!("{report}metrics: -> {mpath}\n"))
+}
+
+fn run_with_trace(opts: &Options) -> Result<String, String> {
     let Some(path) = &opts.trace else {
         return run_report(opts);
     };
@@ -389,13 +588,30 @@ pub fn run(opts: &Options) -> Result<String, String> {
 /// Reads a `--trace` JSONL file back and renders the aggregated
 /// [`trace::Summary`].
 ///
+/// Robust to the two common ways a trace file ends up unusable: an empty
+/// file (the run died before emitting anything) gets a clear error instead
+/// of a blank report, and a truncated final line (the run was killed
+/// mid-write) is dropped with a warning while the complete prefix is still
+/// summarized. Corruption anywhere else keeps its line-numbered error.
+///
 /// # Errors
 ///
 /// Propagates I/O and parse errors as strings.
 pub fn trace_summary(path: &str) -> Result<String, String> {
-    let events = trace::read_jsonl(path).map_err(|e| format!("'{path}': {e}"))?;
+    let (events, warning) = trace::read_jsonl_lossy(path).map_err(|e| format!("'{path}': {e}"))?;
+    if events.is_empty() {
+        return Err(match warning {
+            Some(w) => format!("'{path}': {w}; no complete events before the truncation"),
+            None => format!("'{path}': empty trace: the file contains no events"),
+        });
+    }
     let summary = trace::Summary::from_events(&events);
-    Ok(format!("{summary}"))
+    let mut out = String::new();
+    if let Some(w) = warning {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    let _ = write!(out, "{summary}");
+    Ok(out)
 }
 
 /// Resolves the fault spec with `--faults` taking precedence over the
@@ -756,5 +972,87 @@ mod tests {
         // Both must state the same diameter (8 for a 5x5 grid).
         assert!(exact.contains("diameter: 8"), "{exact}");
         assert!(quantum.contains("diameter: 8"), "{quantum}");
+    }
+
+    #[test]
+    fn trace_summary_rejects_empty_files_clearly() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("qd-cli-empty-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "").unwrap();
+        let err = trace_summary(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("empty trace"), "{err}");
+        // Blank lines only: still an empty trace, same clear error.
+        std::fs::write(&path, "\n\n\n").unwrap();
+        let err = trace_summary(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("empty trace"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+        // Missing file: plain I/O error with the path.
+        let err = trace_summary(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("qd-cli-empty"), "{err}");
+    }
+
+    #[test]
+    fn trace_summary_recovers_truncated_traces_with_a_warning() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("qd-cli-trunc-{}.jsonl", std::process::id()));
+        // A real trace, then chop the file mid-line as a crash would.
+        let mut o = parse(&args("classical --family cycle --n 12")).unwrap();
+        o.trace = Some(path.to_str().unwrap().to_string());
+        run(&o).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let rendered = trace_summary(path.to_str().unwrap()).unwrap();
+        assert!(rendered.starts_with("warning:"), "{rendered}");
+        assert!(rendered.contains("trace truncated"), "{rendered}");
+        assert!(rendered.contains("leader election"), "{rendered}");
+        // A file that is *only* a truncated line errors rather than
+        // printing a summary of nothing.
+        std::fs::write(&path, "{\"type\":\"rou").unwrap();
+        let err = trace_summary(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("no complete events"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_command_dispatches_crossover() {
+        let cmd = parse_command(&args(
+            "crossover --families path,tree --ns 8,12 --seed 5 --qubit-factor 10 \
+             --header-bits 32 --no-approx --out /tmp/x --metrics /tmp/x/m.json",
+        ))
+        .unwrap();
+        let Command::Crossover(o) = cmd else {
+            panic!("expected crossover command");
+        };
+        assert_eq!(o.params.families, vec![Family::Path, Family::Tree]);
+        assert_eq!(o.params.ns, vec![8, 12]);
+        assert_eq!(o.params.seed, 5);
+        assert_eq!(o.params.cost.qubit_factor, 10.0);
+        assert_eq!(o.params.cost.header_bits, 32);
+        assert!(!o.params.include_approx);
+        assert_eq!(o.out.as_deref(), Some("/tmp/x"));
+        assert_eq!(o.metrics.as_deref(), Some("/tmp/x/m.json"));
+    }
+
+    #[test]
+    fn parse_crossover_rejects_garbage() {
+        assert!(parse_command(&args("crossover --ns 1")).is_err());
+        assert!(parse_command(&args("crossover --ns")).is_err());
+        assert!(parse_command(&args("crossover --families warp")).is_err());
+        assert!(parse_command(&args("crossover --qubit-factor -3")).is_err());
+        assert!(parse_command(&args("crossover --what 1")).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_exports_after_a_run() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("qd-cli-metrics-{}.json", std::process::id()));
+        let mut o = parse(&args("classical --family cycle --n 12")).unwrap();
+        o.metrics = Some(path.to_str().unwrap().to_string());
+        let report = run(&o).unwrap();
+        assert!(report.contains("metrics:"), "{report}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("qd_messages_total"), "{text}");
+        assert!(text.contains("qd_rounds_total"), "{text}");
+        std::fs::remove_file(&path).unwrap();
     }
 }

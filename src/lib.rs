@@ -51,6 +51,7 @@
 struct ReadmeDoctests;
 
 pub mod cli;
+pub mod crossover;
 
 pub use classical;
 pub use commcc;
