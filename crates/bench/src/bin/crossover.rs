@@ -46,11 +46,18 @@ fn main() {
         let verdict = match (c.kind, c.n) {
             (CrossKind::Empirical, Some(n)) => format!("empirical crossover at n = {n:.0}"),
             (CrossKind::Projected, Some(n)) => format!("projected crossover at n ~ {n:.3e}"),
+            (CrossKind::IndistinguishableSlopes, _) => {
+                "no crossover (slopes indistinguishable)".into()
+            }
             _ => "no crossover".into(),
         };
+        let factor = match c.ratio_at_max_n {
+            Some(r) => format!("{r:.2}x"),
+            None => "undefined".into(),
+        };
         println!(
-            "{:>8} {:>16}: {verdict} (factor {:.2}x at max n)",
-            c.family, c.quantum_algo, c.ratio_at_max_n
+            "{:>8} {:>16}: {verdict} (factor {factor} at max n)",
+            c.family, c.quantum_algo
         );
     }
 

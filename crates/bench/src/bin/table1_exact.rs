@@ -24,7 +24,10 @@ fn main() {
         "{:>6} {:>4} {:>12} {:>14} {:>10}",
         "n", "D", "classical", "quantum mean", "q/c ratio"
     );
-    let sizes: Vec<usize> = [64, 128, 256, 512, 1024]
+    // 64 → 8192 spans two-plus decades; the top decade (2048–8192) became
+    // affordable with the columnar-arena scheduler (the Θ(n·m)-work
+    // classical APSP baseline dominates the cost of every point).
+    let sizes: Vec<usize> = [64, 128, 256, 512, 1024, 2048, 4096, 8192]
         .iter()
         .map(|&n| n * scale)
         .collect();

@@ -1,7 +1,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use graphs::{Graph, NodeId};
+use graphs::{BitSet, Graph, NodeId};
 
 use crate::faults::{FaultPlan, FaultStats, FaultsId, MessageFate};
 use crate::{CongestError, NodeProgram, Payload, Round, RoundCtx, Status};
@@ -272,11 +272,14 @@ pub type MessageObserver = Box<dyn FnMut(Round, NodeId, NodeId, usize)>;
 ///    last round's [`Status::Active`] voters and message receivers, plus
 ///    [`Status::Sleep`] wakeups that have come due. Dense mode runs every
 ///    node every round instead; see [`Scheduling`].
-/// 1. **flip** — the double-buffered inbox arenas swap: messages staged last
-///    round become this round's inboxes, and last round's (drained) buffers
-///    become the staging arena. No per-round allocation after warm-up.
-/// 2. **execute** — every scheduled program runs against its inbox and
-///    stages an outbox into a per-node scratch buffer. With
+/// 1. **seal** — the two halves of the columnar message arena swap:
+///    messages staged last round (one flat `(sender, payload)` buffer, one
+///    destination column) are sealed into per-receiver inbox segments by a
+///    stable in-place counting sort costing O(messages + receivers). No
+///    per-node `Vec`s, no per-round allocation after warm-up.
+/// 2. **execute** — every scheduled program runs against its inbox segment
+///    and stages an outbox into a per-node scratch buffer; nodes that
+///    staged anything are collected into a sender list. With
 ///    [`Config::with_shards`]` > 1` this phase fans out across scoped
 ///    worker threads (contiguous node-id ranges); trace events emitted by
 ///    programs on worker threads are captured per shard and replayed in
@@ -287,8 +290,9 @@ pub type MessageObserver = Box<dyn FnMut(Round, NodeId, NodeId, usize)>;
 ///    `step()` leaves [`RunStats`], the round counter, and the next round's
 ///    inboxes untouched.
 /// 4. **commit** — sequential in node-id order regardless of shard count:
-///    statistics, observers, trace events, and delivery into the next
-///    round's inboxes.
+///    statistics, observers, trace events, and staging into the pending
+///    half of the arena. Only the sender list is walked — edge-level
+///    sparsity on top of the active set's node-level kind.
 ///
 /// Node iteration order is fixed (by id) and inboxes arrive sorted by
 /// sender id (an invariant the scheduler `debug_assert!`s), so runs are
@@ -300,14 +304,49 @@ pub struct Network<'g, P: NodeProgram> {
     config: Config,
     programs: Vec<P>,
     statuses: Vec<Status>,
-    /// Messages to be delivered at the start of the next round.
-    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
-    /// Recycled inbox buffers (the other half of the double buffer): after
-    /// the flip they hold the current round's inboxes; they are drained and
-    /// cleared — capacity retained — when the round commits.
-    arena: Vec<Vec<(NodeId, P::Msg)>>,
+    /// How many entries of `statuses` are currently [`Status::Halted`].
+    /// Maintained incrementally at the two status-write sites (crash-stop
+    /// application and the execute phase's vote), so [`Network::is_quiescent`]
+    /// is O(1) instead of scanning all n statuses every round — that scan
+    /// made long-frontier runs (e.g. flooding a path) quadratic.
+    halted: usize,
+    /// The sealed half of the columnar inbox arena: this round's messages
+    /// as one contiguous `(sender, payload)` buffer, segmented per receiver
+    /// by `inbox_start`/`inbox_len` (see [`Network::seal_inboxes`]).
+    inbox: ColumnBuf<P::Msg>,
+    /// The staging half of the double buffer: messages committed this round
+    /// accumulate here in columnar form (`dest[k]` receives `data[k]`) and
+    /// are sealed into per-receiver segments at the next round's flip. The
+    /// two halves swap each round, so no per-round allocation after warm-up.
+    pending: ColumnBuf<P::Msg>,
+    /// Per-node segment start into `inbox.data`, valid iff
+    /// `inbox_mark[i] == inbox_epoch`.
+    inbox_start: Vec<u32>,
+    /// Per-node segment length, same validity rule.
+    inbox_len: Vec<u32>,
+    /// Epoch stamps making the segment index O(receivers) to rebuild: a
+    /// stale stamp *is* the empty inbox, so idle nodes cost nothing at the
+    /// flip.
+    inbox_mark: Vec<u64>,
+    inbox_epoch: u64,
+    /// Distinct receivers of the sealed buffer, in first-staged order;
+    /// scratch reused across rounds.
+    receivers: Vec<u32>,
+    /// Scratch for the seal's in-place slot permutation.
+    perm: Vec<u32>,
+    /// Set when a delayed-message merge staged a sender out of ascending
+    /// order (fault plans only); the next seal then sorts each affected
+    /// round's segments to restore the sorted-inbox invariant.
+    pending_unsorted: bool,
     /// Per-node staged outboxes, reused across rounds.
     staged: Vec<Vec<(NodeId, P::Msg)>>,
+    /// Nodes that staged at least one message this round (ascending). The
+    /// commit and validate phases walk this instead of the full active set
+    /// — edge-level sparsity on top of the active set's node-level kind.
+    senders: Vec<u32>,
+    /// Per-shard sender scratch for the sharded execute phase, concatenated
+    /// into `senders` in chunk (= node-id) order.
+    shard_senders: Vec<Vec<u32>>,
     /// Epoch-stamped duplicate-send marks, one slot per destination node.
     /// `seen[to] == seen_epoch` means the sender currently being validated
     /// already sent to `to` this round — an O(1) check replacing the seed
@@ -318,13 +357,18 @@ pub struct Network<'g, P: NodeProgram> {
     /// [`Scheduling::Dense`] this is pinned to `0..n` forever; under
     /// [`Scheduling::ActiveSet`] it is rebuilt each round from `next_active`
     /// plus due wakeups.
-    active: Vec<usize>,
+    active: Vec<u32>,
     /// Accumulator for the *next* round's active set: nodes that voted
     /// [`Status::Active`] (or an imminent [`Status::Sleep`]) this round,
-    /// plus every node whose inbox went empty → non-empty during commit.
+    /// plus every node woken by its first delivery during commit.
     /// Duplicate-free (guarded by `active_mark`) but unsorted until the
     /// next round's rebuild.
-    next_active: Vec<usize>,
+    next_active: Vec<u32>,
+    /// Bitmap half of the hybrid active-set representation: when an
+    /// out-of-order `next_active` is dense (≥ ~n/32), assembly rebuilds the
+    /// sorted list by a bitmap set-and-scan in O(n/64 + k) instead of an
+    /// O(k log k) sort — identical output either way.
+    frontier: BitSet,
     /// Round-stamped membership marks: node `i` is queued for round `r`
     /// iff `active_mark[i] == r`. Stamps only grow, so stale entries (from
     /// earlier rounds or across a fast-forward jump) never collide;
@@ -341,7 +385,7 @@ pub struct Network<'g, P: NodeProgram> {
     /// one is live only while `statuses[node]` still holds the exact
     /// `Sleep(wake_round)` vote that created it; anything else is stale and
     /// discarded on pop.
-    wakeups: BinaryHeap<Reverse<(Round, usize)>>,
+    wakeups: BinaryHeap<Reverse<(Round, u32)>>,
     /// Node-program executions scheduled so far (see
     /// [`Network::scheduled_nodes`]).
     executed: u64,
@@ -355,6 +399,80 @@ pub struct Network<'g, P: NodeProgram> {
     /// Runtime fault-injection state, present iff the config carries a
     /// non-passive [`FaultPlan`].
     fault: Option<FaultState<P::Msg>>,
+}
+
+/// Below this node count the hybrid active-set assembly always sorts: the
+/// bitmap's O(n/64) scan term isn't worth setting up on tiny graphs.
+const FRONTIER_MIN_NODES: usize = 256;
+
+/// Density threshold for the bitmap path, as a right-shift of `n`: an
+/// out-of-order active set of at least `n >> 5` (n/32) nodes is rebuilt by
+/// bitmap set-and-scan instead of sorting.
+const FRONTIER_DENSITY_SHIFT: usize = 5;
+
+/// One half of the columnar message double buffer: message `k` is
+/// `data[k]`, destined for node `dest[k]`. Two flat vectors instead of
+/// per-node `Vec<Vec<_>>` keep the arena contiguous, cache-friendly at
+/// n ≈ 10⁶, and allocation-free across rounds after warm-up.
+struct ColumnBuf<M> {
+    dest: Vec<u32>,
+    data: Vec<(NodeId, M)>,
+}
+
+impl<M> ColumnBuf<M> {
+    fn new() -> Self {
+        ColumnBuf {
+            dest: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn clear(&mut self) {
+        self.dest.clear();
+        self.data.clear();
+    }
+
+    fn push(&mut self, to: u32, from: NodeId, msg: M) {
+        self.dest.push(to);
+        self.data.push((from, msg));
+    }
+}
+
+/// A shared view of the sealed inbox arena handed to execute-phase chunks
+/// (including worker threads): node `i`'s inbox is the slice
+/// `data[start[i]..][..len[i]]`, valid only while `mark[i] == epoch` — a
+/// stale mark *is* the empty inbox.
+struct InboxRef<'a, M> {
+    data: &'a [(NodeId, M)],
+    start: &'a [u32],
+    len: &'a [u32],
+    mark: &'a [u64],
+    epoch: u64,
+}
+
+// Manual impls: `M` itself need not be `Clone`/`Copy` for shared
+// references to it to be.
+impl<M> Clone for InboxRef<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for InboxRef<'_, M> {}
+
+impl<'a, M> InboxRef<'a, M> {
+    /// The inbox slice of node `i` — empty unless a segment was sealed for
+    /// it this round.
+    fn of(&self, i: usize) -> &'a [(NodeId, M)] {
+        if self.mark[i] != self.epoch {
+            return &[];
+        }
+        let start = self.start[i] as usize;
+        &self.data[start..start + self.len[i] as usize]
+    }
 }
 
 /// One jittered message waiting in the delay queue.
@@ -397,20 +515,31 @@ impl<'g, P: NodeProgram> Network<'g, P> {
         // mode: dense keeps the full id list in `active` forever, while
         // active-set keeps the *upcoming* round's set in `next_active`.
         let (active, next_active) = match config.scheduling() {
-            Scheduling::Dense => ((0..n).collect(), Vec::new()),
-            Scheduling::ActiveSet => (Vec::new(), (0..n).collect()),
+            Scheduling::Dense => ((0..n as u32).collect(), Vec::new()),
+            Scheduling::ActiveSet => (Vec::new(), (0..n as u32).collect()),
         };
         Network {
             graph,
             config,
             statuses: vec![Status::Active; n],
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
-            arena: (0..n).map(|_| Vec::new()).collect(),
+            halted: 0,
+            inbox: ColumnBuf::new(),
+            pending: ColumnBuf::new(),
+            inbox_start: vec![0; n],
+            inbox_len: vec![0; n],
+            inbox_mark: vec![0; n],
+            inbox_epoch: 0,
+            receivers: Vec::new(),
+            perm: Vec::new(),
+            pending_unsorted: false,
             staged: (0..n).map(|_| Vec::new()).collect(),
+            senders: Vec::new(),
+            shard_senders: Vec::new(),
             seen: vec![0; n],
             seen_epoch: 0,
             active,
             next_active,
+            frontier: BitSet::new(n),
             active_mark: vec![Round::MAX; n],
             next_sorted: true,
             wakeups: BinaryHeap::new(),
@@ -456,9 +585,16 @@ impl<'g, P: NodeProgram> Network<'g, P> {
     /// [`Status::Sleep`] vote blocks quiescence — the pending wakeup is
     /// scheduled work — in both scheduling modes.
     pub fn is_quiescent(&self) -> bool {
+        debug_assert_eq!(
+            self.halted,
+            self.statuses
+                .iter()
+                .filter(|&&s| s == Status::Halted)
+                .count()
+        );
         self.in_flight == 0
             && self.fault.as_ref().is_none_or(|f| f.queue.is_empty())
-            && self.statuses.iter().all(|&s| s == Status::Halted)
+            && self.halted == self.statuses.len()
     }
 
     /// Total node-program executions scheduled so far: `n` per round under
@@ -528,6 +664,9 @@ where
             for &(node, at) in f.plan.crashes() {
                 if at <= round && node < n && !f.crashed[node] {
                     f.crashed[node] = true;
+                    if self.statuses[node] != Status::Halted {
+                        self.halted += 1;
+                    }
                     self.statuses[node] = Status::Halted;
                     f.stats.crashes += 1;
                     if let Some(sink) = &tracer {
@@ -563,8 +702,9 @@ where
                 // and not already queued — doubled heap entries from
                 // repeated identical sleep votes, or a message wake that
                 // queued the sleeper beforehand, are skipped here.
-                if self.statuses[i] == Status::Sleep(wake) && self.active_mark[i] != round {
-                    self.active_mark[i] = round;
+                let iu = i as usize;
+                if self.statuses[iu] == Status::Sleep(wake) && self.active_mark[iu] != round {
+                    self.active_mark[iu] = round;
                     if self.active.last().is_some_and(|&last| last > i) {
                         in_order = false;
                     }
@@ -572,22 +712,44 @@ where
                 }
             }
             if !in_order {
-                self.active.sort_unstable();
+                // Hybrid restoration of sorted order: dense sets rebuild via
+                // the frontier bitmap in O(n/64 + k); sparse ones sort. Both
+                // produce the same ascending list — density only moves cost.
+                if n >= FRONTIER_MIN_NODES && self.active.len() >= n >> FRONTIER_DENSITY_SHIFT {
+                    self.frontier.clear();
+                    for &i in &self.active {
+                        self.frontier.insert(i as usize);
+                    }
+                    self.active.clear();
+                    let frontier = &self.frontier;
+                    self.active.extend(frontier.iter().map(|i| i as u32));
+                } else {
+                    self.active.sort_unstable();
+                }
             }
             debug_assert!(self.active.windows(2).all(|w| w[0] < w[1]));
         }
         self.executed += self.active.len() as u64;
 
-        // Phase 1: flip the double buffer. `arena` now holds this round's
-        // inboxes; `inboxes` holds the cleared buffers staging the next
-        // round's traffic.
-        std::mem::swap(&mut self.inboxes, &mut self.arena);
+        // Phase 1: flip the columnar double buffer and seal last round's
+        // staged traffic into per-receiver inbox segments.
+        self.seal_inboxes();
 
-        // Phase 2: execute every runnable program, staging outboxes. (When
-        // the active set is a single node, sharding buys nothing — run it on
-        // the calling thread.)
+        // Phase 2: execute every runnable program, staging outboxes and
+        // collecting the ids that staged anything. (When the active set is
+        // a single node, sharding buys nothing — run it on the calling
+        // thread.)
         let shards = self.config.shards.clamp(1, n.max(1));
         let execute_started = meter.as_ref().map(|_| std::time::Instant::now());
+        // The scheduled nodes are about to overwrite their status votes:
+        // retire their old Halted entries from the O(1)-quiescence counter
+        // now and re-add the new votes right after execute. A crashed node
+        // skips execution with its status pinned `Halted`, so its two
+        // adjustments cancel.
+        for &i in &self.active {
+            self.halted -= (self.statuses[i as usize] == Status::Halted) as usize;
+        }
+        self.senders.clear();
         if shards > 1 && self.active.len() > 1 {
             self.execute_sharded(round, shards, &tracer, crashed);
         } else {
@@ -597,12 +759,22 @@ where
                 num_nodes: n,
                 base: 0,
                 active: &self.active,
-                inboxes: &self.arena,
+                inboxes: InboxRef {
+                    data: &self.inbox.data,
+                    start: &self.inbox_start,
+                    len: &self.inbox_len,
+                    mark: &self.inbox_mark,
+                    epoch: self.inbox_epoch,
+                },
                 programs: &mut self.programs,
                 statuses: &mut self.statuses,
                 staged: &mut self.staged,
+                senders: &mut self.senders,
                 crashed,
             });
+        }
+        for &i in &self.active {
+            self.halted += (self.statuses[i as usize] == Status::Halted) as usize;
         }
         if let (Some(meter), Some(started)) = (&meter, execute_started) {
             meter
@@ -614,12 +786,14 @@ where
         // effect, so an error leaves the accounting of this round as if the
         // step never ran.
         if let Err(e) = self.validate_staged(round) {
-            for buf in &mut self.staged {
-                buf.clear();
+            for &i in &self.senders {
+                self.staged[i as usize].clear();
             }
-            for buf in &mut self.arena {
-                buf.clear();
-            }
+            self.senders.clear();
+            // Drop this round's sealed inboxes too; bumping the epoch turns
+            // every stale segment mark into an empty inbox.
+            self.inbox.clear();
+            self.inbox_epoch += 1;
             self.fault = fault;
             return Err(e);
         }
@@ -633,13 +807,13 @@ where
         // nodes), which lets the next round skip its sort.
         if sparse {
             for &i in &self.active {
-                match self.statuses[i] {
+                match self.statuses[i as usize] {
                     Status::Active => {
-                        self.active_mark[i] = round + 1;
+                        self.active_mark[i as usize] = round + 1;
                         self.next_active.push(i);
                     }
                     Status::Sleep(wake) if wake <= round + 1 => {
-                        self.active_mark[i] = round + 1;
+                        self.active_mark[i as usize] = round + 1;
                         self.next_active.push(i);
                     }
                     Status::Sleep(wake) => self.wakeups.push(Reverse((wake, i))),
@@ -654,14 +828,14 @@ where
         // sorted-inbox contract of `NodeProgram::on_round`. Fault fates are
         // decided here too: each is a pure function of the message's
         // `(round, from, to)` coordinates, so sharding the execute phase
-        // cannot change them. Only active nodes can have staged anything,
-        // so iterating the active list is exhaustive (and stays node-id
-        // ordered — the list is sorted).
+        // cannot change them. Only the sender list is walked — nodes whose
+        // outbox stayed empty cost nothing here — and it is ascending and
+        // exhaustive by construction, so messages stage in sender-id order
+        // and each sealed inbox segment comes out sorted for free.
         let budget = self.config.bandwidth_bits;
         let commit_started = meter.as_ref().map(|_| std::time::Instant::now());
-        let mut staged_count = 0usize;
-        for idx in 0..self.active.len() {
-            let i = self.active[idx];
+        for idx in 0..self.senders.len() {
+            let i = self.senders[idx] as usize;
             let node = NodeId::new(i);
             let mut outbox = std::mem::take(&mut self.staged[i]);
             for (to, msg) in outbox.drain(..) {
@@ -708,25 +882,20 @@ where
                 }
                 let Some(f) = fault.as_mut() else {
                     // A delivery wakes the receiver: it joins the next
-                    // round's active set (once — a non-empty inbox means an
-                    // earlier delivery already ran this guard, and the mark
-                    // dedups against the receiver's own vote).
-                    if sparse
-                        && self.inboxes[to.index()].is_empty()
-                        && self.active_mark[to.index()] != round + 1
-                    {
+                    // round's active set once — the round-stamped mark
+                    // dedups repeat deliveries and the receiver's own vote.
+                    if sparse && self.active_mark[to.index()] != round + 1 {
                         self.active_mark[to.index()] = round + 1;
                         if self
                             .next_active
                             .last()
-                            .is_some_and(|&last| last > to.index())
+                            .is_some_and(|&last| last as usize > to.index())
                         {
                             self.next_sorted = false;
                         }
-                        self.next_active.push(to.index());
+                        self.next_active.push(to.index() as u32);
                     }
-                    self.inboxes[to.index()].push((node, msg));
-                    staged_count += 1;
+                    self.pending.push(to.index() as u32, node, msg);
                     continue;
                 };
                 let emit = |kind: trace::FaultKind, delay: u64| {
@@ -749,22 +918,18 @@ where
                 }
                 match f.plan.fate(round, node.index(), to.index()) {
                     MessageFate::Delivered => {
-                        if sparse
-                            && self.inboxes[to.index()].is_empty()
-                            && self.active_mark[to.index()] != round + 1
-                        {
+                        if sparse && self.active_mark[to.index()] != round + 1 {
                             self.active_mark[to.index()] = round + 1;
                             if self
                                 .next_active
                                 .last()
-                                .is_some_and(|&last| last > to.index())
+                                .is_some_and(|&last| last as usize > to.index())
                             {
                                 self.next_sorted = false;
                             }
-                            self.next_active.push(to.index());
+                            self.next_active.push(to.index() as u32);
                         }
-                        self.inboxes[to.index()].push((node, msg));
-                        staged_count += 1;
+                        self.pending.push(to.index() as u32, node, msg);
                     }
                     MessageFate::Dropped => {
                         f.stats.dropped += 1;
@@ -794,10 +959,15 @@ where
         }
 
         // Phase 4b (fault plans only): merge jittered messages due at the
-        // start of the next round into the inboxes, preserving the
-        // sorted-by-sender / one-message-per-directed-edge invariant. A
-        // collision with a fresh message from the same sender defers the
-        // delayed one deterministically by one more round.
+        // start of the next round into the staged buffer, preserving the
+        // one-message-per-directed-edge invariant. A collision with a fresh
+        // message from the same sender defers the delayed one
+        // deterministically by one more round. The staged buffer is
+        // columnar and unsegmented until the next seal, so the collision
+        // check is a linear scan — fault plans only, never on the hot path
+        // — and the merge marks the buffer for a per-segment sort at seal
+        // time, which restores exactly the order the old sorted insert
+        // produced.
         if let Some(f) = fault.as_mut() {
             let mut i = 0;
             while i < f.queue.len() {
@@ -820,34 +990,36 @@ where
                     f.queue.remove(i);
                     continue;
                 }
-                let inbox = &mut self.inboxes[to.index()];
-                let pos = inbox.partition_point(|&(sender, _)| sender < from);
-                if inbox.get(pos).is_some_and(|&(sender, _)| sender == from) {
+                let t = to.index() as u32;
+                let collides = self
+                    .pending
+                    .dest
+                    .iter()
+                    .zip(&self.pending.data)
+                    .any(|(&d, &(sender, _))| d == t && sender == from);
+                if collides {
                     f.queue[i].due = round + 2;
                     f.stats.deferred += 1;
                     i += 1;
                     continue;
                 }
                 let Delayed { from, to, msg, .. } = f.queue.remove(i);
-                if sparse
-                    && self.inboxes[to.index()].is_empty()
-                    && self.active_mark[to.index()] != round + 1
-                {
+                if sparse && self.active_mark[to.index()] != round + 1 {
                     self.active_mark[to.index()] = round + 1;
                     if self
                         .next_active
                         .last()
-                        .is_some_and(|&last| last > to.index())
+                        .is_some_and(|&last| last as usize > to.index())
                     {
                         self.next_sorted = false;
                     }
-                    self.next_active.push(to.index());
+                    self.next_active.push(to.index() as u32);
                 }
-                self.inboxes[to.index()].insert(pos, (from, msg));
-                staged_count += 1;
+                self.pending.push(to.index() as u32, from, msg);
+                self.pending_unsorted = true;
             }
         }
-        self.in_flight = staged_count;
+        self.in_flight = self.pending.len();
         self.fault = fault;
         if let (Some(meter), Some(started)) = (&meter, commit_started) {
             let mut meter = meter.borrow_mut();
@@ -855,12 +1027,9 @@ where
             meter.add(metrics::names::ROUNDS, 1);
         }
 
-        // Phase 5: recycle this round's drained inboxes (capacity kept).
-        // A non-empty inbox implies its owner was woken when the message
-        // was staged, so the active list covers every buffer with content.
-        for idx in 0..self.active.len() {
-            self.arena[self.active[idx]].clear();
-        }
+        // No recycle pass: the consumed inbox half of the arena is cleared
+        // wholesale (capacity kept) when the next seal flips it back into
+        // the staging role.
 
         self.round += 1;
         self.stats.rounds = self.round;
@@ -889,14 +1058,28 @@ where
     ) {
         let n = self.programs.len();
         let chunk_len = n.div_ceil(shards);
+        let num_chunks = n.div_ceil(chunk_len);
+        // Per-chunk sender scratch, concatenated into `senders` afterwards
+        // in chunk (= ascending node-id) order.
+        self.shard_senders.resize_with(num_chunks, Vec::new);
+        for buf in &mut self.shard_senders {
+            buf.clear();
+        }
         let graph = self.graph;
-        let inboxes = &self.arena;
+        let inboxes = InboxRef {
+            data: &self.inbox.data,
+            start: &self.inbox_start,
+            len: &self.inbox_len,
+            mark: &self.inbox_mark,
+            epoch: self.inbox_epoch,
+        };
         let capture = tracer.is_some();
         let (head_p, mut rest_p) = self.programs.split_at_mut(chunk_len);
         let (head_s, mut rest_s) = self.statuses.split_at_mut(chunk_len);
         let (head_o, mut rest_o) = self.staged.split_at_mut(chunk_len);
-        let active: &[usize] = &self.active;
-        let head_split = active.partition_point(|&i| i < chunk_len);
+        let (head_send, mut rest_send) = self.shard_senders.split_at_mut(1);
+        let active: &[u32] = &self.active;
+        let head_split = active.partition_point(|&i| (i as usize) < chunk_len);
         let (head_a, mut rest_a) = active.split_at(head_split);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(shards - 1);
@@ -906,17 +1089,20 @@ where
                 let (p, pr) = rest_p.split_at_mut(take);
                 let (s, sr) = rest_s.split_at_mut(take);
                 let (o, or) = rest_o.split_at_mut(take);
+                let (send, send_r) = rest_send.split_at_mut(1);
                 rest_p = pr;
                 rest_s = sr;
                 rest_o = or;
+                rest_send = send_r;
                 let start = base;
                 base += take;
-                let split = rest_a.partition_point(|&i| i < start + take);
+                let split = rest_a.partition_point(|&i| (i as usize) < start + take);
                 let (a, ar) = rest_a.split_at(split);
                 rest_a = ar;
                 if a.is_empty() {
                     continue;
                 }
+                let send = &mut send[0];
                 handles.push(scope.spawn(move || {
                     let recorder = capture.then(trace::Recorder::shared);
                     let _guard = recorder.clone().map(|r| trace::install(r));
@@ -930,6 +1116,7 @@ where
                         programs: p,
                         statuses: s,
                         staged: o,
+                        senders: send,
                         crashed,
                     });
                     recorder.map_or_else(Vec::new, |r| r.borrow_mut().take())
@@ -948,6 +1135,7 @@ where
                 programs: head_p,
                 statuses: head_s,
                 staged: head_o,
+                senders: &mut head_send[0],
                 crashed,
             });
             for handle in handles {
@@ -963,15 +1151,20 @@ where
                 }
             }
         });
+        // Chunks cover ascending disjoint id ranges and each chunk pushes
+        // ascending ids, so plain concatenation keeps `senders` sorted.
+        for buf in &mut self.shard_senders {
+            self.senders.append(buf);
+        }
     }
 
     /// Checks every staged outbox (neighbor, duplicate-send, bandwidth
-    /// under `Enforce`) without committing anything. Only nodes that ran
-    /// this round can have staged messages, so the active list is
-    /// exhaustive.
+    /// under `Enforce`) without committing anything. The execute phase
+    /// records every node with a non-empty outbox in `senders`, so walking
+    /// that list (ascending, like the active list it filters) is exhaustive.
     fn validate_staged(&mut self, round: Round) -> Result<(), CongestError> {
-        for idx in 0..self.active.len() {
-            let i = self.active[idx];
+        for idx in 0..self.senders.len() {
+            let i = self.senders[idx] as usize;
             let outbox = &self.staged[i];
             let node = NodeId::new(i);
             self.seen_epoch += 1;
@@ -1003,6 +1196,84 @@ where
             }
         }
         Ok(())
+    }
+
+    /// Phase 1: flips the columnar double buffer and seals last round's
+    /// staged traffic into per-receiver inbox segments.
+    ///
+    /// The staged half is columnar — `data[k]` goes to node `dest[k]` — so
+    /// sealing is a stable counting sort: count per receiver, prefix-sum
+    /// the segment starts, then permute the payloads in place by walking
+    /// the permutation's cycles (no scratch payload buffer, no `unsafe`).
+    /// All index state is epoch-stamped, so the cost is
+    /// O(messages + receivers) with idle nodes contributing nothing.
+    fn seal_inboxes(&mut self) {
+        std::mem::swap(&mut self.inbox, &mut self.pending);
+        self.pending.clear();
+        self.inbox_epoch += 1;
+        let epoch = self.inbox_epoch;
+        self.receivers.clear();
+        if self.inbox.data.is_empty() {
+            self.pending_unsorted = false;
+            return;
+        }
+        // Pass 1: per-receiver message counts; the epoch stamp doubles as
+        // the "already counted" flag, so no per-round zeroing of `inbox_len`.
+        for &t in &self.inbox.dest {
+            let t = t as usize;
+            if self.inbox_mark[t] != epoch {
+                self.inbox_mark[t] = epoch;
+                self.inbox_len[t] = 0;
+                self.receivers.push(t as u32);
+            }
+            self.inbox_len[t] += 1;
+        }
+        // Pass 2: segment starts by prefix sum. Receiver order is
+        // irrelevant — each node only ever reads its own segment.
+        let mut cursor = 0u32;
+        for &t in &self.receivers {
+            let t = t as usize;
+            self.inbox_start[t] = cursor;
+            cursor += self.inbox_len[t];
+        }
+        // Pass 3: the destination slot of every staged message, advancing
+        // each segment cursor in staging order (this is what makes the sort
+        // stable); then rewind the cursors to the segment starts.
+        self.perm.clear();
+        for &t in &self.inbox.dest {
+            let t = t as usize;
+            self.perm.push(self.inbox_start[t]);
+            self.inbox_start[t] += 1;
+        }
+        for &t in &self.receivers {
+            let t = t as usize;
+            self.inbox_start[t] -= self.inbox_len[t];
+        }
+        // Pass 4: apply the permutation in place by walking its cycles —
+        // `perm[k]` is where payload `k` must land. `dest` is left
+        // unpermuted; it is never read again before the next `clear`.
+        let data = &mut self.inbox.data;
+        let perm = &mut self.perm;
+        for k in 0..data.len() {
+            while perm[k] as usize != k {
+                let j = perm[k] as usize;
+                data.swap(k, j);
+                perm.swap(k, j);
+            }
+        }
+        // The commit phase stages in ascending sender order, so every
+        // sealed segment is already sorted by sender — except after a
+        // delayed-message merge (fault plans only), which appends out of
+        // order and flags the buffer here.
+        if self.pending_unsorted {
+            self.pending_unsorted = false;
+            for &t in &self.receivers {
+                let t = t as usize;
+                let start = self.inbox_start[t] as usize;
+                let len = self.inbox_len[t] as usize;
+                data[start..start + len].sort_unstable_by_key(|&(from, _)| from);
+            }
+        }
     }
 
     /// Executes exactly `rounds` rounds (fully quiescent stretches may be
@@ -1078,7 +1349,7 @@ where
         // Purge stale wakeups until one is live; a live `Sleep(w)` entry
         // always exists for every currently sleeping node.
         while let Some(&Reverse((wake, i))) = self.wakeups.peek() {
-            if self.statuses[i] == Status::Sleep(wake) {
+            if self.statuses[i as usize] == Status::Sleep(wake) {
                 target = target.min(wake);
                 break;
             }
@@ -1088,21 +1359,21 @@ where
     }
 
     /// Jumps the round counter to `target` without executing anything,
-    /// emitting the per-round trace ticks a stepped run would have: each
-    /// skipped round delivered zero messages. `RunStats` advances exactly
-    /// as if every round had been stepped (skipped rounds schedule no
-    /// nodes, so only `node_rounds` grows). O(1) when no tracer or metrics
-    /// registry is installed.
+    /// emitting one compact [`trace::TraceEvent::RoundSkip`] covering the
+    /// half-open range of skipped rounds — trace consumers treat it exactly
+    /// as `target - round` zero-delivery `Round` ticks (see
+    /// [`trace::expand_round_skips`]), and [`trace::Summary`] reconciles it
+    /// into the same `round_ticks`. `RunStats` advances exactly as if every
+    /// round had been stepped (skipped rounds schedule no nodes, so only
+    /// `node_rounds` grows). O(1) even with a tracer installed — the seed
+    /// emitted O(skipped) ticks here, which dominated long quiescent runs.
     fn skip_rounds(&mut self, target: Round) {
         debug_assert!(self.next_active.is_empty() && self.in_flight == 0);
-        if let Some(sink) = trace::current() {
-            let mut sink = sink.borrow_mut();
-            for round in self.round..target {
-                sink.record(&trace::TraceEvent::Round {
-                    round,
-                    delivered: 0,
-                });
-            }
+        if self.round < target {
+            trace::emit_with(|| trace::TraceEvent::RoundSkip {
+                from: self.round,
+                to: target,
+            });
         }
         metrics::add(metrics::names::ROUNDS, target - self.round);
         self.round = target;
@@ -1127,19 +1398,24 @@ struct ChunkCtx<'a, 'g, P: NodeProgram> {
     num_nodes: usize,
     base: usize,
     /// Node ids to execute; every id lies in `base..base + programs.len()`.
-    active: &'a [usize],
-    inboxes: &'a [Vec<(NodeId, P::Msg)>],
+    active: &'a [u32],
+    inboxes: InboxRef<'a, P::Msg>,
     programs: &'a mut [P],
     statuses: &'a mut [Status],
     staged: &'a mut [Vec<(NodeId, P::Msg)>],
+    /// Records every executed node whose outbox came back non-empty, in
+    /// execution (= ascending id) order; the validate and commit phases
+    /// walk only this list.
+    senders: &'a mut Vec<u32>,
     /// Per-node crash-stop flags from the fault layer (`None` when no
     /// fault plan is active); crashed nodes are skipped entirely.
     crashed: Option<&'a [bool]>,
 }
 
 /// Runs the execute phase for one contiguous chunk of nodes: hand each
-/// scheduled program its inbox, collect its outbox into the reusable
-/// staging buffer.
+/// scheduled program its inbox segment, collect its outbox into the
+/// reusable staging buffer, and note the node as a sender if it staged
+/// anything.
 fn run_chunk<P: NodeProgram>(ctx: ChunkCtx<'_, '_, P>) {
     let ChunkCtx {
         graph,
@@ -1151,17 +1427,19 @@ fn run_chunk<P: NodeProgram>(ctx: ChunkCtx<'_, '_, P>) {
         programs,
         statuses,
         staged,
+        senders,
         crashed,
     } = ctx;
     for &i in active {
-        if crashed.is_some_and(|c| c[i]) {
+        let iu = i as usize;
+        if crashed.is_some_and(|c| c[iu]) {
             // Crash-stopped: the node neither reads its inbox nor sends;
             // its status was pinned to `Halted` when the crash applied.
             continue;
         }
-        let j = i - base;
-        let node = NodeId::new(i);
-        let inbox = &inboxes[i];
+        let j = iu - base;
+        let node = NodeId::new(iu);
+        let inbox = inboxes.of(iu);
         // The commit phase fills inboxes in ascending sender order with at
         // most one message per directed edge; programs rely on this (see
         // `NodeProgram::on_round`), so enforce it where a future scheduler
@@ -1180,6 +1458,9 @@ fn run_chunk<P: NodeProgram>(ctx: ChunkCtx<'_, '_, P>) {
         );
         statuses[j] = programs[j].on_round(&mut ctx);
         staged[j] = ctx.into_outbox();
+        if !staged[j].is_empty() {
+            senders.push(i);
+        }
     }
 }
 
@@ -1730,7 +2011,20 @@ mod tests {
         let dense = run(Config::new(16).with_scheduling(Scheduling::Dense));
         let sparse = run(Config::new(16));
         assert_eq!(dense.0, sparse.0, "stats diverged");
-        assert_eq!(dense.1, sparse.1, "trace streams diverged");
+        // The sparse run compresses each fast-forwarded stretch into one
+        // `RoundSkip`; expanded, the streams are identical tick for tick.
+        assert!(
+            sparse
+                .1
+                .iter()
+                .any(|e| matches!(e, trace::TraceEvent::RoundSkip { .. })),
+            "fast-forward emitted no compact skip event"
+        );
+        assert_eq!(
+            trace::expand_round_skips(dense.1.clone()),
+            trace::expand_round_skips(sparse.1.clone()),
+            "trace streams diverged"
+        );
         assert_eq!(dense.2, 3 * 15, "dense schedules n per round");
         // Sparse: 3 nodes in round 0, 3 wakeups in round 9, 1 receiver in
         // round 10 — everything else is skipped.
@@ -1823,7 +2117,13 @@ mod tests {
         let cfg = Config::new(16).with_faults(FaultPlan::new(3).with_crash(2, 7));
         let dense = run(cfg.with_scheduling(Scheduling::Dense));
         let sparse = run(cfg);
-        assert_eq!(dense, sparse, "crash interplay diverged");
+        assert_eq!(dense.0, sparse.0, "crash interplay diverged: stats");
+        assert_eq!(dense.1, sparse.1, "crash interplay diverged: fault stats");
+        assert_eq!(
+            trace::expand_round_skips(dense.2.clone()),
+            trace::expand_round_skips(sparse.2.clone()),
+            "crash interplay diverged: traces"
+        );
         assert!(sparse.2.contains(&trace::TraceEvent::Fault {
             round: 7,
             kind: trace::FaultKind::Crash,
@@ -1848,9 +2148,13 @@ mod tests {
             let events = recorder.borrow_mut().take();
             (stats, events)
         };
+        let fast = run(Config::new(16));
+        let slow = run(Config::new(16).with_fast_forward(false));
+        assert_eq!(fast.0, slow.0, "stats diverged");
         assert_eq!(
-            run(Config::new(16)),
-            run(Config::new(16).with_fast_forward(false))
+            trace::expand_round_skips(fast.1),
+            trace::expand_round_skips(slow.1),
+            "trace streams diverged"
         );
     }
 

@@ -1,0 +1,214 @@
+//! A fixed-universe bitmap set for hot-path frontier bookkeeping.
+//!
+//! The CONGEST scheduler and the traversal routines track sets of node ids
+//! drawn from the dense universe `0..n`. Below a density threshold a sorted
+//! `Vec` wins; above it, a bitmap rebuild is `O(n/64 + k)` instead of the
+//! `O(k log k)` sort — and iterating set bits yields the ids in ascending
+//! order either way, which is what keeps the two representations
+//! byte-identical to downstream consumers.
+
+/// A set of `usize` values from the fixed universe `0..universe`, backed by
+/// one `u64` word per 64 slots.
+///
+/// # Example
+///
+/// ```
+/// use graphs::BitSet;
+///
+/// let mut s = BitSet::new(200);
+/// assert!(s.insert(130));
+/// assert!(!s.insert(130));
+/// s.insert(3);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 130]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        BitSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// The universe size this set was created with.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Returns `true` if no value is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of values present (popcount over all words).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= universe`.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(
+            value < self.universe,
+            "value {value} outside bitset universe"
+        );
+        let word = &mut self.words[value / 64];
+        let bit = 1u64 << (value % 64);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        match self.words.get_mut(value / 64) {
+            Some(word) => {
+                let bit = 1u64 << (value % 64);
+                let present = *word & bit != 0;
+                *word &= !bit;
+                present
+            }
+            None => false,
+        }
+    }
+
+    /// Returns `true` if `value` is present (out-of-universe values are
+    /// never present).
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        self.words
+            .get(value / 64)
+            .is_some_and(|w| w & (1u64 << (value % 64)) != 0)
+    }
+
+    /// Removes every value in `O(universe / 64)`.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates the present values in ascending order, in
+    /// `O(universe / 64 + count)`.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            next_word: 0,
+            current: 0,
+            base: 0,
+        }
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for value in iter {
+            self.insert(value);
+        }
+    }
+}
+
+/// Ascending iterator over the values of a [`BitSet`].
+pub struct Iter<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    /// Remaining bits of the word currently being drained.
+    current: u64,
+    /// Value of bit 0 of `current`.
+    base: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            let &word = self.words.get(self.next_word)?;
+            self.base = self.next_word * 64;
+            self.next_word += 1;
+            self.current = word;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.base + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(63), "double insert reports not-fresh");
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(64));
+        assert!(!s.contains(65));
+        assert!(
+            !s.contains(10_000),
+            "out of universe is absent, not a panic"
+        );
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iter_is_ascending_and_complete() {
+        let mut s = BitSet::new(300);
+        let values = [7usize, 0, 255, 64, 256, 129, 63];
+        s.extend(values.iter().copied());
+        let mut expected: Vec<usize> = values.to_vec();
+        expected.sort_unstable();
+        assert_eq!(s.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn iter_matches_a_sorted_dedup_list_on_dense_sets() {
+        let mut s = BitSet::new(1000);
+        let mut list = Vec::new();
+        // Deterministic pseudo-random-ish fill touching every word.
+        let mut x = 1usize;
+        for _ in 0..400 {
+            x = (x * 389 + 211) % 1000;
+            if s.insert(x) {
+                list.push(x);
+            }
+        }
+        list.sort_unstable();
+        assert_eq!(s.iter().collect::<Vec<_>>(), list);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().next(), None);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let mut s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 0);
+        assert_eq!(s.iter().next(), None);
+        assert!(!s.remove(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bitset universe")]
+    fn insert_out_of_universe_panics() {
+        BitSet::new(10).insert(10);
+    }
+}

@@ -115,8 +115,25 @@ impl GraphBuilder {
     }
 
     /// Finalizes the builder into an immutable [`Graph`].
-    pub fn build(self) -> Graph {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooLarge`] when the adjacency entries overflow
+    /// the `u32` CSR offset space — the recoverable path for
+    /// million-node-scale builders.
+    pub fn try_build(self) -> Result<Graph, GraphError> {
         Graph::from_adjacency(self.adj)
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph overflows the `u32` CSR offset space; use
+    /// [`GraphBuilder::try_build`] to recover instead.
+    pub fn build(self) -> Graph {
+        self.try_build()
+            .expect("graph too large for u32 CSR offsets")
     }
 }
 
@@ -155,6 +172,15 @@ mod tests {
         assert!(b.has_edge(3, 0));
         assert!(!b.has_edge(1, 2));
         assert!(!b.has_edge(9, 0));
+    }
+
+    #[test]
+    fn try_build_produces_the_same_graph_as_build() {
+        let mut a = GraphBuilder::new(4);
+        a.edge(0, 1).edge(1, 2).edge(2, 3);
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).edge(1, 2).edge(2, 3);
+        assert_eq!(a.try_build().unwrap(), b.build());
     }
 
     #[test]

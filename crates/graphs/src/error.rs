@@ -31,6 +31,13 @@ pub enum GraphError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// The graph does not fit the compact CSR representation: the directed
+    /// adjacency entries (twice the undirected edge count) overflow the
+    /// `u32` offset space.
+    TooLarge {
+        /// Directed adjacency entries requested (`2 × edges`).
+        entries: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -46,6 +53,10 @@ impl fmt::Display for GraphError {
             GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            GraphError::TooLarge { entries } => write!(
+                f,
+                "graph too large: {entries} directed adjacency entries overflow u32 CSR offsets"
+            ),
         }
     }
 }
@@ -71,6 +82,8 @@ mod tests {
             GraphError::Disconnected.to_string(),
             "graph is not connected"
         );
+        let e = GraphError::TooLarge { entries: 1 << 33 };
+        assert!(e.to_string().contains("graph too large"));
     }
 
     #[test]

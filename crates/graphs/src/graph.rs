@@ -46,19 +46,27 @@ impl Graph {
         for (u, v) in edges {
             builder.try_edge(u, v)?;
         }
-        Ok(builder.build())
+        builder.try_build()
     }
 
-    pub(crate) fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Self {
+    /// Checks that `entries` directed adjacency entries fit the `u32` CSR
+    /// offset space, before any proportional allocation happens.
+    pub(crate) fn check_csr_size(entries: usize) -> Result<u32, GraphError> {
+        u32::try_from(entries).map_err(|_| GraphError::TooLarge { entries })
+    }
+
+    pub(crate) fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Result<Self, GraphError> {
+        let total: usize = adj.iter().map(Vec::len).sum();
+        Graph::check_csr_size(total)?;
         let mut offsets = Vec::with_capacity(adj.len() + 1);
-        let mut neighbors = Vec::new();
+        let mut neighbors = Vec::with_capacity(total);
         offsets.push(0);
         for mut row in adj {
             row.sort_unstable();
             neighbors.extend_from_slice(&row);
-            offsets.push(u32::try_from(neighbors.len()).expect("graph too large"));
+            offsets.push(neighbors.len() as u32);
         }
-        Graph { offsets, neighbors }
+        Ok(Graph { offsets, neighbors })
     }
 
     /// Number of nodes.
@@ -219,6 +227,19 @@ mod tests {
         assert!(g.is_empty());
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.max_degree(), 0);
+    }
+
+    /// The u32 overflow check is a typed error, not a panic. (Actually
+    /// materializing ≥ 2³² adjacency entries would need tens of gigabytes,
+    /// so the guard itself is what gets exercised.)
+    #[test]
+    fn oversized_csr_is_a_typed_error() {
+        let entries = (u32::MAX as usize) + 1;
+        assert_eq!(
+            Graph::check_csr_size(entries).unwrap_err(),
+            GraphError::TooLarge { entries }
+        );
+        assert_eq!(Graph::check_csr_size(6).unwrap(), 6);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //!
 //! * [`Graph`] — a compact, immutable, undirected graph, and [`GraphBuilder`]
 //!   for constructing one edge by edge.
+//! * [`BitSet`] — a fixed-universe bitmap set for dense frontier and
+//!   active-set bookkeeping (the hybrid representation the simulator swaps
+//!   in above its density threshold).
 //! * [`traversal`] — breadth-first search (distances, trees, multi-source),
 //!   connectivity.
 //! * [`metrics`] — eccentricities, diameter, radius: the *ground truth*
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod builder;
 mod error;
 mod graph;
@@ -39,6 +43,7 @@ pub mod metrics;
 pub mod traversal;
 pub mod tree;
 
+pub use bitset::BitSet;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::Graph;

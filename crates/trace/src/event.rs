@@ -69,6 +69,19 @@ pub enum TraceEvent {
         /// inboxes when this round began. Round 0 always delivers 0.
         delivered: u64,
     },
+    /// A fast-forwarded quiescent stretch: rounds `from..to` (half-open)
+    /// completed without executing anything or delivering any message,
+    /// compressed into one event so skipping stays O(1) with a tracer
+    /// installed. Semantically identical to `to - from` consecutive
+    /// [`TraceEvent::Round`] ticks with `delivered: 0`; use
+    /// [`expand_round_skips`] to normalize a stream for tick-exact
+    /// comparison against a stepped run.
+    RoundSkip {
+        /// First skipped round (inclusive).
+        from: u64,
+        /// First round *not* covered by the skip (exclusive); `to > from`.
+        to: u64,
+    },
     /// One message crossed an edge.
     Message {
         /// Round in which the message was *sent*; it is delivered at the
@@ -183,6 +196,11 @@ impl TraceEvent {
                 ("round", int(*round)),
                 ("delivered", int(*delivered)),
             ]),
+            TraceEvent::RoundSkip { from, to } => Json::obj([
+                ("type", Json::Str("round-skip".into())),
+                ("from", int(*from)),
+                ("to", int(*to)),
+            ]),
             TraceEvent::Message {
                 round,
                 from,
@@ -296,6 +314,10 @@ impl TraceEvent {
                 round: u("round")?,
                 delivered: u("delivered")?,
             }),
+            "round-skip" => Ok(TraceEvent::RoundSkip {
+                from: u("from")?,
+                to: u("to")?,
+            }),
             "message" => Ok(TraceEvent::Message {
                 round: u("round")?,
                 from: u("from")?,
@@ -363,6 +385,30 @@ impl TraceEvent {
     }
 }
 
+/// Expands every [`TraceEvent::RoundSkip`] into the per-round
+/// [`TraceEvent::Round`] ticks (each delivering 0) a stepped run would have
+/// emitted, leaving every other event untouched.
+///
+/// The fast-forwarding scheduler and a stepped scheduler are
+/// *observationally* identical but emit differently compressed streams;
+/// equivalence tests compare both sides through this normalization to stay
+/// tick-exact.
+pub fn expand_round_skips(events: impl IntoIterator<Item = TraceEvent>) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    for event in events {
+        match event {
+            TraceEvent::RoundSkip { from, to } => {
+                out.extend((from..to).map(|round| TraceEvent::Round {
+                    round,
+                    delivered: 0,
+                }))
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +419,7 @@ mod tests {
                 round: 3,
                 delivered: 12,
             },
+            TraceEvent::RoundSkip { from: 4, to: 9 },
             TraceEvent::Message {
                 round: 3,
                 from: 0,
@@ -451,6 +498,49 @@ mod tests {
             value: 1,
         };
         assert_eq!(TraceEvent::from_json(&event.to_json()).unwrap(), event);
+    }
+
+    #[test]
+    fn expanding_round_skips_matches_stepped_ticks() {
+        let compressed = vec![
+            TraceEvent::Round {
+                round: 0,
+                delivered: 2,
+            },
+            TraceEvent::RoundSkip { from: 1, to: 4 },
+            TraceEvent::Round {
+                round: 4,
+                delivered: 1,
+            },
+        ];
+        let expanded = expand_round_skips(compressed);
+        assert_eq!(
+            expanded,
+            vec![
+                TraceEvent::Round {
+                    round: 0,
+                    delivered: 2
+                },
+                TraceEvent::Round {
+                    round: 1,
+                    delivered: 0
+                },
+                TraceEvent::Round {
+                    round: 2,
+                    delivered: 0
+                },
+                TraceEvent::Round {
+                    round: 3,
+                    delivered: 0
+                },
+                TraceEvent::Round {
+                    round: 4,
+                    delivered: 1
+                },
+            ]
+        );
+        // A stepped stream (no skips) passes through unchanged.
+        assert_eq!(expand_round_skips(expanded.clone()), expanded);
     }
 
     #[test]

@@ -174,6 +174,13 @@ impl TraceSink for Summary {
                 self.round_ticks += 1;
                 self.round_deliveries += delivered;
             }
+            // A compressed quiescent stretch counts exactly the ticks a
+            // stepped run would have emitted, each delivering nothing —
+            // keeps `round_ticks` reconciliation with `RunStats.rounds`
+            // and phase-span rounds exact under fast-forwarding.
+            TraceEvent::RoundSkip { from, to } => {
+                self.round_ticks += to.saturating_sub(*from);
+            }
             TraceEvent::Message { from, to, bits, .. } => {
                 self.messages_delivered += 1;
                 self.bits_delivered += bits;
@@ -447,6 +454,31 @@ mod tests {
         assert_eq!(summary.wave_observations, 1);
         assert_eq!(summary.wave_max_surviving, 1);
         assert_eq!(summary.values(), &[("diameter".to_string(), 6)]);
+    }
+
+    /// A `RoundSkip` reconciles as the ticks a stepped run would have
+    /// emitted: a stream with the compressed event and its expanded
+    /// equivalent aggregate to the same round totals.
+    #[test]
+    fn round_skip_counts_as_stepped_ticks() {
+        let compressed = vec![
+            TraceEvent::Round {
+                round: 0,
+                delivered: 3,
+            },
+            TraceEvent::RoundSkip { from: 1, to: 6 },
+            TraceEvent::Round {
+                round: 6,
+                delivered: 1,
+            },
+        ];
+        let expanded = crate::event::expand_round_skips(compressed.clone());
+        let a = Summary::from_events(&compressed);
+        let b = Summary::from_events(&expanded);
+        assert_eq!(a.round_ticks, 7);
+        assert_eq!(a.round_ticks, b.round_ticks);
+        assert_eq!(a.round_deliveries, 4);
+        assert_eq!(a.round_deliveries, b.round_deliveries);
     }
 
     #[test]

@@ -64,6 +64,24 @@ grep -q '^# TYPE qd_messages_total counter' "$xdir/metrics.prom" \
   || { echo "metrics.prom missing qd_messages_total" >&2; status=1; }
 rm -rf "$xdir"
 
+echo "=== scale smoke (n = 10⁴) + BENCH_scale.json schema ==="
+sdir=$(mktemp -d)
+QD_MAX_N=10000 QD_RESULTS_DIR="$sdir" cargo run -q --release --offline -p bench \
+  --bin scale >/dev/null || status=1
+# The smoke output proves the generator works; the repo-root artifact is
+# the committed full sweep (n up to 10⁶). Both must carry the schema.
+for f in "$sdir/BENCH_scale.json" BENCH_scale.json; do
+  if ! test -s "$f"; then
+    echo "$f missing" >&2
+    status=1
+    continue
+  fi
+  for key in '"experiment":"scale"' '"points"' '"rounds_per_sec"' '"bytes_per_node"'; do
+    grep -qF "$key" "$f" || { echo "$f missing key $key" >&2; status=1; }
+  done
+done
+rm -rf "$sdir"
+
 if [ "$status" -ne 0 ]; then
   echo "CHECK FAILED" >&2
   exit 1

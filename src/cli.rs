@@ -389,7 +389,10 @@ pub fn crossover(opts: &CrossoverOptions) -> Result<String, String> {
             (crate::crossover::CrossKind::Projected, Some(n)) => {
                 format!("projected crossover at n ≈ {n:.3e}")
             }
-            _ => format!("no crossover (factor {:.2}x)", c.ratio_at_max_n),
+            _ => match c.ratio_at_max_n {
+                Some(r) => format!("no crossover (factor {r:.2}x)"),
+                None => "no crossover (ratio undefined)".to_string(),
+            },
         };
         let _ = writeln!(
             out,

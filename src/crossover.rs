@@ -109,6 +109,7 @@ impl CostPoint {
         match metric {
             "rounds" => self.rounds as f64,
             "wire_bits" => self.wire_bits as f64,
+            "qubit_sends" => self.qubit_sends as f64,
             "cost_units" => self.cost_units,
             other => panic!("unknown metric '{other}'"),
         }
@@ -139,7 +140,11 @@ pub enum CrossKind {
     /// No crossover in the sweep, but the fitted quantum slope is smaller:
     /// the fits intersect at the projected `n`.
     Projected,
-    /// Quantum does not cross (equal-or-worse slope and never cheaper).
+    /// The fitted slopes differ by less than [`SLOPE_EPS`] (or so little
+    /// that the projected intersection overflows `f64`): the sweep cannot
+    /// tell the growth rates apart, so no finite crossover is projected.
+    IndistinguishableSlopes,
+    /// Quantum does not cross (steeper slope and never cheaper).
     None,
 }
 
@@ -149,10 +154,17 @@ impl CrossKind {
         match self {
             CrossKind::Empirical => "empirical",
             CrossKind::Projected => "projected",
+            CrossKind::IndistinguishableSlopes => "indistinguishable-slopes",
             CrossKind::None => "none",
         }
     }
 }
+
+/// Slope differences at or below this are treated as *indistinguishable*:
+/// the projected-intersection formula divides by the difference, so values
+/// this small produce astronomically large (or non-finite) `n*` that say
+/// nothing beyond "the fits are parallel to within noise".
+pub const SLOPE_EPS: f64 = 1e-6;
 
 /// The crossover verdict for one `(family, quantum algo, metric)` triple.
 #[derive(Clone, Debug, PartialEq)]
@@ -170,7 +182,9 @@ pub struct Crossing {
     pub n: Option<f64>,
     /// `quantum / classical` at the largest swept `n` — the measured
     /// constant factor (values < 1 mean quantum is already cheaper).
-    pub ratio_at_max_n: f64,
+    /// `None` when the classical metric is zero there (e.g. `qubit_sends`
+    /// for a purely classical run): the ratio is undefined, not infinite.
+    pub ratio_at_max_n: Option<f64>,
     /// For `cost_units` only: the qubit price at which the largest swept
     /// instance breaks even ([`CostModel::break_even_factor`]).
     pub break_even_qubit_factor: Option<f64>,
@@ -189,8 +203,11 @@ pub struct CrossoverReport {
     pub crossings: Vec<Crossing>,
 }
 
-/// Metrics scanned for crossovers and fitted for slopes.
-pub const METRICS: [&str; 3] = ["rounds", "wire_bits", "cost_units"];
+/// Metrics scanned for crossovers and fitted for slopes. `qubit_sends` is
+/// identically zero for the classical baseline, so its fit is absent there
+/// and its crossover ratio is undefined — the pipeline must degrade to
+/// `null`s in the artifact, never NaN/∞ (pinned by regression test).
+pub const METRICS: [&str; 4] = ["rounds", "wire_bits", "qubit_sends", "cost_units"];
 
 /// Runs the sweep.
 ///
@@ -416,28 +433,42 @@ fn compute_crossings(points: &[CostPoint], fits: &[Fit], cost: &CostModel) -> Ve
                 let Some(&(last_c, last_q)) = paired.last() else {
                     continue;
                 };
-                let ratio = if last_c.metric(metric) > 0.0 {
-                    last_q.metric(metric) / last_c.metric(metric)
-                } else {
-                    f64::INFINITY
-                };
+                // A zero classical baseline (qubit_sends on classical-apsp)
+                // leaves the ratio undefined — `None`, never ∞ or NaN.
+                let ratio = (last_c.metric(metric) > 0.0)
+                    .then(|| last_q.metric(metric) / last_c.metric(metric));
                 let empirical = paired
                     .iter()
                     .find(|(c, q)| q.metric(metric) < c.metric(metric));
                 let (kind, at) = if let Some((c, _)) = empirical {
                     (CrossKind::Empirical, Some(c.n as f64))
                 } else {
-                    let projected = find_fit(fits, &family, "classical-apsp", metric)
-                        .zip(find_fit(fits, &family, &algo, metric))
-                        .and_then(|(fc, fq)| {
-                            // Fits intersect ahead only if quantum grows
-                            // strictly slower.
-                            (fq.slope + 1e-9 < fc.slope).then(|| {
-                                ((fq.intercept - fc.intercept) / (fc.slope - fq.slope)).exp()
-                            })
-                        });
-                    match projected {
-                        Some(nstar) => (CrossKind::Projected, Some(nstar)),
+                    let pair = find_fit(fits, &family, "classical-apsp", metric)
+                        .zip(find_fit(fits, &family, &algo, metric));
+                    match pair {
+                        Some((fc, fq)) => {
+                            let diff = fc.slope - fq.slope;
+                            if diff.abs() <= SLOPE_EPS {
+                                // Dividing by a ~0 slope difference would
+                                // project a meaningless (possibly infinite)
+                                // n*; report the slopes as indistinguishable
+                                // instead.
+                                (CrossKind::IndistinguishableSlopes, None)
+                            } else if diff > 0.0 {
+                                // Quantum grows strictly slower: the fits
+                                // intersect ahead — unless the intersection
+                                // overflows f64, which is the same
+                                // ill-conditioning in disguise.
+                                let nstar = ((fq.intercept - fc.intercept) / diff).exp();
+                                if nstar.is_finite() {
+                                    (CrossKind::Projected, Some(nstar))
+                                } else {
+                                    (CrossKind::IndistinguishableSlopes, None)
+                                }
+                            } else {
+                                (CrossKind::None, None)
+                            }
+                        }
                         None => (CrossKind::None, None),
                     }
                 };
@@ -466,6 +497,17 @@ fn compute_crossings(points: &[CostPoint], fits: &[Fit], cost: &CostModel) -> Ve
     crossings
 }
 
+/// `Json::Float` for finite values, `Json::Null` otherwise: JSON has no
+/// NaN/Infinity literals, and a poisoned float would make the whole
+/// artifact unparseable downstream.
+fn finite(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Float(v)
+    } else {
+        Json::Null
+    }
+}
+
 impl CrossoverReport {
     /// Renders the machine-readable artifact (`crossover.json`).
     pub fn to_json(&self) -> Json {
@@ -487,7 +529,7 @@ impl CrossoverReport {
                     ("quantum_messages", Json::Int(p.quantum_messages as i128)),
                     ("qubit_sends", Json::Int(p.qubit_sends as i128)),
                     ("wire_bits", Json::Int(p.wire_bits as i128)),
-                    ("cost_units", Json::Float(p.cost_units)),
+                    ("cost_units", finite(p.cost_units)),
                 ])
             })
             .collect();
@@ -499,8 +541,8 @@ impl CrossoverReport {
                     ("family", Json::Str(f.family.clone())),
                     ("algo", Json::Str(f.algo.clone())),
                     ("metric", Json::Str(f.metric.clone())),
-                    ("slope", Json::Float(f.slope)),
-                    ("intercept", Json::Float(f.intercept)),
+                    ("slope", finite(f.slope)),
+                    ("intercept", finite(f.intercept)),
                 ])
             })
             .collect();
@@ -513,13 +555,14 @@ impl CrossoverReport {
                     ("quantum_algo", Json::Str(c.quantum_algo.clone())),
                     ("metric", Json::Str(c.metric.clone())),
                     ("kind", Json::Str(c.kind.as_str().into())),
-                    ("n", c.n.map(Json::Float).unwrap_or(Json::Null)),
-                    ("ratio_at_max_n", Json::Float(c.ratio_at_max_n)),
+                    ("n", c.n.map(finite).unwrap_or(Json::Null)),
+                    (
+                        "ratio_at_max_n",
+                        c.ratio_at_max_n.map(finite).unwrap_or(Json::Null),
+                    ),
                     (
                         "break_even_qubit_factor",
-                        c.break_even_qubit_factor
-                            .map(Json::Float)
-                            .unwrap_or(Json::Null),
+                        c.break_even_qubit_factor.map(finite).unwrap_or(Json::Null),
                     ),
                 ])
             })
@@ -531,7 +574,7 @@ impl CrossoverReport {
                 "header_bits",
                 Json::Int(self.params.cost.header_bits as i128),
             ),
-            ("qubit_factor", Json::Float(self.params.cost.qubit_factor)),
+            ("qubit_factor", finite(self.params.cost.qubit_factor)),
             ("points", Json::Arr(points)),
             ("fits", Json::Arr(fits)),
             ("crossings", Json::Arr(crossings)),
@@ -559,7 +602,8 @@ impl CrossoverReport {
             md,
             "Metrics: `rounds` (simulated + Theorem 7 scheduled), `wire_bits` \
              (payload + framing for every classical *and* quantum message), \
-             `cost_units` (wire bits + qubit premium)."
+             `qubit_sends` (communicated qubits; identically zero for the \
+             classical baseline), `cost_units` (wire bits + qubit premium)."
         );
         for family in families(&self.points) {
             let _ = writeln!(md, "\n## Family `{family}`\n");
@@ -610,15 +654,23 @@ impl CrossoverReport {
                         "no crossover in sweep; fits project n* ≈ {:.3e}",
                         c.n.unwrap_or(f64::NAN)
                     ),
+                    CrossKind::IndistinguishableSlopes => {
+                        "no crossover in sweep; fitted slopes are indistinguishable \
+                         (|Δslope| ≤ 1e-6), so no finite intersection is projected"
+                            .to_string()
+                    }
                     CrossKind::None => "no crossover (quantum never cheaper in sweep, \
-                                        equal-or-steeper slope)"
+                                        steeper or unfitted slope)"
                         .to_string(),
                 };
+                let factor = match c.ratio_at_max_n {
+                    Some(r) => format!("{r:.3}×"),
+                    None => "undefined (classical baseline is zero)".to_string(),
+                };
                 let mut line = format!(
-                    "- `{}` / `{}`: {verdict}; measured factor {:.3}× at n = {}",
+                    "- `{}` / `{}`: {verdict}; measured factor {factor} at n = {}",
                     c.quantum_algo,
                     c.metric,
-                    c.ratio_at_max_n,
                     self.params.ns.last().copied().unwrap_or(0),
                 );
                 if let Some(be) = c.break_even_qubit_factor {
@@ -703,9 +755,15 @@ mod tests {
     fn sweep_produces_points_fits_and_crossings() {
         let report = tiny();
         assert_eq!(report.points.len(), 3 * 2, "2 algos × 3 sizes");
-        // Every metric × quantum algo gets a fit and a verdict.
+        // Every metric × quantum algo gets a verdict; fits cover every
+        // series except classical `qubit_sends`, which is identically zero
+        // and therefore unfittable in log-log space.
         assert_eq!(report.crossings.len(), METRICS.len());
-        assert_eq!(report.fits.len(), 2 * METRICS.len());
+        assert_eq!(report.fits.len(), 2 * METRICS.len() - 1);
+        assert!(
+            find_fit(&report.fits, "path", "classical-apsp", "qubit_sends").is_none(),
+            "an all-zero series must not get a fit"
+        );
         // Path diameters are n − 1.
         for p in &report.points {
             assert_eq!(p.d, p.n as u64 - 1, "{p:?}");
@@ -773,6 +831,95 @@ mod tests {
         assert!((intercept - 5.0f64.ln()).abs() < 1e-9);
         assert!(loglog_fit(&[1.0], &[2.0]).is_none());
         assert!(loglog_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    /// Regression: a metric that is identically zero on the classical
+    /// baseline (`qubit_sends`) must not poison the artifact with NaN or
+    /// ±∞ — the ratio degrades to `null` and the verdict stays typed.
+    #[test]
+    fn classical_zero_metric_never_yields_nan() {
+        let report = tiny();
+        let qubit_crossing = report
+            .crossings
+            .iter()
+            .find(|c| c.metric == "qubit_sends")
+            .expect("qubit_sends is scanned");
+        assert_eq!(
+            qubit_crossing.ratio_at_max_n, None,
+            "ratio against a zero baseline must be undefined, not ∞"
+        );
+        assert_eq!(qubit_crossing.kind, CrossKind::None);
+        for c in &report.crossings {
+            if let Some(r) = c.ratio_at_max_n {
+                assert!(r.is_finite(), "{c:?}");
+            }
+            if let Some(n) = c.n {
+                assert!(n.is_finite(), "{c:?}");
+            }
+        }
+        let rendered = report.to_json().render();
+        for poison in ["NaN", "nan", "Infinity", "inf"] {
+            assert!(!rendered.contains(poison), "artifact contains {poison}");
+        }
+        Json::parse(&rendered).expect("artifact parses despite zero-valued series");
+        // The Markdown path must survive the undefined ratio too.
+        assert!(report
+            .render_markdown()
+            .contains("undefined (classical baseline is zero)"));
+    }
+
+    fn synthetic_point(algo: &str, n: usize, rounds: u64) -> CostPoint {
+        CostPoint {
+            family: "synthetic".into(),
+            n,
+            d: 1,
+            algo: algo.into(),
+            rounds,
+            classical_messages: 1,
+            classical_bits: 8,
+            quantum_messages: 0,
+            qubit_sends: 0,
+            wire_bits: 8,
+            cost_units: 8.0,
+        }
+    }
+
+    /// A ~0 slope difference must produce the `indistinguishable-slopes`
+    /// verdict instead of dividing by (almost) zero and projecting a
+    /// meaningless or infinite `n*`.
+    #[test]
+    fn near_equal_slopes_are_reported_as_indistinguishable() {
+        let points = vec![
+            synthetic_point("classical-apsp", 8, 100),
+            synthetic_point("classical-apsp", 16, 200),
+            synthetic_point("quantum-exact", 8, 150),
+            synthetic_point("quantum-exact", 16, 300),
+        ];
+        let mk_fit = |algo: &str, metric: &str, slope: f64, intercept: f64| Fit {
+            family: "synthetic".into(),
+            algo: algo.into(),
+            metric: metric.into(),
+            slope,
+            intercept,
+        };
+        let fits = vec![
+            mk_fit("classical-apsp", "rounds", 1.0, 2.0),
+            // Quantum's fitted slope differs by less than SLOPE_EPS and its
+            // intercept is higher: the old formula projected
+            // exp(huge) = ∞ here.
+            mk_fit("quantum-exact", "rounds", 1.0 + SLOPE_EPS / 2.0, 2.5),
+        ];
+        let crossings = compute_crossings(&points, &fits, &CostModel::default());
+        let rounds = crossings
+            .iter()
+            .find(|c| c.metric == "rounds")
+            .expect("rounds verdict");
+        assert_eq!(rounds.kind, CrossKind::IndistinguishableSlopes);
+        assert_eq!(rounds.n, None);
+        assert_eq!(rounds.ratio_at_max_n, Some(1.5));
+        // Metrics with no fits at all stay `None`, not a crash.
+        let wire = crossings.iter().find(|c| c.metric == "wire_bits").unwrap();
+        assert_eq!(wire.kind, CrossKind::None);
     }
 
     /// The classical baseline is Θ(n) rounds; the Theorem 1 algorithm is

@@ -308,6 +308,10 @@ proptest! {
         ] {
             let (stats, faults, outputs, events) =
                 run(&g, base.with_scheduling(Scheduling::Dense));
+            // Traces compare through `expand_round_skips`: fast-forwarded
+            // stretches arrive as compact `RoundSkip` events in the sparse
+            // runs, defined as equivalent to the dense zero-delivery ticks.
+            let events = trace::expand_round_skips(events);
             for shards in [1usize, 4] {
                 for fast_forward in [true, false] {
                     let cfg = base
@@ -315,6 +319,7 @@ proptest! {
                         .with_scheduling(Scheduling::ActiveSet)
                         .with_fast_forward(fast_forward);
                     let (stats_k, faults_k, outputs_k, events_k) = run(&g, cfg);
+                    let events_k = trace::expand_round_skips(events_k);
                     let ctx = format!(
                         "{name}: {shards} shards, fast_forward={fast_forward}"
                     );

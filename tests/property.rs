@@ -494,9 +494,14 @@ proptest! {
         let (stats, outputs, events) = flood_run(&g, base.with_scheduling(Scheduling::Dense));
         let mut shards = vec![1usize];
         shards.extend(shard_counts());
+        // Compare through `expand_round_skips`: fast-forwarded stretches
+        // appear as one compact `RoundSkip` in sparse traces, equivalent by
+        // contract to the dense run's explicit zero-delivery ticks.
+        let events = trace::expand_round_skips(events);
         for k in shards {
             let cfg = base.with_shards(k).with_scheduling(Scheduling::ActiveSet);
             let (s, o, e) = flood_run(&g, cfg);
+            let e = trace::expand_round_skips(e);
             prop_assert_eq!(s, stats, "stats diverged (active-set, {} shards)", k);
             prop_assert_eq!(&o, &outputs, "outputs diverged (active-set, {} shards)", k);
             prop_assert_eq!(&e, &events, "trace diverged (active-set, {} shards)", k);
@@ -531,9 +536,11 @@ proptest! {
         };
 
         let (max_dist, stats, events) = wave_run(cfg.with_scheduling(Scheduling::Dense));
+        let events = trace::expand_round_skips(events);
         for k in [1usize, 2, 4] {
             let (max_dist_k, stats_k, events_k) =
                 wave_run(cfg.with_shards(k).with_scheduling(Scheduling::ActiveSet));
+            let events_k = trace::expand_round_skips(events_k);
             prop_assert_eq!(&max_dist_k, &max_dist, "outputs diverged (active-set, {} shards)", k);
             prop_assert_eq!(stats_k, stats, "stats diverged (active-set, {} shards)", k);
             prop_assert_eq!(&events_k, &events, "trace diverged (active-set, {} shards)", k);
@@ -555,6 +562,7 @@ proptest! {
         // Dense pays for every node every round; that product is the
         // baseline the active-set modes must undercut (or at worst match).
         prop_assert_eq!(dense_sched, g.len() as u64 * stats.rounds);
+        let events = trace::expand_round_skips(events);
         for k in [1usize, 2, 4] {
             for fast_forward in [true, false] {
                 let cfg = base
@@ -562,6 +570,7 @@ proptest! {
                     .with_scheduling(Scheduling::ActiveSet)
                     .with_fast_forward(fast_forward);
                 let (s, o, e, sched) = beacon_run(&g, cfg, &wakes);
+                let e = trace::expand_round_skips(e);
                 prop_assert_eq!(
                     s, stats,
                     "stats diverged ({} shards, fast_forward={})", k, fast_forward
