@@ -1,10 +1,12 @@
-//! **Fault matrix: detection latency.** How many rounds pass between the
-//! first injected fault and the driver raising `FaultDetected`?
+//! **Fault matrix: detection latency and recovery cost.** How many rounds
+//! pass between the first injected fault and the driver raising
+//! `FaultDetected` — and, once self-healing is switched on, what does it
+//! cost to *recover* instead of merely detect?
 //!
 //! The fault layer (see `congest::faults`) injects deterministically from
 //! the plan seed; drivers detect degradation through protocol invariants
-//! (an underfed wave node, a lost DFS token, a blown round cap). This bin
-//! sweeps fault rates over two detection-style extremes:
+//! (an underfed wave node, a lost DFS token, a blown round cap). The
+//! detection half sweeps fault rates over two detection-style extremes:
 //!
 //! * `dfs_walk` — a single token carries the whole protocol, so any hit is
 //!   fatal, but the loss is only *noticed* once the network goes quiescent:
@@ -12,13 +14,24 @@
 //! * `bfs` — redundant flooding absorbs most drops; the runs that do
 //!   degrade are caught by the explicit parent/child echo validation.
 //!
+//! The recovery half reruns the same fault shapes through the full
+//! classical APSP pipeline wrapped in
+//! `classical::recovery::exact_diameter_recovering` under the standard
+//! [`congest::RecoveryPolicy`]: faulted runs that would have surfaced
+//! `FaultDetected` are healed by reseeded retries, checkpoint restarts,
+//! and (for crash-stops) partial-network re-rooting. Each recovery cell
+//! reports how many faulted runs were healed to the *correct* answer and
+//! what the healing cost beyond a clean run: retries, wasted rounds, and
+//! wasted wire bits.
+//!
 //! Latency is measured from the trace stream: the injection round is the
 //! first `Fault` event the scheduler emits, the detection round is carried
 //! by [`classical::AlgoError::FaultDetected`]. Results go to
 //! `fault_matrix.json` under `QD_RESULTS_DIR` (default `results/`).
 
+use classical::recovery::{carve_survivors, exact_diameter_recovering, RecoveredDiameter};
 use classical::AlgoError;
-use congest::{Config, FaultPlan};
+use congest::{Config, FaultPlan, RecoveryPolicy};
 use graphs::{Graph, NodeId};
 use trace::{Json, TraceEvent};
 
@@ -103,9 +116,124 @@ impl Cell {
     }
 }
 
+/// Aggregated outcomes of one self-healing (driver, fault-plan shape) cell.
+#[derive(Default)]
+struct RecoveryCell {
+    runs: u64,
+    /// Runs in which the scheduler injected at least one fault.
+    faulted: u64,
+    /// Faulted runs healed to the correct answer (for crash-stops: the
+    /// surviving component's diameter).
+    recovered: u64,
+    /// Healed runs that answered via partial-network semantics.
+    partial: u64,
+    /// Healed runs whose answer did not match the reference — the
+    /// guarantee-class residue documented in `classical::recovery`.
+    unsound: u64,
+    /// Faulted runs recovery could not heal (the typed error surfaced).
+    failed: u64,
+    /// Bounded re-executions per healed faulted run.
+    retries: Vec<f64>,
+    /// Wasted rounds per healed faulted run (rounds spent on attempts
+    /// that were thrown away — the recovery cost beyond a clean run).
+    recovery_rounds: Vec<f64>,
+    /// Wire bits moved by discarded attempts, summed over the cell.
+    wasted_wire_bits: u64,
+}
+
+impl RecoveryCell {
+    fn record(
+        &mut self,
+        faulted: bool,
+        outcome: &Result<RecoveredDiameter, AlgoError>,
+        reference: u32,
+    ) {
+        self.runs += 1;
+        match outcome {
+            Ok(healed) => {
+                self.wasted_wire_bits += healed.recovery.wasted_bits;
+                if !faulted {
+                    assert_eq!(
+                        healed.outcome.diameter, reference,
+                        "fault-free recovering run answered wrong"
+                    );
+                    return;
+                }
+                self.faulted += 1;
+                if healed.is_partial() {
+                    self.partial += 1;
+                }
+                if healed.outcome.diameter == reference {
+                    self.recovered += 1;
+                } else {
+                    self.unsound += 1;
+                }
+                self.retries.push(healed.recovery.retries as f64);
+                self.recovery_rounds
+                    .push(healed.recovery.wasted_rounds as f64);
+            }
+            Err(AlgoError::FaultDetected { .. }) => {
+                assert!(faulted, "fault-free recovering run raised FaultDetected");
+                self.faulted += 1;
+                self.failed += 1;
+            }
+            Err(e) => panic!("recovering driver raised a non-fault error: {e}"),
+        }
+    }
+
+    fn json(&self, driver: &str, plan: &str, policy: &RecoveryPolicy) -> Json {
+        let stat = |xs: &[f64]| {
+            if xs.is_empty() {
+                Json::Null
+            } else {
+                Json::Float(bench::mean(xs))
+            }
+        };
+        Json::obj([
+            ("driver", Json::Str(driver.into())),
+            ("plan", Json::Str(plan.into())),
+            ("policy", Json::Str(policy.to_string())),
+            ("runs", Json::Int(i128::from(self.runs))),
+            ("faulted", Json::Int(i128::from(self.faulted))),
+            ("recovered", Json::Int(i128::from(self.recovered))),
+            ("partial", Json::Int(i128::from(self.partial))),
+            ("unsound", Json::Int(i128::from(self.unsound))),
+            ("failed", Json::Int(i128::from(self.failed))),
+            ("mean_retries", stat(&self.retries)),
+            ("mean_recovery_rounds", stat(&self.recovery_rounds)),
+            (
+                "wasted_wire_bits",
+                Json::Int(i128::from(self.wasted_wire_bits)),
+            ),
+        ])
+    }
+
+    fn print(&self, driver: &str, plan: &str) {
+        let stat = |xs: &[f64]| {
+            if xs.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.1}", bench::mean(xs))
+            }
+        };
+        println!(
+            "{driver:>12} {plan:>24} {:>5} {:>8} {:>9} {:>7} {:>7} {:>6} {:>8} {:>10} {:>11}",
+            self.runs,
+            self.faulted,
+            self.recovered,
+            self.partial,
+            self.unsound,
+            self.failed,
+            stat(&self.retries),
+            stat(&self.recovery_rounds),
+            self.wasted_wire_bits,
+        );
+    }
+}
+
 /// Runs `body` with a fresh recorder installed; returns the first injected
 /// fault's round (if any) and the driver outcome.
-fn observed(body: impl FnOnce() -> Result<(), AlgoError>) -> (Option<u64>, Result<(), AlgoError>) {
+fn observed<T>(body: impl FnOnce() -> Result<T, AlgoError>) -> (Option<u64>, Result<T, AlgoError>) {
     let recorder = trace::Recorder::shared();
     let outcome = {
         let _guard = trace::install(recorder.clone());
@@ -194,11 +322,83 @@ fn main() {
     println!("and the round carried by the driver's FaultDetected error; absorbed runs");
     println!("finished despite injection (flooding redundancy), so they have no latency.");
 
+    // Recovery cost: the same fault shapes, but the full APSP pipeline
+    // healed under the standard policy instead of surfacing the error.
+    // Smaller instances: every faulted run re-executes up to 1 + retries
+    // times.
+    let n_rec = 48;
+    let policy = RecoveryPolicy::standard();
+    bench::rule("Fault matrix: recovery cost under the standard policy");
+    println!(
+        "{:>12} {:>24} {:>5} {:>8} {:>9} {:>7} {:>7} {:>6} {:>8} {:>10} {:>11}",
+        "driver",
+        "plan",
+        "runs",
+        "faulted",
+        "recovered",
+        "partial",
+        "unsound",
+        "failed",
+        "retries",
+        "rec rounds",
+        "wasted bits"
+    );
+
+    let mut recovery_cells: Vec<(String, String, RecoveryCell)> = Vec::new();
+    let drop_plans: [(&str, f64); 2] = [("drop=0.002", 0.002), ("drop=0.005", 0.005)];
+    for (plan_name, drop) in drop_plans {
+        let mut cell = RecoveryCell::default();
+        for seed in 0..seeds {
+            let g = graphs::generators::random_sparse(n_rec, 5.0, seed);
+            let reference = graphs::metrics::diameter(&g).expect("connected");
+            let cfg = faulted_config(&g, FaultPlan::new(seed ^ 0x2EC).with_drop(drop))
+                .with_recovery(policy);
+            let (injected, outcome) = observed(|| exact_diameter_recovering(&g, cfg));
+            cell.record(injected.is_some(), &outcome, reference);
+        }
+        recovery_cells.push(("apsp+recover".into(), plan_name.into(), cell));
+    }
+    {
+        let mut cell = RecoveryCell::default();
+        for seed in 0..seeds {
+            let g = graphs::generators::random_sparse(n_rec, 5.0, seed);
+            let crash_at = 1 + seed % 4;
+            let plan = FaultPlan::new(seed).with_crash(n_rec / 2, crash_at);
+            // The reference for a crash-stop is the surviving component's
+            // diameter — exactly what partial-network semantics promise.
+            let reference = graphs::metrics::diameter(
+                &carve_survivors(&g, &plan).expect("survivors remain").graph,
+            )
+            .expect("surviving component is connected");
+            let cfg = faulted_config(&g, plan).with_recovery(policy);
+            let (injected, outcome) = observed(|| exact_diameter_recovering(&g, cfg));
+            cell.record(injected.is_some(), &outcome, reference);
+        }
+        recovery_cells.push((
+            "apsp+recover".into(),
+            format!("crash node {}", n_rec / 2),
+            cell,
+        ));
+    }
+
+    let mut recovery_rows = Vec::new();
+    for (driver, plan, cell) in &recovery_cells {
+        cell.print(driver, plan);
+        recovery_rows.push(cell.json(driver, plan, &policy));
+    }
+
+    println!("\nrecovered counts faulted runs healed to the reference answer (for");
+    println!("crash-stops: the surviving component's diameter); retries / rec rounds /");
+    println!("wasted bits are the healing cost beyond a clean run.");
+
     let payload = Json::obj([
         ("experiment", Json::Str("fault_matrix".into())),
         ("nodes", Json::Int(n as i128)),
+        ("recovery_nodes", Json::Int(n_rec as i128)),
+        ("recovery_policy", Json::Str(policy.to_string())),
         ("seeds_per_cell", Json::Int(i128::from(seeds))),
         ("cells", Json::Arr(rows)),
+        ("recovery_cells", Json::Arr(recovery_rows)),
     ]);
     bench::write_results_json("fault_matrix", payload).expect("write fault_matrix.json");
 }

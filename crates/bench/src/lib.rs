@@ -113,13 +113,34 @@ pub fn faults() -> Option<congest::FaultPlan> {
     Some(congest::FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("QD_FAULTS '{spec}': {e}")))
 }
 
+/// Recovery policy read from the `QD_RECOVER` environment variable
+/// (default: passive — detect faults, heal nothing). The spec grammar is
+/// [`congest::RecoveryPolicy::parse`]'s, so `QD_RECOVER=1` selects the
+/// standard self-healing policy and e.g.
+/// `QD_FAULTS=drop=0.005,seed=7 QD_RECOVER=retry=3,partial cargo run
+/// --release --bin fault_matrix` measures recovery cost under 0.5%
+/// message loss.
+///
+/// # Panics
+///
+/// Panics on a malformed spec: a typo'd recovery experiment must not
+/// silently measure the passive policy.
+pub fn recovery() -> congest::RecoveryPolicy {
+    match std::env::var("QD_RECOVER") {
+        Err(_) => congest::RecoveryPolicy::new(),
+        Ok(spec) => congest::RecoveryPolicy::parse(&spec)
+            .unwrap_or_else(|e| panic!("QD_RECOVER '{spec}': {e}")),
+    }
+}
+
 /// The CONGEST config every experiment binary should use: sharded per
 /// [`shards`], scheduled per [`scheduling`], with any `QD_FAULTS` plan
-/// applied.
+/// and `QD_RECOVER` policy applied.
 pub fn config_for(g: &Graph) -> Config {
     let mut cfg = Config::for_graph(g)
         .with_shards(shards())
-        .with_scheduling(scheduling());
+        .with_scheduling(scheduling())
+        .with_recovery(recovery());
     if let Some(plan) = faults() {
         cfg = cfg.with_faults(plan);
     }
@@ -263,6 +284,13 @@ mod tests {
     fn scheduling_defaults_to_the_simulator_default() {
         if std::env::var("QD_SCHED").is_err() {
             assert_eq!(scheduling(), Scheduling::default());
+        }
+    }
+
+    #[test]
+    fn recovery_defaults_to_passive() {
+        if std::env::var("QD_RECOVER").is_err() {
+            assert!(recovery().is_passive());
         }
     }
 

@@ -44,6 +44,17 @@ struct AggProgram {
     witness: u32,
     value_bits: usize,
     sent: bool,
+    /// Children whose report has been counted — retransmission may deliver
+    /// duplicates, which must not decrement `pending` twice or double-count
+    /// an [`Op::Sum`] contribution. Empty-cost when retransmission is off
+    /// (each child reports at most once).
+    seen: Vec<NodeId>,
+    /// Extra rounds to repeat the parent report
+    /// (`RecoveryPolicy::retransmit`; 0 keeps the single-shot protocol
+    /// byte-identical).
+    resend: u32,
+    resends_left: u32,
+    resent: u64,
 }
 
 impl AggProgram {
@@ -68,10 +79,14 @@ impl AggProgram {
 
 impl NodeProgram for AggProgram {
     type Msg = AggMsg;
-    type Output = ((u64, NodeId), bool);
+    type Output = ((u64, NodeId), bool, u64);
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, AggMsg>) -> Status {
-        for (_, msg) in ctx.inbox() {
+        for (from, msg) in ctx.inbox() {
+            if self.seen.contains(from) {
+                continue;
+            }
+            self.seen.push(*from);
             self.combine(msg.value, msg.witness);
             self.pending = self.pending.saturating_sub(1);
         }
@@ -87,16 +102,42 @@ impl NodeProgram for AggProgram {
                         n: ctx.num_nodes(),
                     },
                 );
+                self.resends_left = self.resend;
             }
+        } else if self.sent && self.resends_left > 0 {
+            // All children are counted, so `acc` is final: each repeat
+            // carries the identical aggregate, and the parent's dedup makes
+            // duplicates harmless.
+            if let Some(parent) = self.parent {
+                ctx.send(
+                    parent,
+                    AggMsg {
+                        value: self.acc,
+                        witness: self.witness,
+                        value_bits: self.value_bits,
+                        n: ctx.num_nodes(),
+                    },
+                );
+                self.resent += 1;
+            }
+            self.resends_left -= 1;
         }
         // Leaves fire in round 0 (initial `Active` status); interior nodes
         // fire on the last child report — message-driven, so `Halted` is
-        // the precise active-set vote.
-        Status::Halted
+        // the precise active-set vote unless retransmissions are pending.
+        if self.resends_left > 0 {
+            Status::Active
+        } else {
+            Status::Halted
+        }
     }
 
-    fn finish(self, _node: NodeId) -> ((u64, NodeId), bool) {
-        ((self.acc, NodeId::from(self.witness)), self.sent)
+    fn finish(self, _node: NodeId) -> ((u64, NodeId), bool, u64) {
+        (
+            (self.acc, NodeId::from(self.witness)),
+            self.sent,
+            self.resent,
+        )
     }
 }
 
@@ -110,6 +151,9 @@ pub struct AggOutcome {
     pub witness: NodeId,
     /// Round/bit accounting.
     pub stats: RunStats,
+    /// Aggregate reports re-sent under `RecoveryPolicy::retransmit` (0 when
+    /// retransmission is off).
+    pub retransmissions: u64,
 }
 
 /// Aggregates `values` up `tree` to its root in `depth + 1` rounds.
@@ -151,6 +195,7 @@ pub fn convergecast(
         });
     }
     let fault_aware = config.has_faults();
+    let resend = config.recovery().retransmit();
     let mut net = Network::new(graph, config, |v| AggProgram {
         parent: tree.parent(v),
         pending: tree.children(v).len(),
@@ -159,18 +204,22 @@ pub fn convergecast(
         witness: u32::from(v),
         value_bits,
         sent: false,
+        seen: Vec::new(),
+        resend,
+        resends_left: 0,
+        resent: 0,
     });
-    let cap = 2 * graph.len() as u64 + 16;
+    let cap = 2 * graph.len() as u64 + 16 + u64::from(resend);
     let stats = net
         .run_until_quiescent(cap)
         .map_err(|e| AlgoError::from_congest(e, fault_aware))?;
     let outputs = net.into_outputs();
     if fault_aware {
-        // Every node sends its partial aggregate exactly once, after all
+        // Every node sends its partial aggregate at least once, after all
         // children report. A node that never fired means some child message
         // was lost and the chain up to the root stalled — the root's value
         // would silently miss a whole subtree.
-        if let Some(stalled) = outputs.iter().position(|&(_, sent)| !sent) {
+        if let Some(stalled) = outputs.iter().position(|&(_, sent, _)| !sent) {
             return Err(AlgoError::FaultDetected {
                 round: stats.rounds,
                 detail: format!(
@@ -179,11 +228,25 @@ pub fn convergecast(
             });
         }
     }
-    let ((value, witness), _) = outputs[tree.root().index()];
+    let retransmissions: u64 = outputs.iter().map(|&(_, _, r)| r).sum();
+    if retransmissions > 0 {
+        // Honest accounting at the source: resends are recovery actions
+        // wherever they happen (here or under a quantum driver) — one bulk
+        // trace event per phase, one metrics charge per resent message.
+        trace::emit_with(|| trace::TraceEvent::Recovery {
+            round: 0,
+            action: trace::RecoveryAction::Retransmit,
+            attempt: 0,
+            scope: "convergecast reports".into(),
+        });
+        metrics::add(metrics::names::RECOVERY_ACTIONS, retransmissions);
+    }
+    let ((value, witness), _, _) = outputs[tree.root().index()];
     Ok(AggOutcome {
         value,
         witness,
         stats,
+        retransmissions,
     })
 }
 

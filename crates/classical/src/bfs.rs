@@ -44,18 +44,34 @@ struct BfsProgram {
     /// so a late activation betrays dropped or delayed activate messages.
     fault_aware: bool,
     violation: Option<(u64, String)>,
+    /// Extra rounds to repeat the claim send (`RecoveryPolicy::retransmit`;
+    /// 0 keeps the single-shot protocol byte-identical). Claims carry no
+    /// schedule invariant, so duplicates are harmless — receivers dedup —
+    /// and an independently dropped claim no longer kills the tree.
+    /// Activates are *never* retransmitted: a late activate violates the
+    /// one-hop-per-round flood invariant the fault check depends on.
+    resend: u32,
+    resends_left: u32,
+    resent: u64,
 }
 
 impl NodeProgram for BfsProgram {
     type Msg = Msg;
-    type Output = (BfsNode, Option<(u64, String)>);
+    type Output = (BfsNode, Option<(u64, String)>, u64);
 
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Msg>) -> Status {
-        // Record child claims.
+        // Record child claims (dedup: retransmission may repeat them).
         for (from, msg) in ctx.inbox() {
-            if matches!(msg, Msg::Claim) {
+            if matches!(msg, Msg::Claim) && !self.children.contains(from) {
                 self.children.push(*from);
             }
+        }
+        if self.resends_left > 0 {
+            if let Some(parent) = self.parent {
+                ctx.send(parent, Msg::Claim);
+                self.resent += 1;
+            }
+            self.resends_left -= 1;
         }
         if ctx.node() == self.root && ctx.round() == 0 {
             self.dist = Some(0);
@@ -96,14 +112,20 @@ impl NodeProgram for BfsProgram {
                     },
                 );
                 ctx.send(parent, Msg::Claim);
+                self.resends_left = self.resend;
             }
         }
         // Activation/claim handling is purely message-driven; the root's
-        // round-0 start rides on the initial `Active` status.
-        Status::Halted
+        // round-0 start rides on the initial `Active` status. A node with
+        // pending claim retransmissions must keep itself scheduled.
+        if self.resends_left > 0 {
+            Status::Active
+        } else {
+            Status::Halted
+        }
     }
 
-    fn finish(mut self, _node: NodeId) -> (BfsNode, Option<(u64, String)>) {
+    fn finish(mut self, _node: NodeId) -> (BfsNode, Option<(u64, String)>, u64) {
         self.children.sort_unstable();
         (
             BfsNode {
@@ -112,6 +134,7 @@ impl NodeProgram for BfsProgram {
                 children: self.children,
             },
             self.violation,
+            self.resent,
         )
     }
 }
@@ -142,6 +165,9 @@ pub struct BfsOutcome {
     pub depth: Dist,
     /// Round/bit accounting.
     pub stats: RunStats,
+    /// Claim messages re-sent under `RecoveryPolicy::retransmit` (0 when
+    /// retransmission is off).
+    pub retransmissions: u64,
 }
 
 /// Builds a BFS tree from `root` (Figure 1), in `ecc(root) + 2` rounds.
@@ -168,6 +194,7 @@ pub struct BfsOutcome {
 pub fn build(graph: &Graph, root: NodeId, config: Config) -> Result<BfsOutcome, AlgoError> {
     assert!(root.index() < graph.len(), "root out of range");
     let fault_aware = config.has_faults();
+    let resend = config.recovery().retransmit();
     let mut net = Network::new(graph, config, |_| BfsProgram {
         root,
         parent: None,
@@ -175,22 +202,40 @@ pub fn build(graph: &Graph, root: NodeId, config: Config) -> Result<BfsOutcome, 
         children: Vec::new(),
         fault_aware,
         violation: None,
+        resend,
+        resends_left: 0,
+        resent: 0,
     });
-    let cap = 2 * graph.len() as u64 + 16;
-    let stats = net.run_until_quiescent(cap)?;
+    let cap = 2 * graph.len() as u64 + 16 + u64::from(resend);
+    let stats = net
+        .run_until_quiescent(cap)
+        .map_err(|e| AlgoError::from_congest(e, fault_aware))?;
     let outcomes = net.into_outputs();
     if let Some((round, detail)) = outcomes
         .iter()
-        .filter_map(|(_, v)| v.clone())
+        .filter_map(|(_, v, _)| v.clone())
         .min_by_key(|&(round, _)| round)
     {
         return Err(AlgoError::FaultDetected { round, detail });
+    }
+    let retransmissions: u64 = outcomes.iter().map(|&(_, _, r)| r).sum();
+    if retransmissions > 0 {
+        // Honest accounting at the source: resends are recovery actions
+        // wherever they happen (here or under a quantum driver) — one bulk
+        // trace event per phase, one metrics charge per resent message.
+        trace::emit_with(|| trace::TraceEvent::Recovery {
+            round: 0,
+            action: trace::RecoveryAction::Retransmit,
+            attempt: 0,
+            scope: "bfs claims".into(),
+        });
+        metrics::add(metrics::names::RECOVERY_ACTIONS, retransmissions);
     }
     let mut parents = Vec::with_capacity(outcomes.len());
     let mut dists = Vec::with_capacity(outcomes.len());
     let mut children = Vec::with_capacity(outcomes.len());
     let mut depth = 0;
-    for (i, (node, _)) in outcomes.into_iter().enumerate() {
+    for (i, (node, _, _)) in outcomes.into_iter().enumerate() {
         let dist = node.dist.ok_or(if fault_aware {
             // On a connected graph an unreached node means the flood was
             // severed, not that the graph is disconnected.
@@ -229,6 +274,7 @@ pub fn build(graph: &Graph, root: NodeId, config: Config) -> Result<BfsOutcome, 
         children,
         depth,
         stats,
+        retransmissions,
     })
 }
 

@@ -25,6 +25,10 @@
 //! * [`hprw`] — the classical `3/2`-approximation of Holzer–Peleg–Roditty–
 //!   Wattenhofer (DISC 2014) in `Õ(√n + D)` rounds: **Table 1, row 3,
 //!   classical column**, and the preparation phase of the paper's Figure 3.
+//! * [`recovery`] — the self-healing exact-diameter driver: bounded
+//!   reseeded retries, tree-message retransmission, wave
+//!   checkpoint/restart, and partial-network semantics for crash-stops,
+//!   all governed by [`congest::RecoveryPolicy`].
 //!
 //! Every driver returns both its *answer* and the [`congest::RunStats`] of
 //! the run, because round counts are the quantity the paper is about.
@@ -54,6 +58,7 @@ mod error;
 pub mod girth;
 pub mod hprw;
 pub mod leader;
+pub mod recovery;
 pub mod source_detection;
 mod tree_view;
 pub mod waves;

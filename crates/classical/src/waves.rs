@@ -298,7 +298,9 @@ pub fn run(
         fault_aware,
         violation: None,
     });
-    let stats = net.run_rounds(duration)?;
+    let stats = net
+        .run_rounds(duration)
+        .map_err(|e| AlgoError::from_congest(e, fault_aware))?;
     let outcomes = net.into_outputs();
     // Surface the earliest recorded Lemma violation as a typed error.
     if let Some((round, detail)) = outcomes

@@ -296,6 +296,67 @@ impl FaultPlan {
         Ok(plan)
     }
 
+    /// The plan minus its crash-stops — the probabilistic and link faults
+    /// survive untouched. Partial-network recovery uses this when re-running
+    /// on the surviving component: the crashed nodes no longer exist there,
+    /// but the channel noise they ran under still does.
+    ///
+    /// ```
+    /// use congest::FaultPlan;
+    ///
+    /// let plan = FaultPlan::new(3).with_drop(0.01).with_crash(4, 10);
+    /// let survivor_plan = plan.without_crashes();
+    /// assert!(survivor_plan.crashes().is_empty());
+    /// assert_eq!(survivor_plan, FaultPlan::new(3).with_drop(0.01));
+    /// ```
+    pub fn without_crashes(mut self) -> Self {
+        self.crashes.clear();
+        self
+    }
+
+    /// Renumbers the plan's node-addressed faults through `map`, where
+    /// `map(old_id)` returns the node's id in a re-indexed subgraph, or
+    /// `None` if the node is absent there. Crash-stops of absent nodes and
+    /// link failures with an absent endpoint are dropped; everything
+    /// node-independent (seed, probabilities, jitter) is kept verbatim.
+    ///
+    /// ```
+    /// use congest::FaultPlan;
+    ///
+    /// // Nodes {0, 2, 3} survive and become {0, 1, 2}.
+    /// let map = |n: usize| [Some(0), None, Some(1), Some(2)][n];
+    /// let plan = FaultPlan::new(9)
+    ///     .with_link_failure(0, 2, 1..4)
+    ///     .with_link_failure(1, 3, 1..4)
+    ///     .with_crash(3, 7);
+    /// let renumbered = plan.renumbered(map);
+    /// assert_eq!(
+    ///     renumbered,
+    ///     FaultPlan::new(9).with_link_failure(0, 1, 1..4).with_crash(2, 7)
+    /// );
+    /// ```
+    pub fn renumbered(mut self, map: impl Fn(usize) -> Option<usize>) -> Self {
+        self.links = self
+            .links
+            .iter()
+            .filter_map(|l| {
+                let (u, v) = (map(l.u)?, map(l.v)?);
+                Some(LinkFailure {
+                    u: u.min(v),
+                    v: u.max(v),
+                    start: l.start,
+                    end: l.end,
+                })
+            })
+            .collect();
+        self.crashes = self
+            .crashes
+            .iter()
+            .filter_map(|&(node, round)| Some((map(node)?, round)))
+            .collect();
+        self
+    }
+
     /// Interns the plan in the process-wide registry, returning its
     /// `Copy + Eq` handle. Equal plans intern to equal handles.
     pub fn intern(self) -> FaultsId {

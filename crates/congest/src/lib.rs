@@ -25,6 +25,10 @@
 //!   corruption, link failures, crash-stop nodes, delivery jitter), attached
 //!   via [`Config::with_faults`] and replayable byte-identically per
 //!   `(graph, config, seed)`.
+//! * [`RecoveryPolicy`] — what drivers may do about a detected fault
+//!   (bounded reseeded retries, tree-protocol retransmission, wave
+//!   checkpoint/restart, partial-network semantics), attached via
+//!   [`Config::with_recovery`] and accounted in [`RecoveryStats`].
 //!
 //! # Example: flooding a token
 //!
@@ -76,6 +80,7 @@ mod ledger;
 mod message;
 mod network;
 mod program;
+pub mod recovery;
 
 pub use error::CongestError;
 pub use faults::{FaultPlan, FaultStats};
@@ -83,6 +88,7 @@ pub use ledger::RoundsLedger;
 pub use message::Payload;
 pub use network::{BandwidthPolicy, Config, Network, RunStats, Scheduling};
 pub use program::{NodeProgram, RoundCtx, Status};
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 
 /// Round counter type. Rounds are numbered from 0.
 pub type Round = u64;

@@ -4,6 +4,7 @@ use std::collections::BinaryHeap;
 use graphs::{BitSet, Graph, NodeId};
 
 use crate::faults::{FaultPlan, FaultStats, FaultsId, MessageFate};
+use crate::recovery::RecoveryPolicy;
 use crate::{CongestError, NodeProgram, Payload, Round, RoundCtx, Status};
 
 /// What the simulator does when a message exceeds the per-edge bandwidth
@@ -65,6 +66,11 @@ pub struct Config {
     /// Interned fault plan, if any — `Config` stays `Copy + Eq` while the
     /// plan itself (heap-allocated schedules) lives in the fault registry.
     faults: Option<FaultsId>,
+    /// What drivers may do about a detected fault. The scheduler itself
+    /// never consults this — recovery is a driver-level concern — but
+    /// carrying it here threads one policy through every phase of a
+    /// multi-phase algorithm.
+    recovery: RecoveryPolicy,
 }
 
 impl Config {
@@ -78,6 +84,7 @@ impl Config {
             scheduling: Scheduling::default(),
             fast_forward: true,
             faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -189,6 +196,26 @@ impl Config {
     /// fault-detection errors.
     pub fn has_faults(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// Attaches a [`RecoveryPolicy`] telling drivers what they may do when
+    /// a fault is detected: bounded reseeded retries, tree-protocol
+    /// retransmission, wave checkpoint/restart, and partial-network
+    /// semantics for crash-stops. The passive default recovers nothing, so
+    /// detect-only runs stay byte-identical to earlier builds.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// The attached recovery policy (passive by default).
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
+    }
+
+    /// True when a non-passive recovery policy is attached.
+    pub fn has_recovery(&self) -> bool {
+        !self.recovery.is_passive()
     }
 }
 
@@ -669,6 +696,9 @@ where
                     }
                     self.statuses[node] = Status::Halted;
                     f.stats.crashes += 1;
+                    if let Some(meter) = &meter {
+                        meter.borrow_mut().add(metrics::names::FAULTS, 1);
+                    }
                     if let Some(sink) = &tracer {
                         sink.borrow_mut().record(&trace::TraceEvent::Fault {
                             round,
@@ -899,6 +929,13 @@ where
                     continue;
                 };
                 let emit = |kind: trace::FaultKind, delay: u64| {
+                    // Injected faults are charged to the cost model at the
+                    // same point they are traced, mirroring the message
+                    // accounting above, so `qd_faults_total` reconciles
+                    // with both `FaultStats` and the trace summary.
+                    if let Some(meter) = &meter {
+                        meter.borrow_mut().add(metrics::names::FAULTS, 1);
+                    }
                     if let Some(sink) = &tracer {
                         sink.borrow_mut().record(&trace::TraceEvent::Fault {
                             round,
@@ -978,6 +1015,9 @@ where
                 let Delayed { from, to, .. } = f.queue[i];
                 if f.crashed[to.index()] {
                     f.stats.crash_dropped += 1;
+                    if let Some(meter) = &meter {
+                        meter.borrow_mut().add(metrics::names::FAULTS, 1);
+                    }
                     if let Some(sink) = &tracer {
                         sink.borrow_mut().record(&trace::TraceEvent::Fault {
                             round,

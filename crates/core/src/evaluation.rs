@@ -106,6 +106,13 @@ pub fn run_windowed(
     u0: NodeId,
     config: Config,
 ) -> Result<EvaluationRun, AlgoError> {
+    // Evaluation models a *reversible* oracle procedure run in
+    // superposition: drop-triggered retransmission is not meaningful
+    // inside it, and extra resend rounds would detach the measured
+    // schedule from the closed form of [`figure2_schedule_rounds`]. Strip
+    // it; one-shot classical phases (Initialization, HPRW preparation)
+    // keep theirs.
+    let config = config.with_recovery(config.recovery().with_retransmit(0));
     let mut ledger = RoundsLedger::new();
     let d64 = u64::from(d);
 

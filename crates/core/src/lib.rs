@@ -23,6 +23,9 @@
 //! * [`approx`] — the `Õ(∛(nD) + D)`-round quantum `3/2`-approximation of
 //!   **Theorem 4** (Section 4, Figure 3): the classical HPRW preparation
 //!   followed by quantum optimization over the cluster `R`.
+//! * [`recovery`] — self-healing wrappers around [`exact`] and [`approx`]:
+//!   bounded reseeded retries and partial-network semantics for
+//!   crash-stops, governed by [`congest::RecoveryPolicy`].
 //!
 //! # How the quantum side is simulated
 //!
@@ -60,6 +63,7 @@ pub mod evaluation;
 pub mod exact;
 pub mod exact_simple;
 pub mod framework;
+pub mod recovery;
 
 mod error;
 

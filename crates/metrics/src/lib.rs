@@ -78,6 +78,20 @@ pub mod names {
     pub const PER_NODE_QUBITS: &str = "qd_memory_per_node_qubits";
     /// Analytic leader quantum memory (gauge, qubits).
     pub const LEADER_QUBITS: &str = "qd_memory_leader_qubits";
+    /// Faults injected by the scheduler's fault layer (counter) —
+    /// reconciles with `trace::Summary::faults` and `FaultStats` totals.
+    pub const FAULTS: &str = "qd_faults_total";
+    /// Recovery actions taken by drivers (counter): retries, checkpoint
+    /// restarts, retransmitted messages, and partial-network re-roots —
+    /// reconciles with `RecoveryStats::actions` (retransmissions are
+    /// charged per resent message but traced once per protocol phase, so
+    /// the trace `Summary::recoveries` tally is a lower bound).
+    pub const RECOVERY_ACTIONS: &str = "qd_recovery_actions_total";
+    /// Rounds spent on recovery attempts that were thrown away (counter).
+    pub const RECOVERY_WASTED_ROUNDS: &str = "qd_recovery_wasted_rounds_total";
+    /// Wire bits moved by recovery attempts that were thrown away
+    /// (counter).
+    pub const RECOVERY_WASTED_BITS: &str = "qd_recovery_wasted_bits_total";
 }
 
 /// Renders `name{key="value"}` for a labelled metric family.

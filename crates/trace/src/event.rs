@@ -54,6 +54,32 @@ impl FaultKind {
     }
 }
 
+/// The kind of a recovery action taken by a driver (see the
+/// `congest::recovery` module for the policy that authorizes them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryAction {
+    /// A failed protocol (or pipeline) was rerun under a fresh fault seed.
+    Retry,
+    /// A tree protocol repeated its critical send for extra rounds.
+    Retransmit,
+    /// A checkpointed wave segment was restarted from its boundary.
+    Restart,
+    /// The run was re-rooted on the surviving component after crash-stops.
+    Reroot,
+}
+
+impl RecoveryAction {
+    /// The JSON encoding of the action.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryAction::Retry => "retry",
+            RecoveryAction::Retransmit => "retransmit",
+            RecoveryAction::Restart => "restart",
+            RecoveryAction::Reroot => "re-root",
+        }
+    }
+}
+
 /// One structured telemetry event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
@@ -174,6 +200,22 @@ pub enum TraceEvent {
         /// Extra delivery rounds ([`FaultKind::Delay`] only; 0 otherwise).
         delay: u64,
     },
+    /// One recovery action taken by a driver in response to a detected
+    /// fault (emitted by the recovery layer, exactly one event per action).
+    Recovery {
+        /// Round count of the attempt being recovered from (retries and
+        /// restarts: rounds wasted; retransmissions and re-roots: 0).
+        round: u64,
+        /// What the driver did.
+        action: RecoveryAction,
+        /// 1-based attempt number for retries/restarts (0 where an attempt
+        /// count is meaningless, e.g. retransmission rounds).
+        attempt: u64,
+        /// What was recovered — a ledger-style scope label such as
+        /// `"classical-apsp"`, `"eccentricity waves[seg 3]"`, or
+        /// `"surviving component"`.
+        scope: String,
+    },
     /// A named scalar outcome (e.g. the evaluated `f(u0)`).
     Value {
         /// What the scalar is.
@@ -282,6 +324,18 @@ impl TraceEvent {
                 ("to", int(*to)),
                 ("delay", int(*delay)),
             ]),
+            TraceEvent::Recovery {
+                round,
+                action,
+                attempt,
+                scope,
+            } => Json::obj([
+                ("type", Json::Str("recovery".into())),
+                ("round", int(*round)),
+                ("action", Json::Str(action.as_str().into())),
+                ("attempt", int(*attempt)),
+                ("scope", Json::Str(scope.clone())),
+            ]),
             TraceEvent::Value { label, value } => Json::obj([
                 ("type", Json::Str("value".into())),
                 ("label", Json::Str(label.clone())),
@@ -375,6 +429,18 @@ impl TraceEvent {
                 from: u("from")?,
                 to: u("to")?,
                 delay: u("delay")?,
+            }),
+            "recovery" => Ok(TraceEvent::Recovery {
+                round: u("round")?,
+                action: match s("action")?.as_str() {
+                    "retry" => RecoveryAction::Retry,
+                    "retransmit" => RecoveryAction::Retransmit,
+                    "restart" => RecoveryAction::Restart,
+                    "re-root" => RecoveryAction::Reroot,
+                    other => return Err(format!("unknown recovery action {other:?}")),
+                },
+                attempt: u("attempt")?,
+                scope: s("scope")?,
             }),
             "value" => Ok(TraceEvent::Value {
                 label: s("label")?,
@@ -476,6 +542,18 @@ mod tests {
                 to: 4,
                 delay: 0,
             },
+            TraceEvent::Recovery {
+                round: 42,
+                action: RecoveryAction::Restart,
+                attempt: 2,
+                scope: "eccentricity waves[seg 3]".into(),
+            },
+            TraceEvent::Recovery {
+                round: 0,
+                action: RecoveryAction::Reroot,
+                attempt: 1,
+                scope: "surviving component".into(),
+            },
             TraceEvent::Value {
                 label: "ecc \"leader\"".into(),
                 value: 8,
@@ -554,6 +632,10 @@ mod tests {
         );
         assert!(TraceEvent::from_json(
             r#"{"type":"fault","round":1,"kind":"gremlin","from":0,"to":1,"delay":0}"#
+        )
+        .is_err());
+        assert!(TraceEvent::from_json(
+            r#"{"type":"recovery","round":1,"action":"give-up","attempt":1,"scope":"x"}"#
         )
         .is_err());
         assert!(TraceEvent::from_json("not json").is_err());

@@ -34,7 +34,7 @@ pub mod json;
 pub mod sink;
 pub mod summary;
 
-pub use event::{expand_round_skips, FaultKind, OracleOp, TraceEvent};
+pub use event::{expand_round_skips, FaultKind, OracleOp, RecoveryAction, TraceEvent};
 pub use json::Json;
 pub use sink::{
     parse_jsonl, parse_jsonl_lossy, read_jsonl, read_jsonl_lossy, FileSink, Recorder, SharedSink,

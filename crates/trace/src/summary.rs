@@ -71,6 +71,13 @@ pub struct Summary {
     pub faults: u64,
     /// Injected faults per kind, in first-seen order.
     fault_kinds: Vec<(String, u64)>,
+    /// Recovery actions (`Recovery` events), total.
+    pub recoveries: u64,
+    /// Recovery actions per kind, in first-seen order.
+    recovery_kinds: Vec<(String, u64)>,
+    /// Rounds wasted by retried/restarted attempts, summed over `Recovery`
+    /// events.
+    pub recovery_wasted_rounds: u64,
     /// Wave observations with at least one surviving message.
     pub wave_observations: u64,
     /// Maximum surviving wave messages seen at any node in any round.
@@ -124,6 +131,11 @@ impl Summary {
     /// Injected-fault counts per kind, in first-seen order.
     pub fn fault_kinds(&self) -> &[(String, u64)] {
         &self.fault_kinds
+    }
+
+    /// Recovery-action counts per kind, in first-seen order.
+    pub fn recovery_kinds(&self) -> &[(String, u64)] {
+        &self.recovery_kinds
     }
 
     /// Total rounds charged across non-derived phase spans.
@@ -246,6 +258,16 @@ impl TraceSink for Summary {
                     self.fault_kinds.push((name.to_string(), 1));
                 }
             }
+            TraceEvent::Recovery { round, action, .. } => {
+                self.recoveries += 1;
+                self.recovery_wasted_rounds += round;
+                let name = action.as_str();
+                if let Some(entry) = self.recovery_kinds.iter_mut().find(|(k, _)| k == name) {
+                    entry.1 += 1;
+                } else {
+                    self.recovery_kinds.push((name.to_string(), 1));
+                }
+            }
             TraceEvent::Value { label, value } => {
                 self.values.push((label.clone(), *value));
             }
@@ -303,6 +325,19 @@ impl fmt::Display for Summary {
                 .collect::<Vec<_>>()
                 .join(", ");
             writeln!(f, "  faults injected: {} ({kinds})", self.faults)?;
+        }
+        if self.recoveries > 0 {
+            let kinds = self
+                .recovery_kinds
+                .iter()
+                .map(|(k, c)| format!("{k} {c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(
+                f,
+                "  recovery actions: {} ({kinds}), {} rounds wasted",
+                self.recoveries, self.recovery_wasted_rounds
+            )?;
         }
         if self.wave_observations > 0 {
             writeln!(
@@ -555,6 +590,42 @@ mod tests {
         let text = summary.to_string();
         assert!(text.contains("faults injected: 3"), "{text}");
         assert!(text.contains("drop 2"), "{text}");
+    }
+
+    #[test]
+    fn aggregates_recoveries_per_action() {
+        use crate::event::RecoveryAction;
+        let events = vec![
+            TraceEvent::Recovery {
+                round: 12,
+                action: RecoveryAction::Restart,
+                attempt: 1,
+                scope: "eccentricity waves[seg 0]".into(),
+            },
+            TraceEvent::Recovery {
+                round: 12,
+                action: RecoveryAction::Restart,
+                attempt: 2,
+                scope: "eccentricity waves[seg 0]".into(),
+            },
+            TraceEvent::Recovery {
+                round: 0,
+                action: RecoveryAction::Reroot,
+                attempt: 1,
+                scope: "surviving component".into(),
+            },
+        ];
+        let summary = Summary::from_events(&events);
+        assert_eq!(summary.recoveries, 3);
+        assert_eq!(summary.recovery_wasted_rounds, 24);
+        assert_eq!(
+            summary.recovery_kinds(),
+            &[("restart".to_string(), 2), ("re-root".to_string(), 1)]
+        );
+        let text = summary.to_string();
+        assert!(text.contains("recovery actions: 3"), "{text}");
+        assert!(text.contains("restart 2"), "{text}");
+        assert!(text.contains("24 rounds wasted"), "{text}");
     }
 
     #[test]

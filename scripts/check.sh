@@ -36,6 +36,32 @@ QD_TEST_SHARDS=4 cargo test -q --offline -p congest-diameter \
 QD_TEST_SHARDS=4 cargo test -q --offline -p congest-diameter \
   --test failure_injection faulty_runs || status=1
 
+echo "=== recovery equivalence + contract suite (QD_TEST_SHARDS=4) ==="
+QD_TEST_SHARDS=4 cargo test -q --offline -p congest-diameter \
+  --test recovery || status=1
+
+echo "=== fault matrix smoke (detection latency + recovery cost) ==="
+fdir=$(mktemp -d)
+QD_RESULTS_DIR="$fdir" cargo run -q --release --offline -p bench \
+  --bin fault_matrix >/dev/null || status=1
+if ! test -s "$fdir/fault_matrix.json"; then
+  echo "fault_matrix.json missing" >&2
+  status=1
+else
+  for key in '"experiment":"fault_matrix"' '"recovery_policy"' '"recovery_cells"' \
+    '"recovered"' '"unsound"' '"mean_retries"' '"mean_recovery_rounds"' \
+    '"wasted_wire_bits"'; do
+    grep -qF "$key" "$fdir/fault_matrix.json" \
+      || { echo "fault_matrix.json missing key $key" >&2; status=1; }
+  done
+  # Recovery-cost means must be finite numbers, never NaN/null.
+  if grep -qE '"mean_(retries|recovery_rounds)":(null|NaN)' "$fdir/fault_matrix.json"; then
+    echo "fault_matrix.json has non-finite recovery-cost fields" >&2
+    status=1
+  fi
+fi
+rm -rf "$fdir"
+
 echo "=== scheduler bench smoke (dense-vs-sparse + <5% overhead gates) ==="
 # The vendored criterion stub runs every group once in --test mode; the
 # Instant-based gates (tracing_overhead, scheduler_hot_loop, and the

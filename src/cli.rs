@@ -6,10 +6,11 @@
 use std::fmt::Write as _;
 
 use classical::hprw::HprwParams;
-use congest::{Config, FaultPlan, Scheduling};
+use classical::recovery::SurvivingComponent;
+use congest::{Config, FaultPlan, RecoveryPolicy, RecoveryStats, Scheduling};
 use diameter_quantum::approx::{self, ApproxParams};
 use diameter_quantum::exact::ExactParams;
-use diameter_quantum::{exact, exact_simple};
+use diameter_quantum::{exact, exact_simple, recovery};
 use graphs::Graph;
 
 /// Which algorithm to run.
@@ -143,6 +144,9 @@ pub struct Options {
     /// Fault-injection spec (see [`congest::FaultPlan::parse`]); validated
     /// at parse time, kept as the raw text so reports can echo it.
     pub faults: Option<String>,
+    /// Recovery-policy spec (see [`congest::RecoveryPolicy::parse`]);
+    /// `Some("")` is the bare `--recover` flag (the standard policy).
+    pub recover: Option<String>,
     /// Export the run's metrics registry to this path (`.json` → JSON,
     /// anything else → Prometheus text).
     pub metrics: Option<String>,
@@ -165,6 +169,7 @@ impl Default for Options {
             shards: 1,
             scheduling: Scheduling::default(),
             faults: None,
+            recover: None,
             metrics: None,
         }
     }
@@ -223,13 +228,36 @@ OPTIONS:
                delay=<p>:<max>  link=<u>-<v>@<start>..<end>
                crash=<node>@<round>. Algorithms either still answer
                correctly or fail with a typed fault-detection error.
+  --recover [S] enable self-healing for detected faults; S is a comma-
+               separated list of: retry=<n>  retransmit=<rounds>
+               checkpoint=<sources>  partial[=true|false]. A bare
+               --recover (or S in {1, on, true, standard}) selects the
+               standard policy retry=2,retransmit=2,checkpoint=16,partial;
+               'off' disables recovery
   --verbose    print per-phase round ledgers
   --help       this message
+
+RECOVERY:
+  With a policy active, detected faults are healed instead of fatal:
+  failed protocols rerun under a deterministically reseeded fault plan
+  (retry=N), tree protocols repeat their critical sends with idempotent
+  receivers (retransmit=R), the eccentricity-wave schedule restarts from
+  the last completed checkpoint segment instead of round 0
+  (checkpoint=S sources), and crash-stops re-root onto the largest
+  surviving connected component (partial) — the reported diameter then
+  refers to that component. Retry and partial-network semantics wrap
+  exact, approx, and classical; retransmission and checkpointing apply
+  wherever the substrate protocols run. Every healed run reports its
+  recovery cost (retries, restarts, retransmissions, re-roots, wasted
+  rounds/messages/bits). See RECOVERY.md for the full semantics.
 
 ENVIRONMENT:
   QD_METRICS      metrics export path applied when --metrics is absent
   QD_FAULTS       fault spec applied when --faults is absent (same grammar);
                   also honored by the experiment binaries in crates/bench
+  QD_RECOVER      recovery policy applied when --recover is absent (same
+                  grammar); also honored by the experiment binaries in
+                  crates/bench
   QD_SHARDS       worker shards for the experiment binaries (default 1)
   QD_SCHED        scheduling mode for the experiment binaries
                   (dense | active-set; default active-set)
@@ -423,6 +451,17 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
     }
     opts.algorithm = Algorithm::parse(first)?;
     while let Some(flag) = iter.next() {
+        if flag == "--recover" {
+            // The value is optional: a bare `--recover` selects the
+            // standard policy, exactly like `QD_RECOVER=1`.
+            let spec = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().cloned().unwrap_or_default(),
+                _ => String::new(),
+            };
+            RecoveryPolicy::parse(&spec).map_err(|e| format!("--recover: {e}"))?;
+            opts.recover = Some(spec);
+            continue;
+        }
         let mut value = |name: &str| -> Result<&String, String> {
             iter.next().ok_or(format!("{name} requires a value"))
         };
@@ -631,6 +670,41 @@ fn resolve_faults(
     Ok(Some((spec.to_string(), plan)))
 }
 
+/// Resolves the recovery policy with `--recover` taking precedence over
+/// the `QD_RECOVER` environment variable. A spec that parses to the
+/// passive policy (`off`) resolves to `None`, so `--recover off` and
+/// `QD_RECOVER=0` really do disable recovery.
+fn resolve_recovery(
+    flag: Option<&str>,
+    env: Option<&str>,
+) -> Result<Option<RecoveryPolicy>, String> {
+    let Some(spec) = flag.or(env) else {
+        return Ok(None);
+    };
+    let policy = RecoveryPolicy::parse(spec).map_err(|e| format!("recovery spec '{spec}': {e}"))?;
+    Ok(Some(policy).filter(|p| !p.is_passive()))
+}
+
+/// Appends the self-healing lines of a recovered run's report: the
+/// surviving component (for partial-network answers) and what the
+/// recovery cost.
+fn recovery_report(
+    out: &mut String,
+    stats: &RecoveryStats,
+    surviving: Option<&SurvivingComponent>,
+) {
+    if let Some(s) = surviving {
+        let _ = writeln!(
+            out,
+            "surviving component: {} nodes ({} crashed/unreachable excluded) — \
+             the answer refers to this component",
+            s.nodes.len(),
+            s.excluded
+        );
+    }
+    let _ = writeln!(out, "recovery cost: {stats}");
+}
+
 fn run_report(opts: &Options) -> Result<String, String> {
     let g = build_graph(opts)?;
     let mut cfg = Config::for_graph(&g)
@@ -638,6 +712,8 @@ fn run_report(opts: &Options) -> Result<String, String> {
         .with_scheduling(opts.scheduling);
     let env_faults = std::env::var("QD_FAULTS").ok();
     let faults = resolve_faults(opts.faults.as_deref(), env_faults.as_deref())?;
+    let env_recover = std::env::var("QD_RECOVER").ok();
+    let policy = resolve_recovery(opts.recover.as_deref(), env_recover.as_deref())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -646,15 +722,38 @@ fn run_report(opts: &Options) -> Result<String, String> {
         g.len(),
         g.num_edges()
     );
+    let faulty = faults.is_some();
     if let Some((spec, plan)) = faults {
         let _ = writeln!(out, "faults: {spec}");
         cfg = cfg.with_faults(plan);
     }
+    if let Some(policy) = policy {
+        let _ = writeln!(out, "recovery: {policy}");
+        cfg = cfg.with_recovery(policy);
+    }
+    // Under an active fault plan, make sure a metrics registry observes
+    // the run so the report can state how many faults were actually
+    // injected (`qd_faults_total`); reuse the `--metrics` registry when
+    // one is already installed so the export keeps seeing everything.
+    let fault_registry =
+        faulty.then(|| metrics::current().unwrap_or_else(metrics::Registry::shared));
+    let _fault_guard = match &fault_registry {
+        Some(r) if metrics::current().is_none() => Some(metrics::install(r.clone())),
+        _ => None,
+    };
+    let recovering = policy.is_some();
     match opts.algorithm {
         Algorithm::Exact | Algorithm::Simple => {
             let params = ExactParams::new(opts.seed).with_failure_prob(opts.delta);
             let run = if opts.algorithm == Algorithm::Exact {
-                exact::diameter(&g, params, cfg)
+                if recovering {
+                    let healed =
+                        recovery::exact_recovering(&g, params, cfg).map_err(|e| e.to_string())?;
+                    recovery_report(&mut out, &healed.recovery, healed.surviving.as_ref());
+                    Ok(healed.run)
+                } else {
+                    exact::diameter(&g, params, cfg)
+                }
             } else {
                 exact_simple::diameter(&g, params, cfg)
             }
@@ -690,7 +789,14 @@ fn run_report(opts: &Options) -> Result<String, String> {
             if let Some(s) = opts.s {
                 params = params.with_s(s);
             }
-            let run = approx::diameter(&g, params, cfg).map_err(|e| e.to_string())?;
+            let run = if recovering {
+                let healed =
+                    recovery::approx_recovering(&g, params, cfg).map_err(|e| e.to_string())?;
+                recovery_report(&mut out, &healed.recovery, healed.surviving.as_ref());
+                healed.run
+            } else {
+                approx::diameter(&g, params, cfg).map_err(|e| e.to_string())?
+            };
             let _ = writeln!(out, "estimate D̄: {} (⌊2D/3⌋ ≤ D̄ ≤ D)", run.estimate);
             let _ = writeln!(
                 out,
@@ -712,7 +818,14 @@ fn run_report(opts: &Options) -> Result<String, String> {
             }
         }
         Algorithm::Classical => {
-            let run = classical::apsp::exact_diameter(&g, cfg).map_err(|e| e.to_string())?;
+            let run = if recovering {
+                let healed = classical::recovery::exact_diameter_recovering(&g, cfg)
+                    .map_err(|e| e.to_string())?;
+                recovery_report(&mut out, &healed.recovery, healed.surviving.as_ref());
+                healed.outcome
+            } else {
+                classical::apsp::exact_diameter(&g, cfg).map_err(|e| e.to_string())?
+            };
             let _ = writeln!(out, "diameter: {} | radius: {}", run.diameter, run.radius);
             let _ = writeln!(out, "rounds: {}", run.rounds());
             if opts.verbose {
@@ -756,6 +869,13 @@ fn run_report(opts: &Options) -> Result<String, String> {
                 let _ = writeln!(out, "--- ledger ---\n{}", run.ledger);
             }
         }
+    }
+    if let Some(registry) = &fault_registry {
+        let _ = writeln!(
+            out,
+            "faults injected: {}",
+            registry.borrow().counter(metrics::names::FAULTS)
+        );
     }
     Ok(out)
 }
@@ -857,6 +977,67 @@ mod tests {
         assert_eq!(from_env.0, "crash=3@2");
         assert!(resolve_faults(None, None).unwrap().is_none());
         assert!(resolve_faults(None, Some("nonsense")).is_err());
+    }
+
+    #[test]
+    fn recover_flag_parses_bare_and_with_spec() {
+        // Bare flag: the standard policy, even with more flags after it.
+        let o = parse(&args("classical --recover --verbose")).unwrap();
+        assert_eq!(o.recover.as_deref(), Some(""));
+        assert!(o.verbose);
+        let o = parse(&args("classical --recover retry=3,partial --n 12")).unwrap();
+        assert_eq!(o.recover.as_deref(), Some("retry=3,partial"));
+        assert_eq!(o.n, 12);
+        assert!(parse(&args("classical --recover retry=lots")).is_err());
+        assert!(parse(&args("classical --recover bogus=1")).is_err());
+    }
+
+    #[test]
+    fn recover_flag_takes_precedence_over_env() {
+        let from_flag = resolve_recovery(Some("retry=5"), Some("retry=1"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(from_flag.retries(), 5);
+        let from_env = resolve_recovery(None, Some("1")).unwrap().unwrap();
+        assert_eq!(from_env, RecoveryPolicy::standard());
+        assert!(resolve_recovery(None, None).unwrap().is_none());
+        // A spec that parses to the passive policy disables recovery.
+        assert!(resolve_recovery(Some("off"), Some("1")).unwrap().is_none());
+        assert!(resolve_recovery(None, Some("0")).unwrap().is_none());
+        assert!(resolve_recovery(None, Some("nonsense")).is_err());
+    }
+
+    /// A crash-stop that is fatal under the passive policy heals to the
+    /// surviving component's diameter under `--recover`, for both the
+    /// classical and the quantum exact drivers.
+    #[test]
+    fn recover_heals_a_crash_to_the_surviving_component() {
+        for algo in ["classical", "exact"] {
+            let fatal = format!("{algo} --family path --n 10 --faults crash=9@0,seed=7");
+            let err = run(&parse(&args(&fatal)).unwrap()).unwrap_err();
+            assert!(err.contains("fault detected at round"), "{algo}: {err}");
+            let healed = run(&parse(&args(&format!("{fatal} --recover"))).unwrap()).unwrap();
+            assert!(healed.contains("recovery: retry=2"), "{algo}: {healed}");
+            assert!(
+                healed.contains("surviving component: 9 nodes (1 crashed/unreachable excluded)"),
+                "{algo}: {healed}"
+            );
+            assert!(healed.contains("diameter: 8"), "{algo}: {healed}");
+            assert!(healed.contains("recovery cost:"), "{algo}: {healed}");
+            assert!(healed.contains("faults injected:"), "{algo}: {healed}");
+        }
+    }
+
+    /// `--recover off` (and `QD_RECOVER=0`) really is the passive policy:
+    /// the crash stays fatal.
+    #[test]
+    fn recover_off_is_inert() {
+        let o = parse(&args(
+            "classical --family path --n 10 --faults crash=9@0 --recover off",
+        ))
+        .unwrap();
+        let err = run(&o).unwrap_err();
+        assert!(err.contains("fault detected at round"), "{err}");
     }
 
     /// A total drop plan cannot yield a silently wrong answer: the run
