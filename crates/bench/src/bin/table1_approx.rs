@@ -32,6 +32,8 @@ fn main() {
             .rounds();
 
         let mut c_rounds = Vec::new();
+        let mut c_active = Vec::new();
+        let mut c_scheduled = Vec::new();
         let mut q_rounds = Vec::new();
         let mut q_prep = Vec::new();
         let mut s_used = 0;
@@ -43,6 +45,8 @@ fn main() {
                 "classical guarantee"
             );
             c_rounds.push(c.rounds() as f64);
+            c_active.push(c.ledger.active_fraction());
+            c_scheduled.push(c.ledger.total_scheduled_nodes() as f64);
             let q = approx::diameter(&g, ApproxParams::new(seed), cfg).expect("quantum approx");
             assert!(
                 q.estimate <= d && q.estimate >= (2 * d) / 3,
@@ -68,6 +72,14 @@ fn main() {
             ("quantum_approx_rounds_mean", Json::Float(q)),
             ("quantum_prep_rounds_mean", Json::Float(prep)),
             ("s", Json::Int(s_used as i128)),
+            (
+                "classical_active_fraction_mean",
+                Json::Float(mean(&c_active)),
+            ),
+            (
+                "classical_scheduled_nodes_mean",
+                Json::Float(mean(&c_scheduled)),
+            ),
         ]));
     }
     let c_slope = loglog_slope(&ns, &cs);

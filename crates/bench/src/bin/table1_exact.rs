@@ -21,8 +21,8 @@ fn main() {
 
     rule("Table 1 / exact: rounds vs n (sparse, D ≈ constant)");
     println!(
-        "{:>6} {:>4} {:>12} {:>14} {:>10}",
-        "n", "D", "classical", "quantum mean", "q/c ratio"
+        "{:>6} {:>4} {:>12} {:>14} {:>10} {:>9}",
+        "n", "D", "classical", "quantum mean", "q/c ratio", "c active"
     );
     // 64 → 8192 spans two-plus decades; the top decade (2048–8192) became
     // affordable with the columnar-arena scheduler (the Θ(n·m)-work
@@ -38,9 +38,10 @@ fn main() {
     for &n in &sizes {
         let (g, cfg) = sparse_instance(n, 1);
         let d = graphs::metrics::diameter(&g).expect("connected");
-        let c = classical::apsp::exact_diameter(&g, cfg)
-            .expect("classical")
-            .rounds() as f64;
+        let classical_run = classical::apsp::exact_diameter(&g, cfg).expect("classical");
+        let c = classical_run.rounds() as f64;
+        let c_active = classical_run.ledger.active_fraction();
+        let c_scheduled = classical_run.ledger.total_scheduled_nodes();
         let q = mean(
             &(0..seeds_per_point)
                 .map(|s| {
@@ -50,7 +51,15 @@ fn main() {
                 })
                 .collect::<Vec<_>>(),
         );
-        println!("{:>6} {:>4} {:>12.0} {:>14.0} {:>10.2}", n, d, c, q, q / c);
+        println!(
+            "{:>6} {:>4} {:>12.0} {:>14.0} {:>10.2} {:>9.3}",
+            n,
+            d,
+            c,
+            q,
+            q / c,
+            c_active
+        );
         ns.push(n as f64);
         classical_rounds.push(c);
         quantum_rounds.push(q);
@@ -59,6 +68,8 @@ fn main() {
             ("d", Json::Int(i128::from(d))),
             ("classical_rounds", Json::Float(c)),
             ("quantum_rounds_mean", Json::Float(q)),
+            ("classical_active_fraction", Json::Float(c_active)),
+            ("classical_scheduled_nodes", Json::Int(c_scheduled as i128)),
         ]));
     }
     let c_slope = loglog_slope(&ns, &classical_rounds);
@@ -98,9 +109,10 @@ fn main() {
     for &target in &[8usize, 16, 32, 64, 128] {
         let (g, d) = bench::dialed_diameter_instance(n, target, 7);
         let cfg = bench::config_for(&g);
-        let c = classical::apsp::exact_diameter(&g, cfg)
-            .expect("classical")
-            .rounds() as f64;
+        let classical_run = classical::apsp::exact_diameter(&g, cfg).expect("classical");
+        let c = classical_run.rounds() as f64;
+        let c_active = classical_run.ledger.active_fraction();
+        let c_scheduled = classical_run.ledger.total_scheduled_nodes();
         let q = mean(
             &(0..seeds_per_point)
                 .map(|s| {
@@ -118,6 +130,8 @@ fn main() {
             ("d", Json::Int(i128::from(d))),
             ("classical_rounds", Json::Float(c)),
             ("quantum_rounds_mean", Json::Float(q)),
+            ("classical_active_fraction", Json::Float(c_active)),
+            ("classical_scheduled_nodes", Json::Int(c_scheduled as i128)),
         ]));
     }
     let d_slope = loglog_slope(&ds, &q_by_d);

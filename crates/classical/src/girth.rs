@@ -27,7 +27,7 @@
 //! each node keeps a short ring of `(τ, d₁)` records instead of a single
 //! `t_v` — still `O(log n)` memory.
 
-use congest::{bits, Config, Network, NodeProgram, Payload, RoundCtx, RoundsLedger, Status};
+use congest::{bits, Config, Network, NodeProgram, Payload, Round, RoundCtx, RoundsLedger, Status};
 use graphs::{Dist, Graph, NodeId};
 
 use crate::aggregate::{self, Op};
@@ -157,11 +157,22 @@ impl NodeProgram for GirthProgram {
                 });
             }
         }
-        // Sources sleep until their scheduled start; non-sources (and
-        // already-started sources) are purely message-driven.
+        // Sources wait out their scheduled start behind the checked quiet
+        // declaration below (scheduling exactly like `Sleep(start)`);
+        // non-sources (and already-started sources) are purely
+        // message-driven.
         match self.source {
-            Some((start, _)) if start > ctx.round() => Status::Sleep(start),
+            Some((start, _)) if start > ctx.round() => Status::Active,
             _ => Status::Halted,
+        }
+    }
+
+    /// Lemma 2 schedule knowledge: a future source is silent until its
+    /// start round `2τ'` unless an earlier wave reaches it first.
+    fn quiet_until(&self, _node: NodeId, round: Round) -> Option<Round> {
+        match self.source {
+            Some((start, _)) if start > round => Some(start),
+            _ => None,
         }
     }
 
@@ -246,6 +257,15 @@ pub fn compute(graph: &Graph, config: Config) -> Result<GirthOutcome, AlgoError>
     // wave may arrive up to two rounds after its last first-arrival.
     let duration = 2 * steps + u64::from(b.depth) + 4;
     let stats = net.run_rounds(duration)?;
+    // A recorded quiet violation means the declared Lemma 2 schedule lied:
+    // degrade to a typed fault rather than report a girth a fast-forwarded
+    // run could disagree on.
+    if let Some((round, node)) = net.quiet_violation() {
+        return Err(AlgoError::FaultDetected {
+            round,
+            detail: format!("{node} sent inside its declared quiet phase"),
+        });
+    }
     ledger.add("girth waves", stats);
     let locals = net.into_outputs();
 

@@ -177,11 +177,23 @@ impl NodeProgram for WaveProgram {
             }
         }
         // Precise scheduling vote: a source whose start round is still
-        // ahead sleeps until then (waves arriving earlier re-run it);
-        // everyone else is purely message-driven.
+        // ahead stays `Active` behind the checked quiet declaration below
+        // (scheduling exactly like `Sleep(start)`, but cross-checked
+        // against actual sends); everyone else is purely message-driven.
         match self.source {
-            Some((start, _)) if start > ctx.round() => Status::Sleep(start),
+            Some((start, _)) if start > ctx.round() => Status::Active,
             _ => Status::Halted,
+        }
+    }
+
+    /// Lemma 2 schedule knowledge, declared to the scheduler: a future
+    /// source stages nothing before its start round `2τ'` unless an earlier
+    /// wave reaches it first (a message arrival supersedes the
+    /// declaration), so fast-forward may jump the pipeline's lead-in.
+    fn quiet_until(&self, _node: NodeId, round: Round) -> Option<Round> {
+        match self.source {
+            Some((start, _)) if start > round => Some(start),
+            _ => None,
         }
     }
 
@@ -301,6 +313,16 @@ pub fn run(
     let stats = net
         .run_rounds(duration)
         .map_err(|e| AlgoError::from_congest(e, fault_aware))?;
+    // The scheduler cross-checks the quiet declarations above against the
+    // committed sends; a recorded violation means the schedule lied about
+    // its silent stretches, so degrade to a typed fault rather than return
+    // a result a fast-forwarded run could disagree on.
+    if let Some((round, node)) = net.quiet_violation() {
+        return Err(AlgoError::FaultDetected {
+            round,
+            detail: format!("{node} sent inside its declared quiet phase"),
+        });
+    }
     let outcomes = net.into_outputs();
     // Surface the earliest recorded Lemma violation as a typed error.
     if let Some((round, detail)) = outcomes

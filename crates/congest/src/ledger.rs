@@ -150,6 +150,36 @@ impl RoundsLedger {
             .sum()
     }
 
+    /// Total node-program executions scheduled across all phases, including
+    /// repetitions (see [`RunStats::scheduled_nodes`]).
+    pub fn total_scheduled_nodes(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.stats.scheduled_nodes * p.repetitions)
+            .sum()
+    }
+
+    /// Total scheduling opportunities (`n · rounds` summed per phase)
+    /// across all phases, including repetitions.
+    pub fn total_node_rounds(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.stats.node_rounds * p.repetitions)
+            .sum()
+    }
+
+    /// Fraction of scheduling opportunities actually executed across the
+    /// whole ledger — the multi-phase analogue of
+    /// [`RunStats::active_fraction`]. 1.0 for an empty ledger (or one whose
+    /// phases carry no scheduling telemetry, e.g. derived phases only).
+    pub fn active_fraction(&self) -> f64 {
+        let node_rounds = self.total_node_rounds();
+        if node_rounds == 0 {
+            return 1.0;
+        }
+        self.total_scheduled_nodes() as f64 / node_rounds as f64
+    }
+
     /// Largest single message observed in any phase.
     pub fn max_message_bits(&self) -> usize {
         self.phases
@@ -264,6 +294,24 @@ mod tests {
         assert_eq!(ledger.total_messages(), absorbed.messages);
         assert_eq!(ledger.total_bits(), absorbed.total_bits);
         assert_eq!(ledger.max_message_bits(), absorbed.max_message_bits);
+    }
+
+    #[test]
+    fn scheduling_telemetry_totals_respect_repetitions() {
+        let mut ledger = RoundsLedger::new();
+        let mut a = stats(10, 80);
+        a.scheduled_nodes = 30;
+        a.node_rounds = 100;
+        let mut b = stats(5, 40);
+        b.scheduled_nodes = 50;
+        b.node_rounds = 50;
+        ledger.add("init", a);
+        ledger.add_scaled("oracle", b, 2);
+        assert_eq!(ledger.total_scheduled_nodes(), 30 + 2 * 50);
+        assert_eq!(ledger.total_node_rounds(), 100 + 2 * 50);
+        let expect = 130.0 / 200.0;
+        assert!((ledger.active_fraction() - expect).abs() < 1e-12);
+        assert_eq!(RoundsLedger::new().active_fraction(), 1.0);
     }
 
     #[test]

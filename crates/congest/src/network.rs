@@ -409,10 +409,36 @@ pub struct Network<'g, P: NodeProgram> {
     /// assembly skips its sort.
     next_sorted: bool,
     /// Pending timed wakeups, keyed `(wake_round, node)`. Entries are lazy:
-    /// one is live only while `statuses[node]` still holds the exact
-    /// `Sleep(wake_round)` vote that created it; anything else is stale and
-    /// discarded on pop.
+    /// one is live only while the node still needs a wakeup at exactly that
+    /// round — `statuses[node]` holds the `Sleep(wake_round)` vote that
+    /// created it, or the node is `Active` with a standing quiet declaration
+    /// `declared[node] == wake_round`; anything else is stale and discarded
+    /// on pop.
     wakeups: BinaryHeap<Reverse<(Round, u32)>>,
+    /// The wake round of the entry most recently pushed for each node
+    /// (0 = none; pushes always target `wake ≥ round + 2 > 0`). The vote
+    /// scan skips the push when a node re-votes the wake round it already
+    /// queued — the dominant pattern for pipelined-wave sources, which are
+    /// re-woken by every passing front and re-park at the same start round.
+    /// Without the skip the heap accumulates one duplicate per wake, and
+    /// popping them dominated wave-heavy profiles. Cleared when the
+    /// matching entry pops so a later re-vote of the same round re-queues.
+    queued_wake: Vec<Round>,
+    /// Per-node standing quiet declaration from
+    /// [`NodeProgram::quiet_until`], refreshed after every execution of the
+    /// node: `declared[i] = r > 0` means the program promised (as of its
+    /// most recent vote) to stage nothing in any round strictly before `r`
+    /// unless a message arrival supersedes the promise first. Inert
+    /// declarations (`r ≤ round + 1`) are stored as 0. An `Active` voter
+    /// with a standing declaration parks on the wakeup heap exactly like
+    /// `Sleep(r)` — but checked: see the cross-check in [`Network::step`].
+    declared: Vec<Round>,
+    /// Committed sends that landed inside the sender's own declared quiet
+    /// phase (without a superseding message arrival). See
+    /// [`Network::quiet_violations`].
+    quiet_violations: u64,
+    /// `(round, node)` of the first quiet violation, if any.
+    first_quiet_violation: Option<(Round, u32)>,
     /// Node-program executions scheduled so far (see
     /// [`Network::scheduled_nodes`]).
     executed: u64,
@@ -570,6 +596,10 @@ impl<'g, P: NodeProgram> Network<'g, P> {
             active_mark: vec![Round::MAX; n],
             next_sorted: true,
             wakeups: BinaryHeap::new(),
+            queued_wake: vec![0; n],
+            declared: vec![0; n],
+            quiet_violations: 0,
+            first_quiet_violation: None,
             executed: 0,
             in_flight: 0,
             round: 0,
@@ -634,6 +664,31 @@ impl<'g, P: NodeProgram> Network<'g, P> {
     /// ratio against `n · rounds`.
     pub fn scheduled_nodes(&self) -> u64 {
         self.executed
+    }
+
+    /// Number of committed sends that landed inside the sender's own
+    /// declared quiet phase (see [`NodeProgram::quiet_until`]) without a
+    /// message arrival having superseded the declaration. Each one was also
+    /// emitted as a [`trace::FaultKind::QuietViolation`] fault event in its
+    /// round.
+    ///
+    /// A violating send is still delivered — the declaration is a
+    /// scheduling contract, not a filter — so a non-zero count means the
+    /// program lied about its schedule and any fast-forwarded run of it may
+    /// diverge from dense execution. Drivers should surface a non-zero
+    /// count as a typed error rather than trust the run's outputs. Under
+    /// [`Scheduling::ActiveSet`] a declared-quiet node is simply not
+    /// executed, so the cross-check fires on the dense reference runs (and
+    /// the equivalence suites) that actually execute every node each round.
+    pub fn quiet_violations(&self) -> u64 {
+        self.quiet_violations
+    }
+
+    /// The `(round, node)` coordinates of the first quiet violation, if any
+    /// — see [`Network::quiet_violations`].
+    pub fn quiet_violation(&self) -> Option<(Round, NodeId)> {
+        self.first_quiet_violation
+            .map(|(round, i)| (round, NodeId::new(i as usize)))
     }
 
     /// Counts of the faults injected so far (all zero when the config has
@@ -728,12 +783,22 @@ where
                     break;
                 }
                 self.wakeups.pop();
-                // Live entry (the sleep vote that created it still stands)
-                // and not already queued — doubled heap entries from
-                // repeated identical sleep votes, or a message wake that
-                // queued the sleeper beforehand, are skipped here.
+                // Live entry (the node still needs a wakeup at exactly this
+                // round: the sleep vote that created it stands, or an
+                // `Active` voter's quiet declaration still targets it) and
+                // not already queued — stale entries from superseded votes,
+                // or a message wake that queued the node beforehand, are
+                // skipped here.
                 let iu = i as usize;
-                if self.statuses[iu] == Status::Sleep(wake) && self.active_mark[iu] != round {
+                if self.queued_wake[iu] == wake {
+                    self.queued_wake[iu] = 0;
+                }
+                let live = match self.statuses[iu] {
+                    Status::Sleep(w) => w == wake,
+                    Status::Active => self.declared[iu] == wake,
+                    Status::Halted => false,
+                };
+                if live && self.active_mark[iu] != round {
                     self.active_mark[iu] = round;
                     if self.active.last().is_some_and(|&last| last > i) {
                         in_order = false;
@@ -828,25 +893,90 @@ where
             return Err(e);
         }
 
+        // Phase 3a: cross-check every committed sender against its
+        // *standing* quiet declaration (the one from its previous
+        // execution, before the refresh below). A node that stages a send
+        // in a round strictly before its declared round — without a
+        // message arrival this round having superseded the declaration —
+        // lied about its schedule: record it and emit a typed
+        // `QuietViolation` fault event, but deliver the message anyway, so
+        // the lie degrades to a detectable fault instead of silently
+        // changing the protocol. Under active-set scheduling a
+        // declared-quiet node is simply never executed early, so this
+        // check bites on the dense reference runs that execute every node.
+        for &i in &self.senders {
+            let iu = i as usize;
+            if self.declared[iu] > round && self.inbox_mark[iu] != self.inbox_epoch {
+                self.quiet_violations += 1;
+                if self.first_quiet_violation.is_none() {
+                    self.first_quiet_violation = Some((round, i));
+                }
+                if let Some(meter) = &meter {
+                    meter.borrow_mut().add(metrics::names::FAULTS, 1);
+                }
+                if let Some(sink) = &tracer {
+                    sink.borrow_mut().record(&trace::TraceEvent::Fault {
+                        round,
+                        kind: trace::FaultKind::QuietViolation,
+                        from: iu as u64,
+                        to: iu as u64,
+                        delay: 0,
+                    });
+                }
+            }
+        }
+        // Refresh the standing declarations of everything that just
+        // executed (both scheduling modes — dense runs are the detection
+        // reference for the cross-check above). Inert declarations are
+        // normalized to 0 so the vote scan and heap liveness never see
+        // them; crashed nodes stage nothing and need no declaration.
+        for &i in &self.active {
+            let iu = i as usize;
+            self.declared[iu] = if crashed.is_some_and(|c| c[iu]) {
+                0
+            } else {
+                match self.programs[iu].quiet_until(NodeId::new(iu), round) {
+                    Some(r) if r > round + 1 => r,
+                    _ => 0,
+                }
+            };
+        }
+
         // Phase 3b (active-set mode): record this round's votes. `Active`
         // voters and past-due sleepers run again next round; future wakeups
-        // go to the heap; `Halted` voters drop out until a message arrives.
-        // Running this as its own pass *before* commit keeps `next_active`
-        // ascending in the common case (the active list is sorted, and
-        // delivery wakes during commit then mostly hit already-marked
-        // nodes), which lets the next round skip its sort.
+        // go to the heap — including `Active` voters with a declared quiet
+        // phase, which park until their declared round exactly like
+        // `Sleep(declared)`; `Halted` voters drop out until a message
+        // arrives. Running this as its own pass *before* commit keeps
+        // `next_active` ascending in the common case (the active list is
+        // sorted, and delivery wakes during commit then mostly hit
+        // already-marked nodes), which lets the next round skip its sort.
         if sparse {
             for &i in &self.active {
-                match self.statuses[i as usize] {
+                let iu = i as usize;
+                match self.statuses[iu] {
                     Status::Active => {
-                        self.active_mark[i as usize] = round + 1;
-                        self.next_active.push(i);
+                        let quiet = self.declared[iu];
+                        if quiet > round + 1 {
+                            if self.queued_wake[iu] != quiet {
+                                self.queued_wake[iu] = quiet;
+                                self.wakeups.push(Reverse((quiet, i)));
+                            }
+                        } else {
+                            self.active_mark[iu] = round + 1;
+                            self.next_active.push(i);
+                        }
                     }
                     Status::Sleep(wake) if wake <= round + 1 => {
-                        self.active_mark[i as usize] = round + 1;
+                        self.active_mark[iu] = round + 1;
                         self.next_active.push(i);
                     }
-                    Status::Sleep(wake) => self.wakeups.push(Reverse((wake, i))),
+                    Status::Sleep(wake) => {
+                        if self.queued_wake[iu] != wake {
+                            self.queued_wake[iu] = wake;
+                            self.wakeups.push(Reverse((wake, i)));
+                        }
+                    }
                     Status::Halted => {}
                 }
             }
@@ -1386,14 +1516,24 @@ where
                 target = target.min(d.due.saturating_sub(1));
             }
         }
-        // Purge stale wakeups until one is live; a live `Sleep(w)` entry
-        // always exists for every currently sleeping node.
+        // Purge stale wakeups until one is live; a live entry always exists
+        // for every currently sleeping node and for every `Active` voter
+        // parked behind a quiet declaration.
         while let Some(&Reverse((wake, i))) = self.wakeups.peek() {
-            if self.statuses[i as usize] == Status::Sleep(wake) {
+            let iu = i as usize;
+            let live = match self.statuses[iu] {
+                Status::Sleep(w) => w == wake,
+                Status::Active => self.declared[iu] == wake,
+                Status::Halted => false,
+            };
+            if live {
                 target = target.min(wake);
                 break;
             }
             self.wakeups.pop();
+            if self.queued_wake[iu] == wake {
+                self.queued_wake[iu] = 0;
+            }
         }
         (target > self.round).then_some(target)
     }
@@ -2196,6 +2336,181 @@ mod tests {
             trace::expand_round_skips(slow.1),
             "trace streams diverged"
         );
+    }
+
+    /// Like [`Alarm`], but via the checked declaration: votes `Active` with
+    /// a standing `quiet_until(wake)` instead of `Sleep(wake)`.
+    struct QuietAlarm {
+        wake: Round,
+        runs: u64,
+    }
+    impl NodeProgram for QuietAlarm {
+        type Msg = Sized;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
+            self.runs += 1;
+            if ctx.round() < self.wake {
+                return Status::Active;
+            }
+            if ctx.round() == self.wake && ctx.node() == NodeId::new(0) {
+                ctx.broadcast(Sized(4));
+            }
+            Status::Halted
+        }
+        fn quiet_until(&self, _node: NodeId, round: Round) -> Option<Round> {
+            (round < self.wake).then_some(self.wake)
+        }
+        fn finish(self, _node: NodeId) -> u64 {
+            self.runs
+        }
+    }
+
+    /// An honest `Active` + `quiet_until(w)` declaration schedules exactly
+    /// like `Sleep(w)`: the sparse run parks the node on the wakeup heap,
+    /// fast-forwards the quiet stretch, and stays byte-identical to dense
+    /// execution with zero violations.
+    #[test]
+    fn quiet_declaration_schedules_like_sleep() {
+        let g = generators::path(3);
+        let run = |cfg: Config| {
+            let recorder = trace::Recorder::shared();
+            let (stats, scheduled, violations) = {
+                let _guard = trace::install(recorder.clone());
+                let mut net = Network::new(&g, cfg, |_| QuietAlarm { wake: 9, runs: 0 });
+                let stats = net.run_rounds(15).unwrap();
+                (stats, net.scheduled_nodes(), net.quiet_violations())
+            };
+            let events = recorder.borrow_mut().take();
+            (stats, events, scheduled, violations)
+        };
+        let dense = run(Config::new(16).with_scheduling(Scheduling::Dense));
+        let sparse = run(Config::new(16));
+        assert_eq!(dense.0, sparse.0, "stats diverged");
+        assert!(
+            sparse
+                .1
+                .iter()
+                .any(|e| matches!(e, trace::TraceEvent::RoundSkip { .. })),
+            "declared quiet phase was not fast-forwarded"
+        );
+        assert_eq!(
+            trace::expand_round_skips(dense.1.clone()),
+            trace::expand_round_skips(sparse.1.clone()),
+            "trace streams diverged"
+        );
+        // Same sparse schedule as the `Sleep`-voting `Alarm`: 3 nodes in
+        // round 0, 3 declared wakeups in round 9, 1 receiver in round 10.
+        assert_eq!(sparse.2, 7, "declaration scheduled more than Sleep would");
+        assert_eq!(dense.2, 3 * 15, "dense schedules n per round");
+        assert_eq!((dense.3, sparse.3), (0, 0), "honest program flagged");
+    }
+
+    /// A message arriving inside a declared quiet phase supersedes the
+    /// declaration: the receiver re-runs immediately and its fresh vote
+    /// replaces the parked wakeup — and the send it triggers is not a
+    /// violation.
+    #[test]
+    fn quiet_declaration_is_superseded_by_message_arrival() {
+        struct QuietCanceler {
+            done: bool,
+        }
+        impl NodeProgram for QuietCanceler {
+            type Msg = Sized;
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
+                if ctx.node() == NodeId::new(0) {
+                    if ctx.round() == 0 {
+                        ctx.send(NodeId::new(1), Sized(1));
+                    }
+                    Status::Halted
+                } else if !ctx.inbox().is_empty() {
+                    // Reacting to the arrival with a send is legitimate even
+                    // though the standing declaration says round 50.
+                    ctx.send(NodeId::new(0), Sized(1));
+                    self.done = true;
+                    Status::Halted
+                } else if self.done {
+                    Status::Halted
+                } else {
+                    Status::Active
+                }
+            }
+            fn quiet_until(&self, node: NodeId, _round: Round) -> Option<Round> {
+                (node == NodeId::new(1)).then_some(50)
+            }
+            fn finish(self, _node: NodeId) {}
+        }
+        for cfg in [
+            Config::new(16),
+            Config::new(16).with_scheduling(Scheduling::Dense),
+        ] {
+            let g = generators::path(2);
+            let mut net = Network::new(&g, cfg, |_| QuietCanceler { done: false });
+            let stats = net.run_until_quiescent(100).unwrap();
+            assert_eq!(stats.rounds, 3, "stale declaration kept the network awake");
+            assert_eq!(net.quiet_violations(), 0, "superseded send was flagged");
+        }
+    }
+
+    /// A program that sends inside its own declared quiet phase degrades to
+    /// a typed `QuietViolation` fault — recorded on the network, emitted as
+    /// a trace event in the exact round — instead of panicking or silently
+    /// corrupting the run. The dense run is the detection reference; the
+    /// active-set run never executes the liar early, so it cannot observe
+    /// the undeclared send at all.
+    #[test]
+    fn lying_quiet_declaration_degrades_to_typed_fault() {
+        struct Liar;
+        impl NodeProgram for Liar {
+            type Msg = Sized;
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_, Sized>) -> Status {
+                if ctx.node() == NodeId::new(0) && ctx.round() == 2 {
+                    // Undeclared: the standing declaration promises silence
+                    // until round 10.
+                    ctx.broadcast(Sized(1));
+                }
+                if ctx.round() >= 10 {
+                    Status::Halted
+                } else {
+                    Status::Active
+                }
+            }
+            fn quiet_until(&self, node: NodeId, _round: Round) -> Option<Round> {
+                (node == NodeId::new(0)).then_some(10)
+            }
+            fn finish(self, _node: NodeId) {}
+        }
+        let g = generators::path(2);
+        let run = |cfg: Config| {
+            let recorder = trace::Recorder::shared();
+            let (violations, first) = {
+                let _guard = trace::install(recorder.clone());
+                let mut net = Network::new(&g, cfg, |_| Liar);
+                net.run_rounds(12).unwrap();
+                (net.quiet_violations(), net.quiet_violation())
+            };
+            let events = recorder.borrow_mut().take();
+            (violations, first, events)
+        };
+        let (violations, first, events) = run(Config::new(16).with_scheduling(Scheduling::Dense));
+        assert_eq!(violations, 1, "dense run missed the lying send");
+        assert_eq!(first, Some((2, NodeId::new(0))));
+        assert!(
+            events.contains(&trace::TraceEvent::Fault {
+                round: 2,
+                kind: trace::FaultKind::QuietViolation,
+                from: 0,
+                to: 0,
+                delay: 0,
+            }),
+            "violation was not traced as a typed fault"
+        );
+        // Active-set scheduling honors the declaration, so the liar is
+        // parked until round 10 and the early send never happens — zero
+        // violations, by construction rather than honesty.
+        let (violations, first, _) = run(Config::new(16));
+        assert_eq!((violations, first), (0, None));
     }
 
     /// The full byte-identity contract of the scheduling modes on a real

@@ -164,6 +164,30 @@ pub trait NodeProgram: Sized {
     /// round before handing over the inbox.
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> Status;
 
+    /// Declares a *static quiet phase*: `Some(r)` promises that this node
+    /// stages **no messages** in any round strictly before `r` unless a
+    /// message arrival supersedes the declaration first.
+    ///
+    /// The scheduler consults the hook right after each execution of the
+    /// node, so the declaration describes the node's state as of its most
+    /// recent vote. Combined with a [`Status::Active`] vote, a declaration
+    /// `Some(r)` with `r > round + 1` schedules exactly like
+    /// [`Status::Sleep`]`(r)` — the node is parked on the timed-wakeup heap
+    /// and fast-forward may jump over the quiet stretch — but unlike `Sleep`
+    /// it is *checked*: every committed sender is cross-checked against its
+    /// standing declaration, and a node that stages a send inside its own
+    /// declared quiet phase (without a message arrival having superseded it)
+    /// is recorded as a [`trace::FaultKind::QuietViolation`] fault rather
+    /// than silently corrupting fast-forwarded results. Drivers surface the
+    /// recorded violation as a typed error instead of a wrong answer.
+    ///
+    /// Declarations at or before `round + 1` are inert (the node is runnable
+    /// next round either way). The default declares nothing.
+    fn quiet_until(&self, node: NodeId, round: Round) -> Option<Round> {
+        let _ = (node, round);
+        None
+    }
+
     /// Consumes the program and returns the node's local output.
     fn finish(self, node: NodeId) -> Self::Output;
 }

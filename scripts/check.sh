@@ -108,6 +108,36 @@ for f in "$sdir/BENCH_scale.json" BENCH_scale.json; do
 done
 rm -rf "$sdir"
 
+echo "=== driver throughput smoke (n = 1024) + BENCH_drivers.json gates ==="
+ddir=$(mktemp -d)
+QD_MAX_N=1024 QD_RESULTS_DIR="$ddir" cargo run -q --release --offline -p bench \
+  --bin drivers >/dev/null || status=1
+# The smoke output proves the generator (and its in-bin Dense/ActiveSet
+# output-identity assertion) works; the repo-root artifact is the committed
+# full sweep (n up to 16384). Both must carry the schema.
+for f in "$ddir/BENCH_drivers.json" BENCH_drivers.json; do
+  if ! test -s "$f"; then
+    echo "$f missing" >&2
+    status=1
+    continue
+  fi
+  for key in '"experiment":"drivers"' '"points"' '"speedup"' '"active_fraction"' \
+    '"waves_speedup_at_max_n"'; do
+    grep -qF "$key" "$f" || { echo "$f missing key $key" >&2; status=1; }
+  done
+done
+# Perf gates on the committed full sweep only (the capped smoke is too
+# noise-prone to gate on): waves at the largest swept n must beat forced
+# Dense by >= 2x, and no workload may be more than 5% slower under
+# ActiveSet + fast-forward.
+if test -s BENCH_drivers.json && jq --version >/dev/null 2>&1; then
+  jq -e '.waves_speedup_at_max_n >= 2' BENCH_drivers.json >/dev/null \
+    || { echo "BENCH_drivers.json: waves speedup at max n below 2x" >&2; status=1; }
+  jq -e '[.points[].speedup] | min >= 0.95' BENCH_drivers.json >/dev/null \
+    || { echo "BENCH_drivers.json: a workload is >5% slower than Dense" >&2; status=1; }
+fi
+rm -rf "$ddir"
+
 if [ "$status" -ne 0 ]; then
   echo "CHECK FAILED" >&2
   exit 1

@@ -705,6 +705,24 @@ fn recovery_report(
     let _ = writeln!(out, "recovery cost: {stats}");
 }
 
+/// One `scheduling:` report line: how many of the run's `n · rounds`
+/// scheduling opportunities actually executed a node program. Depends on
+/// the `--sched` mode (dense runs everybody every round, so it reports
+/// 100%), never on `--shards` — it is telemetry about the scheduler, not a
+/// protocol observable.
+fn scheduling_line(out: &mut String, scheduled: u64, node_rounds: u64) {
+    let fraction = if node_rounds == 0 {
+        1.0
+    } else {
+        scheduled as f64 / node_rounds as f64
+    };
+    let _ = writeln!(
+        out,
+        "scheduling: {scheduled} of {node_rounds} node-rounds executed ({:.1}% active)",
+        fraction * 100.0
+    );
+}
+
 fn run_report(opts: &Options) -> Result<String, String> {
     let g = build_graph(opts)?;
     let mut cfg = Config::for_graph(&g)
@@ -773,6 +791,11 @@ fn run_report(opts: &Options) -> Result<String, String> {
                 run.memory.per_node_qubits,
                 run.memory.leader_qubits
             );
+            scheduling_line(
+                &mut out,
+                run.init_ledger.total_scheduled_nodes(),
+                run.init_ledger.total_node_rounds(),
+            );
             if opts.verbose {
                 let _ = writeln!(out, "--- initialization ledger ---\n{}", run.init_ledger);
                 if !run.probe_ledger.is_empty() {
@@ -806,6 +829,11 @@ fn run_report(opts: &Options) -> Result<String, String> {
                 run.quantum_rounds,
                 run.s
             );
+            scheduling_line(
+                &mut out,
+                run.prep_ledger.total_scheduled_nodes(),
+                run.prep_ledger.total_node_rounds(),
+            );
             if opts.verbose {
                 let _ = writeln!(out, "--- preparation ledger ---\n{}", run.prep_ledger);
                 if !run.probe_ledger.is_empty() {
@@ -828,6 +856,11 @@ fn run_report(opts: &Options) -> Result<String, String> {
             };
             let _ = writeln!(out, "diameter: {} | radius: {}", run.diameter, run.radius);
             let _ = writeln!(out, "rounds: {}", run.rounds());
+            scheduling_line(
+                &mut out,
+                run.ledger.total_scheduled_nodes(),
+                run.ledger.total_node_rounds(),
+            );
             if opts.verbose {
                 let _ = writeln!(out, "--- ledger ---\n{}", run.ledger);
             }
@@ -841,6 +874,11 @@ fn run_report(opts: &Options) -> Result<String, String> {
                 classical::hprw::approx_diameter(&g, params, cfg).map_err(|e| e.to_string())?;
             let _ = writeln!(out, "estimate D̄: {} (⌊2D/3⌋ ≤ D̄ ≤ D)", run.estimate);
             let _ = writeln!(out, "rounds: {} | |R| = {}", run.rounds(), run.r_size);
+            scheduling_line(
+                &mut out,
+                run.ledger.total_scheduled_nodes(),
+                run.ledger.total_node_rounds(),
+            );
             if opts.verbose {
                 let _ = writeln!(out, "--- ledger ---\n{}", run.ledger);
             }
@@ -853,6 +891,7 @@ fn run_report(opts: &Options) -> Result<String, String> {
                 run.estimate, run.node
             );
             let _ = writeln!(out, "rounds: {}", run.stats.rounds);
+            scheduling_line(&mut out, run.stats.scheduled_nodes, run.stats.node_rounds);
         }
         Algorithm::Girth => {
             let run = classical::girth::compute(&g, cfg).map_err(|e| e.to_string())?;
@@ -865,6 +904,11 @@ fn run_report(opts: &Options) -> Result<String, String> {
                 }
             }
             let _ = writeln!(out, "rounds: {}", run.rounds());
+            scheduling_line(
+                &mut out,
+                run.ledger.total_scheduled_nodes(),
+                run.ledger.total_node_rounds(),
+            );
             if opts.verbose {
                 let _ = writeln!(out, "--- ledger ---\n{}", run.ledger);
             }
@@ -951,10 +995,33 @@ mod tests {
     /// the dense reference renders the exact same report.
     #[test]
     fn dense_reports_are_identical_to_active_set() {
+        // The `scheduling:` telemetry line is the one part of the report
+        // that is *about* the cost knob (dense executes every node every
+        // round, so it always reports 100% active): strip it, then demand
+        // byte identity on everything else.
+        let strip = |report: String| -> (String, usize) {
+            let mut kept = String::new();
+            let mut stripped = 0;
+            for line in report.lines() {
+                if line.starts_with("scheduling: ") {
+                    stripped += 1;
+                } else {
+                    kept.push_str(line);
+                    kept.push('\n');
+                }
+            }
+            (kept, stripped)
+        };
         for algo in ["classical", "girth", "classical-approx"] {
             let base = format!("{algo} --family grid --n 25 --seed 3");
-            let default = run(&parse(&args(&base)).unwrap()).unwrap();
-            let dense = run(&parse(&args(&format!("{base} --sched dense"))).unwrap()).unwrap();
+            let (default, sparse_lines) = strip(run(&parse(&args(&base)).unwrap()).unwrap());
+            let (dense, dense_lines) =
+                strip(run(&parse(&args(&format!("{base} --sched dense"))).unwrap()).unwrap());
+            assert_eq!(sparse_lines, 1, "{algo} report lost its scheduling line");
+            assert_eq!(
+                dense_lines, 1,
+                "{algo} dense report lost its scheduling line"
+            );
             assert_eq!(default, dense, "{algo} diverged under --sched dense");
         }
     }

@@ -538,12 +538,26 @@ proptest! {
         let (max_dist, stats, events) = wave_run(cfg.with_scheduling(Scheduling::Dense));
         let events = trace::expand_round_skips(events);
         for k in [1usize, 2, 4] {
-            let (max_dist_k, stats_k, events_k) =
-                wave_run(cfg.with_shards(k).with_scheduling(Scheduling::ActiveSet));
-            let events_k = trace::expand_round_skips(events_k);
-            prop_assert_eq!(&max_dist_k, &max_dist, "outputs diverged (active-set, {} shards)", k);
-            prop_assert_eq!(stats_k, stats, "stats diverged (active-set, {} shards)", k);
-            prop_assert_eq!(&events_k, &events, "trace diverged (active-set, {} shards)", k);
+            for fast_forward in [true, false] {
+                let (max_dist_k, stats_k, events_k) = wave_run(
+                    cfg.with_shards(k)
+                        .with_scheduling(Scheduling::ActiveSet)
+                        .with_fast_forward(fast_forward),
+                );
+                let events_k = trace::expand_round_skips(events_k);
+                prop_assert_eq!(
+                    &max_dist_k, &max_dist,
+                    "outputs diverged (active-set, {} shards, fast_forward={})", k, fast_forward
+                );
+                prop_assert_eq!(
+                    stats_k, stats,
+                    "stats diverged (active-set, {} shards, fast_forward={})", k, fast_forward
+                );
+                prop_assert_eq!(
+                    &events_k, &events,
+                    "trace diverged (active-set, {} shards, fast_forward={})", k, fast_forward
+                );
+            }
         }
     }
 
@@ -584,6 +598,101 @@ proptest! {
                     "trace diverged ({} shards, fast_forward={})", k, fast_forward
                 );
                 prop_assert!(sched <= dense_sched, "active-set scheduled more than dense");
+            }
+        }
+    }
+}
+
+/// Runs the paper's classical driver suite — BFS (Figure 1), the exact
+/// APSP pipeline, a convergecast aggregation, and a single-node
+/// eccentricity — back-to-back under one recorder, returning per-driver
+/// output keys, per-driver stats, and the combined trace stream. Every
+/// driver in the suite now votes `Halted`/`Active` with `quiet_until`
+/// declarations instead of idling, so this is the coverage for the
+/// vote-and-wake contract across the Table 1 workloads.
+fn driver_suite_run(
+    g: &Graph,
+    cfg: Config,
+) -> (Vec<String>, Vec<RunStats>, Vec<trace::TraceEvent>) {
+    let recorder = trace::Recorder::shared();
+    let (keys, stats) = {
+        let _guard = trace::install(recorder.clone());
+        let mut keys = Vec::new();
+        let mut stats = Vec::new();
+        let root = NodeId::new(0);
+
+        let b = classical::bfs::build(g, root, cfg).unwrap();
+        keys.push(format!("bfs {:?} {:?}", b.dists, b.parents));
+        stats.push(b.stats);
+
+        let apsp = classical::apsp::exact_diameter(g, cfg).unwrap();
+        keys.push(format!(
+            "apsp {} {:?} {} {} {}",
+            apsp.diameter,
+            apsp.eccentricities,
+            apsp.ledger.total_rounds(),
+            apsp.ledger.total_messages(),
+            apsp.ledger.total_bits(),
+        ));
+
+        let tree = classical::TreeView::from(&b);
+        let values: Vec<u64> = (0..g.len() as u64).collect();
+        let agg = classical::aggregate::convergecast(
+            g,
+            &tree,
+            &values,
+            congest::bits::for_node(g.len()),
+            classical::aggregate::Op::Max,
+            cfg,
+        )
+        .unwrap();
+        keys.push(format!("aggregate {} {}", agg.value, agg.witness));
+        stats.push(agg.stats);
+
+        let e = classical::ecc::compute(g, root, cfg).unwrap();
+        keys.push(format!("ecc {}", e.ecc));
+        stats.push(e.stats);
+
+        (keys, stats)
+    };
+    let events = recorder.borrow_mut().take();
+    (keys, stats, events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every hot classical driver — BFS, APSP, convergecast aggregation,
+    /// and eccentricity — is byte-identical between the dense reference
+    /// and active-set scheduling, across shard counts {1, 2, 4} and
+    /// fast-forward on/off: same outputs, same `RunStats` (modulo the
+    /// scheduling telemetry `PartialEq` deliberately excludes), same
+    /// skip-expanded trace stream.
+    #[test]
+    fn scheduling_driver_suite_equivalence(g in arb_graph()) {
+        let base = Config::for_graph(&g);
+        let (keys, stats, events) = driver_suite_run(&g, base.with_scheduling(Scheduling::Dense));
+        let events = trace::expand_round_skips(events);
+        for k in [1usize, 2, 4] {
+            for fast_forward in [true, false] {
+                let cfg = base
+                    .with_shards(k)
+                    .with_scheduling(Scheduling::ActiveSet)
+                    .with_fast_forward(fast_forward);
+                let (keys_k, stats_k, events_k) = driver_suite_run(&g, cfg);
+                let events_k = trace::expand_round_skips(events_k);
+                prop_assert_eq!(
+                    &keys_k, &keys,
+                    "outputs diverged ({} shards, fast_forward={})", k, fast_forward
+                );
+                prop_assert_eq!(
+                    &stats_k, &stats,
+                    "stats diverged ({} shards, fast_forward={})", k, fast_forward
+                );
+                prop_assert_eq!(
+                    &events_k, &events,
+                    "trace diverged ({} shards, fast_forward={})", k, fast_forward
+                );
             }
         }
     }

@@ -207,6 +207,60 @@ fn checkpoint_restart_resumes_from_the_last_segment_boundary() {
     }
 }
 
+/// Regression: a checkpoint-restarted wave segment re-declares a correct
+/// quiet phase. `checkpointed_waves` rebases every source's start round
+/// against the segment boundary, and `WaveProgram::quiet_until` declares
+/// relative to that rebased schedule — so a restart must never leave a
+/// stale declaration behind. The run is forced onto `Dense` scheduling
+/// because that is where the simulator's quiet cross-check actually
+/// executes declared-quiet nodes (active-set parks them instead): any
+/// source whose declaration survived the restart un-rebased would send
+/// inside its declared phase and surface as a `QuietViolation` fault in
+/// the trace.
+#[test]
+fn restarted_segments_redeclare_rebased_quiet_phases() {
+    let g = graphs::generators::random_connected(26, 0.12, 2);
+    let policy = RecoveryPolicy::new()
+        .with_retries(3)
+        .with_retransmit(2)
+        .with_checkpoint(6);
+    let cfg = Config::for_graph(&g)
+        .with_faults(FaultPlan::new(40).with_drop(0.003))
+        .with_recovery(policy)
+        .with_scheduling(Scheduling::Dense);
+
+    let recorder = trace::Recorder::shared();
+    let out = {
+        let _guard = trace::install(recorder.clone());
+        classical::recovery::exact_diameter_recovering(&g, cfg).unwrap()
+    };
+    // Same pinned seed as the checkpoint test above; determinism across
+    // scheduling modes keeps the restart count stable under Dense.
+    assert_eq!(
+        out.recovery.restarts, 1,
+        "the pinned seed must restart a segment"
+    );
+    assert_eq!(out.outcome.diameter, graphs::metrics::diameter(&g).unwrap());
+
+    let events = recorder.borrow_mut().take();
+    let quiet_faults = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                trace::TraceEvent::Fault {
+                    kind: trace::FaultKind::QuietViolation,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(
+        quiet_faults, 0,
+        "a restarted wave segment declared a stale quiet phase"
+    );
+}
+
 /// Partial-network semantics: whenever crash-stops force a re-root, the
 /// answer equals the true diameter of the centrally carved surviving
 /// component, and the component bookkeeping is consistent.
