@@ -239,6 +239,7 @@ pub fn convergecast(
             attempt: 0,
             scope: "convergecast reports".into(),
         });
+        trace::flight::with(|f| f.note_recovery());
         metrics::add(metrics::names::RECOVERY_ACTIONS, retransmissions);
     }
     let ((value, witness), _, _) = outputs[tree.root().index()];

@@ -229,6 +229,7 @@ pub fn build(graph: &Graph, root: NodeId, config: Config) -> Result<BfsOutcome, 
             attempt: 0,
             scope: "bfs claims".into(),
         });
+        trace::flight::with(|f| f.note_recovery());
         metrics::add(metrics::names::RECOVERY_ACTIONS, retransmissions);
     }
     let mut parents = Vec::with_capacity(outcomes.len());

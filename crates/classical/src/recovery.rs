@@ -601,6 +601,10 @@ fn note_recovery(
         attempt,
         scope: scope.to_string(),
     });
+    // The flight recorder counts recovery *events* (one per trace event,
+    // not per charged action) so a recorder rebuilt from the trace stream
+    // reconciles with the live one exactly.
+    trace::flight::with(|f| f.note_recovery());
     metrics::add(metrics::names::RECOVERY_ACTIONS, count);
 }
 

@@ -86,7 +86,7 @@ pub use error::CongestError;
 pub use faults::{FaultPlan, FaultStats};
 pub use ledger::RoundsLedger;
 pub use message::Payload;
-pub use network::{BandwidthPolicy, Config, Network, RunStats, Scheduling};
+pub use network::{BandwidthPolicy, Config, CriticalPath, Network, RunStats, Scheduling};
 pub use program::{NodeProgram, RoundCtx, Status};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 

@@ -71,6 +71,10 @@ pub struct Config {
     /// carrying it here threads one policy through every phase of a
     /// multi-phase algorithm.
     recovery: RecoveryPolicy,
+    /// Whether the critical-path profiler tracks per-node causal depth
+    /// (see [`Network::critical_path`]). Off by default: the tracking is
+    /// O(messages) per round, cheap but not free.
+    critical_path: bool,
 }
 
 impl Config {
@@ -85,6 +89,7 @@ impl Config {
             fast_forward: true,
             faults: None,
             recovery: RecoveryPolicy::default(),
+            critical_path: false,
         }
     }
 
@@ -217,6 +222,25 @@ impl Config {
     pub fn has_recovery(&self) -> bool {
         !self.recovery.is_passive()
     }
+
+    /// Enables the critical-path profiler: the scheduler maintains a
+    /// per-node causal-depth scalar (the longest chain of causally ordered
+    /// messages ending at the node), updated at the commit point, and
+    /// surfaces the longest chain through [`Network::critical_path`] and
+    /// [`RunStats::critical_depth`]. The depth is a protocol observable —
+    /// identical across shard counts, scheduling modes, and
+    /// fast-forwarding — and empirically checks the Figure-2 wave
+    /// pipeline: a wave that obeys the 2τ′(u) schedule cannot build a
+    /// causal chain longer than its scheduled duration.
+    pub fn with_critical_path(mut self, enabled: bool) -> Self {
+        self.critical_path = enabled;
+        self
+    }
+
+    /// Whether the critical-path profiler is enabled.
+    pub fn critical_path(&self) -> bool {
+        self.critical_path
+    }
 }
 
 /// Accounting collected by a [`Network`] run.
@@ -249,6 +273,12 @@ pub struct RunStats {
     /// rounds. `scheduled_nodes / node_rounds` is the active-node fraction.
     /// Excluded from equality.
     pub node_rounds: u64,
+    /// Longest causal message chain observed so far (0 unless
+    /// [`Config::with_critical_path`] enabled the profiler). *Included* in
+    /// equality: commit order is sequential and fate decisions are pure, so
+    /// the causal depth is a protocol observable, identical across shard
+    /// counts, scheduling modes, and fast-forwarding.
+    pub critical_depth: u64,
 }
 
 impl PartialEq for RunStats {
@@ -258,6 +288,7 @@ impl PartialEq for RunStats {
             && self.total_bits == other.total_bits
             && self.max_message_bits == other.max_message_bits
             && self.bandwidth_violations == other.bandwidth_violations
+            && self.critical_depth == other.critical_depth
     }
 }
 
@@ -272,6 +303,9 @@ impl RunStats {
         self.bandwidth_violations += other.bandwidth_violations;
         self.scheduled_nodes += other.scheduled_nodes;
         self.node_rounds += other.node_rounds;
+        // Phases run on fresh networks, so chains do not span phases: the
+        // longest chain of the combined run is the max, not the sum.
+        self.critical_depth = self.critical_depth.max(other.critical_depth);
     }
 
     /// Fraction of node-round opportunities that actually executed a
@@ -452,6 +486,21 @@ pub struct Network<'g, P: NodeProgram> {
     /// Runtime fault-injection state, present iff the config carries a
     /// non-passive [`FaultPlan`].
     fault: Option<FaultState<P::Msg>>,
+    /// Causal-depth profiler state, present iff
+    /// [`Config::with_critical_path`] enabled it. Boxed: four `Vec`s the
+    /// common unprofiled path should not pay struct size for.
+    crit: Option<Box<CritState>>,
+    /// High-water bytes held by the columnar arena halves (capacities of
+    /// both `ColumnBuf`s), refreshed at round end whenever a metrics
+    /// registry or flight recorder is installed.
+    arena_highwater: u64,
+    /// The thread's flight recorder, bound once at construction (unlike
+    /// the per-round `trace::current()` / `metrics::current()` fetches):
+    /// the recorder covers whole runs, and a cached handle turns the
+    /// per-round charge into a field check instead of a thread-local
+    /// probe — the difference between passing and failing the <5%
+    /// overhead gate on sparse-wavefront workloads.
+    flight: Option<trace::flight::SharedFlight>,
 }
 
 /// Below this node count the hybrid active-set assembly always sorts: the
@@ -535,6 +584,79 @@ struct Delayed<M> {
     from: NodeId,
     to: NodeId,
     msg: M,
+    /// Causal-chain length carried by this message, captured at fate time
+    /// (the sender's depth + 1 when it sent; 0 with the profiler off) — a
+    /// delayed message's causal past is fixed at send time, not at merge
+    /// time.
+    depth: u64,
+}
+
+/// The longest causal message chain a profiled run has observed — see
+/// [`Config::with_critical_path`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Chain length in messages (each hop is one delivered message whose
+    /// sender causally depended on the previous hop).
+    pub depth: u64,
+    /// The node at which the longest chain ends (smallest id on ties).
+    pub node: NodeId,
+}
+
+/// Per-node causal-depth state for the opt-in critical-path profiler.
+///
+/// `depth[v]` is the length of the longest chain of causally ordered
+/// message deliveries ending at `v`. A message committed in round `r`
+/// carries `depth[from] + 1`; deliveries staged for round `r + 1` are
+/// max-merged per receiver during commit (epoch-stamped, so the merge
+/// buffer never needs clearing) and folded into `depth` at the end of the
+/// step — exactly when the messages become visible to their receivers — so
+/// the commit of round `r + 1` reads fully settled depths.
+struct CritState {
+    depth: Vec<u64>,
+    /// Per-receiver max staged this round, valid iff `mark[v] == epoch`.
+    staged: Vec<u64>,
+    mark: Vec<u64>,
+    epoch: u64,
+    /// Receivers staged this round (duplicate-free via `mark`).
+    touched: Vec<u32>,
+    max_depth: u64,
+}
+
+impl CritState {
+    fn new(n: usize) -> Self {
+        CritState {
+            depth: vec![0; n],
+            staged: vec![0; n],
+            mark: vec![0; n],
+            epoch: 1,
+            touched: Vec::new(),
+            max_depth: 0,
+        }
+    }
+
+    /// Stages a delivery of chain length `d` to node `to` (max-merge).
+    fn stage(&mut self, to: usize, d: u64) {
+        if self.mark[to] != self.epoch {
+            self.mark[to] = self.epoch;
+            self.staged[to] = d;
+            self.touched.push(to as u32);
+        } else if d > self.staged[to] {
+            self.staged[to] = d;
+        }
+    }
+
+    /// Folds this round's staged deliveries into the settled depths.
+    fn apply(&mut self) {
+        for &t in &self.touched {
+            let tu = t as usize;
+            if self.staged[tu] > self.depth[tu] {
+                self.depth[tu] = self.staged[tu];
+                self.max_depth = self.max_depth.max(self.staged[tu]);
+            }
+        }
+        self.touched.clear();
+        self.epoch += 1;
+    }
 }
 
 /// Mutable fault-injection state for one network run.
@@ -607,6 +729,9 @@ impl<'g, P: NodeProgram> Network<'g, P> {
             stats: RunStats::default(),
             observer: None,
             fault: config.faults().map(|plan| FaultState::new(plan, n)),
+            crit: config.critical_path().then(|| Box::new(CritState::new(n))),
+            arena_highwater: 0,
+            flight: trace::flight::current(),
         }
     }
 
@@ -698,6 +823,61 @@ impl<'g, P: NodeProgram> Network<'g, P> {
         self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
+    /// The longest causal message chain observed so far, or `None` unless
+    /// the profiler was enabled via [`Config::with_critical_path`].
+    ///
+    /// The chain length lower-bounds the rounds any schedule needs for the
+    /// information flow this run performed, and for the Figure-2 wave
+    /// pipeline it sits between the graph eccentricity of the wave's
+    /// source and the 2τ′(u)-governed scheduled duration.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        self.crit.as_ref().map(|c| {
+            let (mut depth, mut node) = (0u64, 0usize);
+            for (i, &d) in c.depth.iter().enumerate() {
+                if d > depth {
+                    depth = d;
+                    node = i;
+                }
+            }
+            CriticalPath {
+                depth,
+                node: NodeId::new(node),
+            }
+        })
+    }
+
+    /// Takes a fresh reading of the columnar arena's capacity bytes into
+    /// the high-water mark. The capacities only grow, so any call sees a
+    /// value at least as large as every earlier round's.
+    fn refresh_arena_highwater(&mut self) {
+        let columns = (self.inbox.dest.capacity() + self.pending.dest.capacity()) as u64;
+        let slots = (self.inbox.data.capacity() + self.pending.data.capacity()) as u64;
+        let bytes = columns * std::mem::size_of::<u32>() as u64
+            + slots * std::mem::size_of::<(NodeId, P::Msg)>() as u64;
+        self.arena_highwater = self.arena_highwater.max(bytes);
+    }
+
+    /// Charged-fault total for flight-recorder deltas: every event the
+    /// scheduler emits as a `Fault` trace event and charges to
+    /// `qd_faults_total` — injected fates, crash-stops, and quiet
+    /// violations, but *not* `deferred` (an accounting footnote on an
+    /// already-charged delay, never separately charged or traced).
+    fn charged_faults(&self) -> u64 {
+        // Fault-free runs (the common case, and the one the <5% flight
+        // overhead gate times) pay one load here, not a struct default.
+        let Some(state) = self.fault.as_ref() else {
+            return self.quiet_violations;
+        };
+        let f = state.stats;
+        f.dropped
+            + f.corrupted
+            + f.link_dropped
+            + f.crash_dropped
+            + f.delayed
+            + f.crashes
+            + self.quiet_violations
+    }
+
     /// Consumes the network and extracts every node's local output, in node
     /// id order.
     pub fn into_outputs(self) -> Vec<P::Output> {
@@ -733,6 +913,19 @@ where
         // registry follows the same discipline.
         let tracer = trace::current();
         let meter = metrics::current();
+        // The flight recorder is charged once per round, by deltas against
+        // the same RunStats/FaultStats accounting the commit phase feeds —
+        // zero per-message cost, and totals reconcile with the cost model
+        // and the trace layer by construction. The base is captured
+        // unconditionally (three loads) so the recorder probe itself is
+        // deferred to the single `flight::with` at round end.
+        let flight_base = (
+            self.stats.messages,
+            self.stats.total_bits,
+            self.charged_faults(),
+        );
+        // Wakeup-heap pops that actually joined this round's active set.
+        let mut woke = 0u64;
         // Everything staged last round is handed to the programs now, so
         // this round delivers exactly the previously in-flight messages.
         let delivered = self.in_flight as u64;
@@ -800,6 +993,7 @@ where
                 };
                 if live && self.active_mark[iu] != round {
                     self.active_mark[iu] = round;
+                    woke += 1;
                     if self.active.last().is_some_and(|&last| last > i) {
                         in_order = false;
                     }
@@ -997,6 +1191,10 @@ where
         for idx in 0..self.senders.len() {
             let i = self.senders[idx] as usize;
             let node = NodeId::new(i);
+            // Chain length every message from this sender extends: its
+            // settled causal depth (deliveries up to this round's start
+            // were folded in at the end of the previous step) plus one.
+            let link_depth = self.crit.as_deref().map_or(0, |c| c.depth[i] + 1);
             let mut outbox = std::mem::take(&mut self.staged[i]);
             for (to, msg) in outbox.drain(..) {
                 let bits = msg.size_bits();
@@ -1055,6 +1253,9 @@ where
                         }
                         self.next_active.push(to.index() as u32);
                     }
+                    if let Some(c) = self.crit.as_deref_mut() {
+                        c.stage(to.index(), link_depth);
+                    }
                     self.pending.push(to.index() as u32, node, msg);
                     continue;
                 };
@@ -1096,6 +1297,9 @@ where
                             }
                             self.next_active.push(to.index() as u32);
                         }
+                        if let Some(c) = self.crit.as_deref_mut() {
+                            c.stage(to.index(), link_depth);
+                        }
                         self.pending.push(to.index() as u32, node, msg);
                     }
                     MessageFate::Dropped => {
@@ -1118,6 +1322,7 @@ where
                             from: node,
                             to,
                             msg,
+                            depth: link_depth,
                         });
                     }
                 }
@@ -1173,7 +1378,13 @@ where
                     i += 1;
                     continue;
                 }
-                let Delayed { from, to, msg, .. } = f.queue.remove(i);
+                let Delayed {
+                    from,
+                    to,
+                    msg,
+                    depth,
+                    ..
+                } = f.queue.remove(i);
                 if sparse && self.active_mark[to.index()] != round + 1 {
                     self.active_mark[to.index()] = round + 1;
                     if self
@@ -1185,16 +1396,86 @@ where
                     }
                     self.next_active.push(to.index() as u32);
                 }
+                if let Some(c) = self.crit.as_deref_mut() {
+                    // The chain length was fixed when the message was sent;
+                    // the jitter only moved its delivery round.
+                    c.stage(to.index(), depth);
+                }
                 self.pending.push(to.index() as u32, from, msg);
                 self.pending_unsorted = true;
             }
         }
         self.in_flight = self.pending.len();
         self.fault = fault;
+
+        // Fold this round's staged deliveries into the settled causal
+        // depths — they become visible to their receivers at the start of
+        // the next round, so the next commit reads fully settled values.
+        if let Some(c) = self.crit.as_deref_mut() {
+            c.apply();
+            self.stats.critical_depth = c.max_depth;
+        }
+
+        // Arena telemetry: the columnar double buffer only ever grows, so
+        // the capacity sum is the run's memory high-water. Refreshed only
+        // when someone is listening — the untraced hot path skips even
+        // these few loads.
+        // Arena capacities are monotone, so a 64-round refresh cadence
+        // keeps the high-water honest to within a whisker while costing
+        // the hot path one predictable branch; the run loops take a final
+        // exact reading on exit.
+        if round & 63 == 0 && (meter.is_some() || self.flight.is_some()) {
+            self.refresh_arena_highwater();
+        }
+
         if let (Some(meter), Some(started)) = (&meter, commit_started) {
             let mut meter = meter.borrow_mut();
             meter.record_span("congest/commit", span_nanos(started));
             meter.add(metrics::names::ROUNDS, 1);
+            // Scheduling + memory telemetry: charged from the registry's
+            // own counters so multi-phase runs export the ledger-wide
+            // active fraction qdiam reports print.
+            meter.add(metrics::names::SCHEDULED_NODES, self.active.len() as u64);
+            meter.add(metrics::names::NODE_ROUNDS, n as u64);
+            let scheduled = meter.counter(metrics::names::SCHEDULED_NODES);
+            let slots = meter.counter(metrics::names::NODE_ROUNDS);
+            if slots > 0 {
+                meter.set_gauge(
+                    metrics::names::ACTIVE_FRACTION,
+                    scheduled as f64 / slots as f64,
+                );
+            }
+            meter.set_gauge(
+                metrics::names::ARENA_BYTES_HIGHWATER,
+                self.arena_highwater as f64,
+            );
+            if let Some(c) = self.crit.as_deref() {
+                // Max-tracking gauge: multi-phase drivers run several
+                // networks under one registry; the report wants the
+                // longest chain any of them built.
+                let prev = meter
+                    .gauge(metrics::names::CRITICAL_PATH_DEPTH)
+                    .unwrap_or(0.0);
+                if c.max_depth as f64 > prev {
+                    meter.set_gauge(metrics::names::CRITICAL_PATH_DEPTH, c.max_depth as f64);
+                }
+            }
+        }
+
+        if let Some(flight) = &self.flight {
+            let (m0, b0, f0) = flight_base;
+            flight.borrow_mut().close_charged(
+                self.stats.messages - m0,
+                self.stats.total_bits - b0,
+                self.charged_faults() - f0,
+                trace::RoundSample {
+                    delivered,
+                    scheduled: self.active.len() as u64,
+                    frontier: self.next_active.len() as u64,
+                    wakeups: woke,
+                    arena_bytes: self.arena_highwater,
+                },
+            );
         }
 
         // No recycle pass: the consumed inbox half of the arena is cleared
@@ -1462,6 +1743,7 @@ where
             }
             self.step()?;
         }
+        self.finish_telemetry();
         Ok(self.stats)
     }
 
@@ -1483,7 +1765,24 @@ where
             }
             self.step()?;
         }
+        self.finish_telemetry();
         Ok(self.stats)
+    }
+
+    /// Takes the final exact arena reading the 64-round refresh cadence
+    /// may have missed and republishes the gauge, so post-run exports and
+    /// reports never see a stale high-water mark.
+    fn finish_telemetry(&mut self) {
+        if metrics::current().is_none() && self.flight.is_none() {
+            return;
+        }
+        self.refresh_arena_highwater();
+        metrics::with(|m| {
+            m.set_gauge(
+                metrics::names::ARENA_BYTES_HIGHWATER,
+                self.arena_highwater as f64,
+            );
+        });
     }
 
     /// If every upcoming round up to (exclusive) some round `t ≤ cap` would
@@ -1554,8 +1853,31 @@ where
                 from: self.round,
                 to: target,
             });
+            // The flight recorder stays O(1) too: the whole stretch enters
+            // the ring as one span record, which the window view expands
+            // into exactly the zero-counter rounds stepping would record.
+            if let Some(flight) = &self.flight {
+                flight.borrow_mut().skip(target - self.round);
+            }
         }
         metrics::add(metrics::names::ROUNDS, target - self.round);
+        // Skipped rounds schedule nothing, but their node-round slots still
+        // exist — keep the exported active fraction on the ledger's
+        // denominator.
+        metrics::with(|m| {
+            m.add(
+                metrics::names::NODE_ROUNDS,
+                self.programs.len() as u64 * (target - self.round),
+            );
+            let scheduled = m.counter(metrics::names::SCHEDULED_NODES);
+            let slots = m.counter(metrics::names::NODE_ROUNDS);
+            if slots > 0 {
+                m.set_gauge(
+                    metrics::names::ACTIVE_FRACTION,
+                    scheduled as f64 / slots as f64,
+                );
+            }
+        });
         self.round = target;
         self.stats.rounds = target;
         self.stats.node_rounds = self.programs.len() as u64 * target;

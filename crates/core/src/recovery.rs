@@ -223,6 +223,7 @@ fn note_recovery(action: RecoveryAction, attempt: u64, scope: &str, wasted_round
         attempt,
         scope: scope.to_string(),
     });
+    trace::flight::with(|f| f.note_recovery());
     ::metrics::add(::metrics::names::RECOVERY_ACTIONS, 1);
 }
 

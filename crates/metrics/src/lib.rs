@@ -92,6 +92,39 @@ pub mod names {
     /// Wire bits moved by recovery attempts that were thrown away
     /// (counter).
     pub const RECOVERY_WASTED_BITS: &str = "qd_recovery_wasted_bits_total";
+    /// Node programs executed by the scheduler (counter) — reconciles with
+    /// `RoundsLedger::total_scheduled_nodes` and
+    /// `RunStats::scheduled_nodes`.
+    pub const SCHEDULED_NODES: &str = "qd_scheduled_nodes_total";
+    /// Node-round slots available (n × rounds, counter) — the denominator
+    /// of [`ACTIVE_FRACTION`]; reconciles with
+    /// `RoundsLedger::total_node_rounds`.
+    pub const NODE_ROUNDS: &str = "qd_node_rounds_total";
+    /// Fraction of node-round slots actually executed (gauge):
+    /// [`SCHEDULED_NODES`] / [`NODE_ROUNDS`], refreshed each round from the
+    /// registry's own counters so multi-phase runs report the ledger-wide
+    /// ratio qdiam reports print.
+    pub const ACTIVE_FRACTION: &str = "qd_active_fraction";
+    /// High-water bytes held by the columnar message-arena buffers
+    /// (inbox + pending `ColumnBuf` capacity, gauge; monotone per run).
+    pub const ARENA_BYTES_HIGHWATER: &str = "qd_arena_bytes_highwater";
+    /// Longest causal message chain observed by the critical-path profiler
+    /// (gauge; maximum across networks run under the registry).
+    pub const CRITICAL_PATH_DEPTH: &str = "qd_critical_path_depth";
+
+    /// Scheduler and memory telemetry: these legitimately differ across
+    /// worker shards and scheduling modes (dense and active-set runs
+    /// execute different node counts over identical traffic), so — like
+    /// the scheduling fields of `RunStats` and the telemetry columns of
+    /// the flight recorder's `RoundRecord` — they are excluded from
+    /// [`Registry`](crate::Registry) equality. They still export and
+    /// render normally.
+    pub const TELEMETRY: [&str; 4] = [
+        SCHEDULED_NODES,
+        NODE_ROUNDS,
+        ACTIVE_FRACTION,
+        ARENA_BYTES_HIGHWATER,
+    ];
 }
 
 /// Renders `name{key="value"}` for a labelled metric family.

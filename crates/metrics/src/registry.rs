@@ -233,13 +233,19 @@ impl Registry {
 }
 
 /// Deterministic-state equality: counters, gauges, and histograms — spans
-/// are wall-clock measurements and deliberately excluded, so registries
-/// from runs with identical protocol behaviour compare equal.
+/// are wall-clock measurements and the [`names::TELEMETRY`] family is
+/// scheduler/memory telemetry, both deliberately excluded, so registries
+/// from runs with identical protocol behaviour compare equal across the
+/// shard-count × scheduling-mode matrix.
 impl PartialEq for Registry {
     fn eq(&self, other: &Self) -> bool {
+        fn protocol<V>(map: &BTreeMap<String, V>) -> impl Iterator<Item = (&String, &V)> {
+            map.iter()
+                .filter(|(name, _)| !names::TELEMETRY.contains(&name.as_str()))
+        }
         self.cost == other.cost
-            && self.counters == other.counters
-            && self.gauges == other.gauges
+            && protocol(&self.counters).eq(protocol(&other.counters))
+            && protocol(&self.gauges).eq(protocol(&other.gauges))
             && self.histograms == other.histograms
     }
 }

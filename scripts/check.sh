@@ -64,9 +64,10 @@ rm -rf "$fdir"
 
 echo "=== scheduler bench smoke (dense-vs-sparse + <5% overhead gates) ==="
 # The vendored criterion stub runs every group once in --test mode; the
-# Instant-based gates (tracing_overhead, scheduler_hot_loop, and the
-# scheduler_sparse speedup/overhead pair) always run, and scheduler_sparse
-# writes BENCH_scheduler.json at the repo root.
+# Instant-based gates (tracing_overhead, scheduler_hot_loop, the
+# scheduler_sparse speedup/overhead pair, and the flight-recorder <5%
+# overhead gate on the n = 10^5 path flood) always run, and
+# scheduler_sparse writes BENCH_scheduler.json at the repo root.
 cargo bench -q --offline -p bench --bench bench_substrate -- --test || status=1
 test -s BENCH_scheduler.json || { echo "BENCH_scheduler.json missing" >&2; status=1; }
 # bench_substrate's metrics_overhead group also asserts the <5% gate on the
@@ -106,7 +107,6 @@ for f in "$sdir/BENCH_scale.json" BENCH_scale.json; do
     grep -qF "$key" "$f" || { echo "$f missing key $key" >&2; status=1; }
   done
 done
-rm -rf "$sdir"
 
 echo "=== driver throughput smoke (n = 1024) + BENCH_drivers.json gates ==="
 ddir=$(mktemp -d)
@@ -136,7 +136,32 @@ if test -s BENCH_drivers.json && jq --version >/dev/null 2>&1; then
   jq -e '[.points[].speedup] | min >= 0.95' BENCH_drivers.json >/dev/null \
     || { echo "BENCH_drivers.json: a workload is >5% slower than Dense" >&2; status=1; }
 fi
-rm -rf "$ddir"
+
+echo "=== qdiam report schema smoke ==="
+rdir=$(mktemp -d)
+cargo run -q --release --offline -p congest-diameter --bin qdiam -- \
+  report classical --family path --n 64 --out "$rdir" >/dev/null || status=1
+rpt="$rdir/REPORT_classical_path_n64.md"
+if ! test -s "$rpt"; then
+  echo "$rpt missing" >&2
+  status=1
+else
+  for key in '# qdiam run report' '## Run summary' '## Critical path' \
+    '- longest causal message chain:' '## Timeline' 'flight recorder:' \
+    '## Cost totals' 'qd_messages_total' '## Recovery'; do
+    grep -qF -- "$key" "$rpt" || { echo "$rpt missing section $key" >&2; status=1; }
+  done
+fi
+rm -rf "$rdir"
+
+echo "=== benchdiff: committed artifacts vs fresh smoke runs ==="
+# The capped smokes above rerun a subset of the committed sweeps; benchdiff
+# compares the intersection. Tolerance 75%: the gate is for order-of-
+# magnitude regressions, and the single-vCPU containers this runs on are
+# far too noisy for anything tighter.
+scripts/benchdiff -t 75 BENCH_scale.json "$sdir/BENCH_scale.json" || status=1
+scripts/benchdiff -t 75 BENCH_drivers.json "$ddir/BENCH_drivers.json" || status=1
+rm -rf "$sdir" "$ddir"
 
 if [ "$status" -ne 0 ]; then
   echo "CHECK FAILED" >&2

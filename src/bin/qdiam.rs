@@ -7,6 +7,8 @@
 //! qdiam exact --family grid --n 64 --trace run.jsonl
 //! qdiam trace-summary run.jsonl
 //! qdiam crossover --families sparse,tree --ns 16,24,32,48,64 --out results
+//! qdiam timeline classical --family path --n 256
+//! qdiam report exact --family grid --n 64 --out results
 //! ```
 
 use congest_diameter::cli;
@@ -19,6 +21,8 @@ fn main() {
                 cli::Command::Run(opts) => cli::run(&opts),
                 cli::Command::TraceSummary(path) => cli::trace_summary(&path),
                 cli::Command::Crossover(opts) => cli::crossover(&opts),
+                cli::Command::Timeline(opts) => cli::timeline(&opts),
+                cli::Command::Report(opts) => cli::report(&opts),
             };
             match result {
                 Ok(report) => print!("{report}"),

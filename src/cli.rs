@@ -33,6 +33,20 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// The stable lowercase name: the same token `Algorithm::parse`
+    /// accepts and artifact filenames use.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Exact => "exact",
+            Algorithm::Simple => "simple",
+            Algorithm::Approx => "approx",
+            Algorithm::Classical => "classical",
+            Algorithm::ClassicalApprox => "classical-approx",
+            Algorithm::TwoApprox => "two-approx",
+            Algorithm::Girth => "girth",
+        }
+    }
+
     fn parse(s: &str) -> Result<Self, String> {
         match s {
             "exact" => Ok(Algorithm::Exact),
@@ -150,6 +164,8 @@ pub struct Options {
     /// Export the run's metrics registry to this path (`.json` → JSON,
     /// anything else → Prometheus text).
     pub metrics: Option<String>,
+    /// Enable the critical-path profiler (`qdiam report` forces this on).
+    pub critical_path: bool,
 }
 
 impl Default for Options {
@@ -171,6 +187,7 @@ impl Default for Options {
             faults: None,
             recover: None,
             metrics: None,
+            critical_path: false,
         }
     }
 }
@@ -182,6 +199,8 @@ qdiam — quantum CONGEST diameter computation (Le Gall & Magniez, PODC 2018)
 USAGE: qdiam <ALGORITHM> [OPTIONS]
        qdiam trace-summary <TRACE.jsonl>
        qdiam crossover [CROSSOVER OPTIONS]
+       qdiam timeline <ALGORITHM> [OPTIONS]
+       qdiam report <ALGORITHM> [OPTIONS] [--out DIR]
 
 ALGORITHMS:
   exact             quantum exact diameter, Õ(√(nD)) rounds   (Theorem 1)
@@ -204,6 +223,16 @@ COMMANDS:
                     costs; default 100)  --header-bits B (per-message
                     framing; default 64)  --no-approx  --out DIR
                     --metrics PATH
+  timeline          run an algorithm with the flight recorder installed and
+                    print the per-round timeline (lifetime totals, window
+                    percentiles, a messages-per-round sparkline, and the
+                    hottest rounds). Takes the same options as a run
+  report            run an algorithm with the flight recorder, metrics
+                    registry, and critical-path profiler all enabled, and
+                    write a markdown run report (run summary, critical
+                    path, timeline, cost-model totals, recovery ledger)
+                    into the results directory (--out DIR overrides;
+                    default QD_RESULTS_DIR or results)
 
 OPTIONS:
   --family F   path|cycle|grid|tree|sparse|er|barbell|lollipop|hypercube|file
@@ -234,6 +263,10 @@ OPTIONS:
                --recover (or S in {1, on, true, standard}) selects the
                standard policy retry=2,retransmit=2,checkpoint=16,partial;
                'off' disables recovery
+  --critical-path
+               enable the critical-path profiler: track the longest chain
+               of causally ordered messages and add it to the report
+               (qdiam report forces this on)
   --verbose    print per-phase round ledgers
   --help       this message
 
@@ -277,6 +310,20 @@ pub enum Command {
     TraceSummary(String),
     /// Sweep classical vs quantum costs and emit the crossover report.
     Crossover(CrossoverOptions),
+    /// Run an algorithm under the flight recorder and print its timeline.
+    Timeline(Options),
+    /// Run an algorithm under full observability and write a markdown run
+    /// report into the results directory.
+    Report(ReportOptions),
+}
+
+/// Parsed options of the `report` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReportOptions {
+    /// The run to perform (critical-path profiling is forced on).
+    pub run: Options,
+    /// Output directory override (default: `QD_RESULTS_DIR` or `results`).
+    pub out: Option<String>,
 }
 
 /// Parsed options of the `crossover` subcommand.
@@ -303,8 +350,33 @@ pub fn parse_command(args: &[String]) -> Result<Command, String> {
             _ => Err("trace-summary takes exactly one path".into()),
         },
         Some("crossover") => parse_crossover(&args[1..]).map(Command::Crossover),
+        Some("timeline") => parse(&args[1..]).map(Command::Timeline),
+        Some("report") => parse_report(&args[1..]).map(Command::Report),
         _ => parse(args).map(Command::Run),
     }
+}
+
+/// Parses `report` arguments: `--out DIR` is peeled off, everything else is
+/// an ordinary run invocation.
+fn parse_report(args: &[String]) -> Result<ReportOptions, String> {
+    let mut out = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--out" {
+            out = Some(
+                iter.next()
+                    .ok_or_else(|| "--out requires a value".to_string())?
+                    .clone(),
+            );
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok(ReportOptions {
+        run: parse(&rest)?,
+        out,
+    })
 }
 
 fn parse_crossover(args: &[String]) -> Result<CrossoverOptions, String> {
@@ -436,6 +508,143 @@ pub fn crossover(opts: &CrossoverOptions) -> Result<String, String> {
     Ok(out)
 }
 
+/// Runs the selected algorithm with the flight recorder installed and
+/// appends the rendered per-round timeline to the run report.
+///
+/// # Errors
+///
+/// As for [`run`].
+pub fn timeline(opts: &Options) -> Result<String, String> {
+    let recorder = trace::flight::FlightRecorder::shared();
+    let report = {
+        let _guard = trace::flight::install(recorder.clone());
+        run(opts)
+    }?;
+    Ok(format!(
+        "{report}--- timeline ---\n{}",
+        recorder.borrow().render()
+    ))
+}
+
+/// Runs the selected algorithm under full observability — flight recorder,
+/// metrics registry, and the critical-path profiler (forced on) — and
+/// writes a markdown run report into the results directory.
+///
+/// # Errors
+///
+/// Propagates run and filesystem errors as strings.
+pub fn report(opts: &ReportOptions) -> Result<String, String> {
+    let mut run_opts = opts.run.clone();
+    run_opts.critical_path = true;
+    // The report needs the registry contents itself, so it owns the
+    // install and performs the `--metrics`/`QD_METRICS` export that
+    // [`run`] would otherwise do.
+    let mpath = run_opts
+        .metrics
+        .take()
+        .or_else(|| std::env::var("QD_METRICS").ok());
+    let recorder = trace::flight::FlightRecorder::shared();
+    let registry = metrics::Registry::shared();
+    let console = {
+        let _flight = trace::flight::install(recorder.clone());
+        let _meter = metrics::install(registry.clone());
+        run_with_trace(&run_opts)
+    }?;
+    if let Some(mpath) = &mpath {
+        export_metrics(&registry.borrow(), mpath)?;
+    }
+    let md = report_markdown(&run_opts, &console, &recorder.borrow(), &registry.borrow());
+    let dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| std::env::var("QD_RESULTS_DIR").unwrap_or_else(|_| "results".into()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("report directory '{dir}': {e}"))?;
+    let path = format!(
+        "{dir}/REPORT_{}_{}_n{}.md",
+        run_opts.algorithm.name(),
+        run_opts.family.name(),
+        run_opts.n
+    );
+    std::fs::write(&path, &md).map_err(|e| format!("writing '{path}': {e}"))?;
+    let mut out = console;
+    if let Some(mpath) = &mpath {
+        let _ = writeln!(out, "metrics: -> {mpath}");
+    }
+    let _ = writeln!(out, "report -> {path}");
+    Ok(out)
+}
+
+/// Renders the markdown run report combining the console summary, the
+/// critical path, the flight-recorder timeline, the cost-model totals, and
+/// the recovery ledger.
+fn report_markdown(
+    opts: &Options,
+    console: &str,
+    recorder: &trace::FlightRecorder,
+    registry: &metrics::Registry,
+) -> String {
+    let mut md = String::new();
+    let _ = writeln!(md, "# qdiam run report\n");
+    let _ = writeln!(
+        md,
+        "- algorithm: `{}` | graph: `{}`, n = {} | seed: {}",
+        opts.algorithm.name(),
+        opts.family.name(),
+        opts.n,
+        opts.seed
+    );
+    let _ = writeln!(
+        md,
+        "- shards: {} | scheduling: {:?} | faults: {} | recovery: {}\n",
+        opts.shards,
+        opts.scheduling,
+        opts.faults.as_deref().unwrap_or("none"),
+        opts.recover.as_deref().unwrap_or("none")
+    );
+    let _ = writeln!(md, "## Run summary\n\n```\n{}```\n", console);
+    let depth = registry
+        .gauge(metrics::names::CRITICAL_PATH_DEPTH)
+        .unwrap_or(0.0) as u64;
+    let rounds = registry.counter(metrics::names::ROUNDS);
+    let _ = writeln!(md, "## Critical path\n");
+    let _ = writeln!(md, "- longest causal message chain: {depth} hops");
+    let _ = writeln!(md, "- simulated rounds: {rounds}");
+    if rounds > 0 {
+        let _ = writeln!(
+            md,
+            "- chain / rounds: {:.3} — the chain lower-bounds the rounds any \
+             schedule needs for this run's information flow; a Figure-2 wave \
+             schedule bounds it above by the scheduled 2τ′-governed duration \
+             (EXPERIMENTS.md § A11)",
+            depth as f64 / rounds as f64
+        );
+    }
+    let _ = writeln!(md, "\n## Timeline\n\n```\n{}```\n", recorder.render());
+    let _ = writeln!(md, "## Cost totals\n");
+    let _ = writeln!(md, "| metric | value |");
+    let _ = writeln!(md, "|---|---|");
+    for (name, value) in registry.counters() {
+        let _ = writeln!(md, "| `{name}` | {value} |");
+    }
+    for (name, value) in registry.gauges() {
+        let _ = writeln!(md, "| `{name}` | {value} |");
+    }
+    let _ = writeln!(md, "\n## Recovery\n");
+    let actions = registry.counter(metrics::names::RECOVERY_ACTIONS);
+    if actions == 0 {
+        let _ = writeln!(md, "no recovery actions recorded");
+    } else {
+        let _ = writeln!(md, "- recovery actions: {actions}");
+        let _ = writeln!(
+            md,
+            "- wasted rounds: {} | wasted wire bits: {}",
+            registry.counter(metrics::names::RECOVERY_WASTED_ROUNDS),
+            registry.counter(metrics::names::RECOVERY_WASTED_BITS)
+        );
+    }
+    md
+}
+
 /// Parses arguments (without the program name).
 ///
 /// # Errors
@@ -516,6 +725,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
                 opts.faults = Some(spec.clone());
             }
             "--metrics" => opts.metrics = Some(value("--metrics")?.clone()),
+            "--critical-path" => opts.critical_path = true,
             "--verbose" => opts.verbose = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -727,7 +937,8 @@ fn run_report(opts: &Options) -> Result<String, String> {
     let g = build_graph(opts)?;
     let mut cfg = Config::for_graph(&g)
         .with_shards(opts.shards)
-        .with_scheduling(opts.scheduling);
+        .with_scheduling(opts.scheduling)
+        .with_critical_path(opts.critical_path);
     let env_faults = std::env::var("QD_FAULTS").ok();
     let faults = resolve_faults(opts.faults.as_deref(), env_faults.as_deref())?;
     let env_recover = std::env::var("QD_RECOVER").ok();
@@ -749,13 +960,16 @@ fn run_report(opts: &Options) -> Result<String, String> {
         let _ = writeln!(out, "recovery: {policy}");
         cfg = cfg.with_recovery(policy);
     }
-    // Under an active fault plan, make sure a metrics registry observes
-    // the run so the report can state how many faults were actually
-    // injected (`qd_faults_total`); reuse the `--metrics` registry when
-    // one is already installed so the export keeps seeing everything.
-    let fault_registry =
-        faulty.then(|| metrics::current().unwrap_or_else(metrics::Registry::shared));
-    let _fault_guard = match &fault_registry {
+    // Under an active fault plan or the critical-path profiler, make sure
+    // a metrics registry observes the run so the report can state how many
+    // faults were injected (`qd_faults_total`) and the longest causal
+    // chain (`qd_critical_path_depth` — drivers run several networks, and
+    // the max-tracking gauge is the cross-phase channel for the depth);
+    // reuse the `--metrics` registry when one is already installed so the
+    // export keeps seeing everything.
+    let aux_registry = (faulty || opts.critical_path)
+        .then(|| metrics::current().unwrap_or_else(metrics::Registry::shared));
+    let _aux_guard = match &aux_registry {
         Some(r) if metrics::current().is_none() => Some(metrics::install(r.clone())),
         _ => None,
     };
@@ -914,12 +1128,24 @@ fn run_report(opts: &Options) -> Result<String, String> {
             }
         }
     }
-    if let Some(registry) = &fault_registry {
-        let _ = writeln!(
-            out,
-            "faults injected: {}",
-            registry.borrow().counter(metrics::names::FAULTS)
-        );
+    if let Some(registry) = &aux_registry {
+        if faulty {
+            let _ = writeln!(
+                out,
+                "faults injected: {}",
+                registry.borrow().counter(metrics::names::FAULTS)
+            );
+        }
+        if opts.critical_path {
+            let depth = registry
+                .borrow()
+                .gauge(metrics::names::CRITICAL_PATH_DEPTH)
+                .unwrap_or(0.0) as u64;
+            let _ = writeln!(
+                out,
+                "critical path: longest causal message chain {depth} hops"
+            );
+        }
     }
     Ok(out)
 }
@@ -1291,6 +1517,94 @@ mod tests {
         assert!(parse_command(&args("crossover --families warp")).is_err());
         assert!(parse_command(&args("crossover --qubit-factor -3")).is_err());
         assert!(parse_command(&args("crossover --what 1")).is_err());
+    }
+
+    #[test]
+    fn parse_command_dispatches_timeline_and_report() {
+        let cmd = parse_command(&args("timeline classical --family path --n 16")).unwrap();
+        let Command::Timeline(o) = cmd else {
+            panic!("expected timeline command");
+        };
+        assert_eq!(o.algorithm, Algorithm::Classical);
+        assert_eq!(o.family, Family::Path);
+        assert_eq!(o.n, 16);
+        let cmd = parse_command(&args("report exact --family grid --n 25 --out /tmp/r")).unwrap();
+        let Command::Report(o) = cmd else {
+            panic!("expected report command");
+        };
+        assert_eq!(o.run.algorithm, Algorithm::Exact);
+        assert_eq!(o.run.family, Family::Grid);
+        assert_eq!(o.out.as_deref(), Some("/tmp/r"));
+        assert!(parse_command(&args("timeline")).is_err());
+        assert!(parse_command(&args("report warp-drive")).is_err());
+    }
+
+    /// `qdiam timeline` is `run` plus the flight recorder's rendering —
+    /// the answer is unchanged and the per-round telemetry follows it.
+    #[test]
+    fn timeline_appends_the_flight_recorder_render() {
+        let o = parse(&args("classical --family path --n 24")).unwrap();
+        let out = timeline(&o).unwrap();
+        assert!(out.contains("diameter: 23"), "{out}");
+        assert!(out.contains("--- timeline ---"), "{out}");
+        assert!(out.contains("flight recorder:"), "{out}");
+        assert!(out.contains("hottest rounds"), "{out}");
+    }
+
+    /// `--critical-path` adds the profiler's chain-depth line to the run
+    /// report without changing the answer.
+    #[test]
+    fn critical_path_flag_reports_chain_depth() {
+        let o = parse(&args("classical --family path --n 16 --critical-path")).unwrap();
+        let out = run(&o).unwrap();
+        assert!(out.contains("diameter: 15"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("critical path: "))
+            .unwrap_or_else(|| panic!("missing critical-path line:\n{out}"));
+        let depth: u64 = line
+            .trim_end_matches(" hops")
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(depth > 0, "profiler saw no causal chain: {line}");
+    }
+
+    /// `qdiam report` writes the full markdown run report with every
+    /// section the check.sh schema smoke greps for.
+    #[test]
+    fn report_writes_markdown_with_all_sections() {
+        let dir = std::env::temp_dir().join(format!("qd-cli-report-{}", std::process::id()));
+        let cmd = parse_command(&args(&format!(
+            "report classical --family grid --n 25 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        let Command::Report(o) = cmd else {
+            panic!("expected report command");
+        };
+        let console = report(&o).unwrap();
+        assert!(console.contains("diameter: 8"), "{console}");
+        assert!(console.contains("report -> "), "{console}");
+        let path = dir.join("REPORT_classical_grid_n25.md");
+        let md = std::fs::read_to_string(&path).unwrap();
+        for section in [
+            "# qdiam run report",
+            "## Run summary",
+            "## Critical path",
+            "- longest causal message chain:",
+            "## Timeline",
+            "flight recorder:",
+            "## Cost totals",
+            "`qd_messages_total`",
+            "`qd_rounds_total`",
+            "## Recovery",
+        ] {
+            assert!(md.contains(section), "report missing {section:?}:\n{md}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
